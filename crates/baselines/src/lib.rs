@@ -1,0 +1,37 @@
+//! # deepcam-baselines
+//!
+//! The comparison systems of the DeepCAM evaluation, as analytical
+//! simulators over weight-free [`deepcam_models::ModelSpec`]s:
+//!
+//! * [`eyeriss`] — a SCALE-Sim-style cycle model of the Eyeriss systolic
+//!   array (14×12 PEs, INT8, weight-stationary) plus an energy model with
+//!   the RF/NoC/SRAM/DRAM access hierarchy of the original paper;
+//! * [`cpu`] — an Intel Skylake AVX-512 VNNI throughput model;
+//! * [`pim`] — the two analog processing-in-memory comparators of
+//!   Table II: an RRAM engine benchmarked with NeuroSim (Peng et al.) and
+//!   the SRAM charge-domain engine of Valavi et al., anchored to their
+//!   published VGG11/CIFAR10 numbers.
+//!
+//! All three consume only layer shapes — cycle and energy counts are
+//! independent of weight values.
+//!
+//! # Example
+//!
+//! ```
+//! use deepcam_baselines::eyeriss::Eyeriss;
+//! use deepcam_models::zoo;
+//!
+//! let eyeriss = Eyeriss::paper_config();
+//! let report = eyeriss.run(&zoo::lenet5());
+//! assert!(report.total_cycles > 0);
+//! ```
+
+pub mod cpu;
+pub mod eyeriss;
+pub mod pim;
+pub mod report;
+
+pub use cpu::SkylakeCpu;
+pub use eyeriss::Eyeriss;
+pub use pim::{AnalogPim, PimTechnology};
+pub use report::{BaselineReport, LayerCost};

@@ -1,0 +1,83 @@
+//! Ablation benches for the design choices called out in DESIGN.md §7:
+//! eq. 5 cosine vs exact, minifloat quantization, sense-amp readout, and
+//! pipelined vs sequential cycle accounting.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepcam_cam::SenseModel;
+use deepcam_core::sched::{CamScheduler, CycleModel};
+use deepcam_core::{Dataflow, HashPlan};
+use deepcam_hash::cosine::{approx_cosine, exact_cosine};
+use deepcam_hash::Minifloat8;
+use deepcam_models::zoo;
+
+fn bench_cosine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations/cosine");
+    let angles: Vec<f32> = (0..1024).map(|i| i as f32 * 0.003).collect();
+    group.bench_function("piecewise_eq5", |b| {
+        b.iter(|| angles.iter().map(|&t| approx_cosine(black_box(t))).sum::<f32>())
+    });
+    group.bench_function("exact", |b| {
+        b.iter(|| angles.iter().map(|&t| exact_cosine(black_box(t))).sum::<f32>())
+    });
+    group.finish();
+}
+
+fn bench_minifloat(c: &mut Criterion) {
+    let values: Vec<f32> = (0..1024).map(|i| i as f32 * 0.37 + 0.01).collect();
+    c.bench_function("ablations/minifloat_quantize", |b| {
+        b.iter(|| {
+            values
+                .iter()
+                .map(|&v| Minifloat8::quantize(black_box(v)))
+                .sum::<f32>()
+        })
+    });
+}
+
+fn bench_sense_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations/sense");
+    for (label, model) in [
+        ("exact", SenseModel::Exact),
+        ("clocked16", SenseModel::Clocked { levels: 16 }),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| (0..1024usize).map(|hd| model.read(black_box(hd), 1024)).sum::<usize>())
+        });
+    }
+    group.finish();
+}
+
+fn bench_cycle_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations/cycle_model");
+    let vgg = zoo::vgg11();
+    let plan = HashPlan::Uniform(512);
+    for (label, model) in [
+        ("pipelined", CycleModel::Pipelined),
+        ("sequential", CycleModel::Sequential),
+    ] {
+        let sched = CamScheduler::new(64, Dataflow::ActivationStationary)
+            .expect("supported")
+            .with_cycle_model(model);
+        group.bench_function(label, |b| {
+            b.iter(|| sched.run(black_box(&vgg), black_box(&plan)).expect("plan fits"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows keep `cargo bench --workspace` minutes-scale
+    // on small CI machines while still giving stable medians.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(10);
+    targets = bench_cosine,
+    bench_minifloat,
+    bench_sense_models,
+    bench_cycle_models
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for the Fig. 10 machinery: whole-model energy
+//! assembly across hash plans.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepcam_core::sched::CamScheduler;
+use deepcam_core::{Dataflow, HashPlan};
+use deepcam_models::zoo;
+
+fn bench_energy_assembly(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10/energy");
+    let vgg = zoo::vgg11();
+    let dims: Vec<usize> = vgg.dot_layers().iter().map(|d| d.n).collect();
+    let sched = CamScheduler::new(64, Dataflow::ActivationStationary).expect("supported");
+    for (label, plan) in [
+        ("uniform256", HashPlan::uniform_min()),
+        ("uniform1024", HashPlan::uniform_max()),
+        ("variable", HashPlan::variable_for_dims(&dims)),
+    ] {
+        group.bench_function(format!("vgg11_{label}"), |b| {
+            b.iter(|| sched.run(black_box(&vgg), black_box(&plan)).expect("plan fits"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows keep `cargo bench --workspace` minutes-scale
+    // on small CI machines while still giving stable medians.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(10);
+    targets = bench_energy_assembly
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion benches for the Fig. 2 hot path: random projection hashing
+//! and packed Hamming distance.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepcam_hash::{BitVec, ProjectionMatrix};
+use deepcam_tensor::rng::{fill_normal, seeded_rng};
+
+fn bench_hashing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2/hash");
+    for &k in &[256usize, 1024] {
+        let proj = ProjectionMatrix::generate(64, k, 1);
+        let mut rng = seeded_rng(2);
+        let mut x = vec![0.0f32; 64];
+        fill_normal(&mut rng, &mut x, 0.0, 1.0);
+        group.bench_function(format!("sign_project_n64_k{k}"), |b| {
+            b.iter(|| proj.hash(black_box(&x)).expect("dims match"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hamming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2/hamming");
+    for &k in &[256usize, 1024, 4096] {
+        let mut a = BitVec::zeros(k);
+        let mut b = BitVec::zeros(k);
+        for i in (0..k).step_by(3) {
+            a.set(i, true);
+        }
+        for i in (0..k).step_by(7) {
+            b.set(i, true);
+        }
+        group.bench_function(format!("hamming_k{k}"), |bch| {
+            bch.iter(|| black_box(&a).hamming(black_box(&b)).expect("equal widths"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows keep `cargo bench --workspace` minutes-scale
+    // on small CI machines while still giving stable medians.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(10);
+    targets = bench_hashing, bench_hamming
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion bench for the Fig. 5 hot path: functional CAM inference of a
+//! compiled model.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepcam_core::{DeepCamEngine, EngineConfig, HashPlan};
+use deepcam_models::scaled::scaled_lenet5;
+use deepcam_tensor::rng::seeded_rng;
+use deepcam_tensor::{init, Shape};
+
+fn bench_engine_infer(c: &mut Criterion) {
+    let mut rng = seeded_rng(0);
+    let model = scaled_lenet5(&mut rng, 10);
+    let mut data_rng = seeded_rng(1);
+    let batch = init::normal(&mut data_rng, Shape::new(&[2, 1, 28, 28]), 0.0, 1.0);
+
+    let mut group = c.benchmark_group("fig5/engine_infer");
+    group.sample_size(10);
+    for &k in &[256usize, 1024] {
+        let engine = DeepCamEngine::compile(
+            &model,
+            EngineConfig {
+                plan: HashPlan::Uniform(k),
+                threads: 2,
+                ..EngineConfig::default()
+            },
+        )
+        .expect("compiles");
+        group.bench_function(format!("lenet5_batch2_k{k}"), |b| {
+            b.iter(|| engine.infer(black_box(&batch)).expect("inference succeeds"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_compile(c: &mut Criterion) {
+    let mut rng = seeded_rng(0);
+    let model = scaled_lenet5(&mut rng, 10);
+    c.bench_function("fig5/engine_compile_lenet5", |b| {
+        b.iter(|| {
+            DeepCamEngine::compile(
+                black_box(&model),
+                EngineConfig {
+                    plan: HashPlan::Uniform(256),
+                    ..EngineConfig::default()
+                },
+            )
+            .expect("compiles")
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows keep `cargo bench --workspace` minutes-scale
+    // on small CI machines while still giving stable medians.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(10);
+    targets = bench_engine_infer, bench_engine_compile
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion bench for the Fig. 8 subject: parallel CAM search across
+//! array geometries.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepcam_cam::{CamArray, CamConfig};
+use deepcam_hash::BitVec;
+use deepcam_tensor::rng::seeded_rng;
+use rand::RngExt;
+
+fn random_word(bits: usize, rng: &mut impl rand::Rng) -> BitVec {
+    let mut w = BitVec::zeros(bits);
+    for i in 0..bits {
+        if rng.random::<bool>() {
+            w.set(i, true);
+        }
+    }
+    w
+}
+
+fn bench_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8/cam_search");
+    for &(rows, cols) in &[(64usize, 256usize), (64, 1024), (512, 256), (512, 1024)] {
+        let mut rng = seeded_rng(7);
+        let mut cam = CamArray::new(CamConfig::new(rows, cols).expect("supported"));
+        let words: Vec<BitVec> = (0..rows).map(|_| random_word(cols, &mut rng)).collect();
+        cam.load(&words).expect("fits");
+        let key = random_word(cols, &mut rng);
+        group.bench_function(format!("search_r{rows}_c{cols}"), |b| {
+            b.iter(|| cam.search(black_box(&key)).expect("key width matches"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tile_load(c: &mut Criterion) {
+    let mut rng = seeded_rng(8);
+    let words: Vec<BitVec> = (0..64).map(|_| random_word(256, &mut rng)).collect();
+    c.bench_function("fig8/tile_load_r64_c256", |b| {
+        b.iter(|| {
+            let mut cam = CamArray::new(CamConfig::new(64, 256).expect("supported"));
+            cam.load(black_box(&words)).expect("fits");
+            cam
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows keep `cargo bench --workspace` minutes-scale
+    // on small CI machines while still giving stable medians.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(10);
+    targets = bench_search, bench_tile_load
+}
+criterion_main!(benches);

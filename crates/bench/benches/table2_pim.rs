@@ -1,0 +1,37 @@
+//! Criterion bench for the Table II machinery: anchored analog PIM models
+//! and the DeepCAM per-inference accounting for VGG11.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepcam_baselines::{AnalogPim, PimTechnology};
+use deepcam_bench::experiments::table2;
+use deepcam_models::zoo;
+
+fn bench_pim_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/pim");
+    let vgg = zoo::vgg11();
+    for tech in [PimTechnology::NeuroSimRram, PimTechnology::ValaviSram] {
+        let pim = AnalogPim::new(tech);
+        group.bench_function(tech.name().replace(' ', "_"), |b| {
+            b.iter(|| pim.run(black_box(&vgg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_table(c: &mut Criterion) {
+    c.bench_function("table2/full_table", |b| b.iter(table2::run));
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows keep `cargo bench --workspace` minutes-scale
+    // on small CI machines while still giving stable medians.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(10);
+    targets = bench_pim_models, bench_full_table
+}
+criterion_main!(benches);

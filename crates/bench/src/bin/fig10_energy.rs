@@ -1,0 +1,48 @@
+//! Regenerates Fig. 10: normalized energy per inference — DeepCAM-VHL vs
+//! the homogeneous-256 baseline, Max DeepCAM (1024), and Eyeriss.
+//!
+//! Usage: `cargo run --release -p deepcam-bench --bin fig10_energy`
+
+use deepcam_bench::experiments::fig10;
+use deepcam_bench::table::fmt_sig;
+use deepcam_bench::TableWriter;
+
+fn main() {
+    println!("== Fig. 10: normalized energy per inference ==");
+    println!("(each row normalized to the same config's homogeneous-256-bit DeepCAM)");
+    println!();
+    for row in fig10::run() {
+        println!(
+            "-- {} --  Eyeriss: {} uJ (on-chip only: {} uJ)",
+            row.workload,
+            fmt_sig(row.eyeriss_uj),
+            fmt_sig(row.eyeriss_onchip_uj)
+        );
+        let mut table = TableWriter::new(vec![
+            "config",
+            "VHL (uJ)",
+            "VHL (norm)",
+            "Max-1024 (norm)",
+            "Eyeriss (norm)",
+            "Eyeriss / VHL",
+            "on-chip Eyeriss / VHL",
+        ]);
+        for p in &row.points {
+            table.row(vec![
+                format!("DeepCAM-{} rows={}", p.dataflow, p.rows),
+                fmt_sig(p.vhl_uj),
+                format!("{:.2}", p.vhl_norm),
+                format!("{:.2}", p.max_norm),
+                fmt_sig(p.eyeriss_norm),
+                format!("{:.1}x", p.eyeriss_over_vhl),
+                format!("{:.1}x", p.eyeriss_onchip_over_vhl),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+    println!(
+        "shape checks: VHL <= Max-1024 everywhere; Eyeriss costs multiples of \
+         any DeepCAM configuration; the VHL saving tracks the fraction of \
+         layers that can run at short hashes."
+    );
+}

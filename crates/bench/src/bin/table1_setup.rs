@@ -1,0 +1,16 @@
+//! Regenerates Table I: the hardware evaluation setup.
+//!
+//! Usage: `cargo run --release -p deepcam-bench --bin table1_setup`
+
+use deepcam_bench::experiments::table1;
+use deepcam_bench::TableWriter;
+
+fn main() {
+    println!("== Table I: hardware evaluation setup ==");
+    println!();
+    let mut table = TableWriter::new(vec!["Category", "CPU", "Systolic", "DeepCAM"]);
+    for row in table1::run() {
+        table.row(vec![row.category, row.cpu, row.systolic, row.deepcam]);
+    }
+    println!("{}", table.render());
+}

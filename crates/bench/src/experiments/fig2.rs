@@ -1,0 +1,162 @@
+//! Fig. 2 — approximate vs algebraic dot-product as hash length grows.
+//!
+//! The paper plots the worked example of §II-B (x·y = 2.0765) and shows
+//! the approximation tightening with k. This experiment reproduces that
+//! series and adds an error sweep over a random vector ensemble so the
+//! 1/√k concentration of the Hamming angle estimator is visible.
+
+use deepcam_hash::geometric::{CosineMode, DotOptions, NormMode};
+use deepcam_hash::stats::ErrorStats;
+use deepcam_hash::GeometricDot;
+use deepcam_tensor::rng::{fill_normal, seeded_rng};
+
+/// The paper's example operands (§II-B).
+pub const PAPER_X: [f32; 4] = [0.6012, 0.8383, 0.6859, 0.5712];
+/// The paper's example operands (§II-B).
+pub const PAPER_Y: [f32; 4] = [0.9044, 0.5352, 0.8110, 0.9243];
+/// The algebraic reference the paper quotes.
+pub const PAPER_REFERENCE: f32 = 2.0765;
+
+/// One point of the Fig. 2 series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig2Point {
+    /// Hash length.
+    pub k: usize,
+    /// Mean approximate dot-product of the paper example over seeds.
+    pub example_mean: f32,
+    /// Standard deviation over seeds.
+    pub example_std: f32,
+    /// Error statistics over the random ensemble.
+    pub ensemble: ErrorStats,
+}
+
+/// Configuration of the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig2Config {
+    /// Hash lengths to sweep.
+    pub hash_lengths: Vec<usize>,
+    /// Seeds averaged per point.
+    pub seeds: usize,
+    /// Random vector pairs in the ensemble.
+    pub ensemble_pairs: usize,
+    /// Ensemble vector dimensionality.
+    pub ensemble_dim: usize,
+    /// Use the hardware path (eq. 5 cosine + minifloat norms) instead of
+    /// the ideal one.
+    pub hardware_path: bool,
+}
+
+impl Default for Fig2Config {
+    fn default() -> Self {
+        Fig2Config {
+            hash_lengths: vec![64, 128, 256, 512, 1024, 2048, 4096],
+            seeds: 16,
+            ensemble_pairs: 64,
+            ensemble_dim: 64,
+            hardware_path: false,
+        }
+    }
+}
+
+/// Runs the sweep.
+pub fn run(cfg: &Fig2Config) -> Vec<Fig2Point> {
+    let opts = if cfg.hardware_path {
+        DotOptions {
+            cosine: CosineMode::PiecewiseEq5,
+            norm: NormMode::Minifloat8,
+            hash_len: None,
+        }
+    } else {
+        DotOptions {
+            cosine: CosineMode::Exact,
+            norm: NormMode::Fp32,
+            hash_len: None,
+        }
+    };
+    let mut points = Vec::with_capacity(cfg.hash_lengths.len());
+    for &k in &cfg.hash_lengths {
+        // Paper example across seeds.
+        let mut values = Vec::with_capacity(cfg.seeds);
+        for seed in 0..cfg.seeds as u64 {
+            let gd = GeometricDot::new(4, k, seed).expect("valid dims");
+            values.push(gd.dot_with(&PAPER_X, &PAPER_Y, opts).expect("valid dims"));
+        }
+        let mean = values.iter().sum::<f32>() / values.len() as f32;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
+            / values.len() as f32;
+
+        // Random ensemble at a fixed seed.
+        let gd = GeometricDot::new(cfg.ensemble_dim, k, 777).expect("valid dims");
+        let mut rng = seeded_rng(4242);
+        let mut approx = Vec::with_capacity(cfg.ensemble_pairs);
+        let mut exact = Vec::with_capacity(cfg.ensemble_pairs);
+        let mut a = vec![0.0f32; cfg.ensemble_dim];
+        let mut b = vec![0.0f32; cfg.ensemble_dim];
+        for _ in 0..cfg.ensemble_pairs {
+            fill_normal(&mut rng, &mut a, 0.0, 1.0);
+            fill_normal(&mut rng, &mut b, 0.0, 1.0);
+            approx.push(gd.dot_with(&a, &b, opts).expect("valid dims"));
+            exact.push(GeometricDot::algebraic(&a, &b).expect("equal dims"));
+        }
+        points.push(Fig2Point {
+            k,
+            example_mean: mean,
+            example_std: var.sqrt(),
+            ensemble: ErrorStats::from_pairs(&approx, &exact),
+        });
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> Fig2Config {
+        Fig2Config {
+            hash_lengths: vec![64, 1024],
+            seeds: 6,
+            ensemble_pairs: 16,
+            ensemble_dim: 16,
+            hardware_path: false,
+        }
+    }
+
+    #[test]
+    fn error_shrinks_with_k() {
+        let pts = run(&quick_cfg());
+        assert_eq!(pts.len(), 2);
+        assert!(
+            pts[1].ensemble.rmse < pts[0].ensemble.rmse,
+            "rmse {} !< {}",
+            pts[1].ensemble.rmse,
+            pts[0].ensemble.rmse
+        );
+        assert!(pts[1].example_std < pts[0].example_std);
+    }
+
+    #[test]
+    fn long_hash_approaches_reference() {
+        let cfg = Fig2Config {
+            hash_lengths: vec![4096],
+            seeds: 8,
+            ..quick_cfg()
+        };
+        let pts = run(&cfg);
+        assert!(
+            (pts[0].example_mean - PAPER_REFERENCE).abs() < 0.1,
+            "mean {}",
+            pts[0].example_mean
+        );
+    }
+
+    #[test]
+    fn hardware_path_runs() {
+        let cfg = Fig2Config {
+            hardware_path: true,
+            ..quick_cfg()
+        };
+        let pts = run(&cfg);
+        assert!(pts.iter().all(|p| p.example_mean.is_finite()));
+    }
+}

@@ -1,0 +1,240 @@
+//! Fig. 5 — Top-1 accuracy of the software baseline (BL) vs DeepCAM (DC)
+//! across hash lengths, per workload.
+//!
+//! Substitutions (DESIGN.md §4): scaled-down topology-faithful models
+//! trained on synthetic datasets replace the paper's pretrained
+//! PyTorch models on MNIST/CIFAR. The measured quantity — how DC
+//! accuracy degrades as hash length shrinks, per layer — is preserved.
+
+use deepcam_core::analysis::search_variable_plan_calibrated;
+use deepcam_core::{DeepCamEngine, EngineConfig, HashPlan};
+use deepcam_data::synth::{generate, SynthConfig};
+use deepcam_models::scaled::{scaled_lenet5, scaled_resnet18, scaled_vgg11, scaled_vgg16};
+use deepcam_models::train::{evaluate, train, TrainConfig};
+use deepcam_models::Cnn;
+use deepcam_tensor::rng::seeded_rng;
+use deepcam_tensor::Tensor;
+
+/// Result row for one workload.
+#[derive(Debug, Clone)]
+pub struct Fig5Row {
+    /// Workload label, e.g. `"LeNet5 / SynthDigits"`.
+    pub workload: String,
+    /// Float ("software baseline", BL) accuracy.
+    pub baseline_acc: f32,
+    /// DC accuracy at each uniform hash length, `(k, accuracy)`.
+    pub uniform: Vec<(usize, f32)>,
+    /// DC accuracy under the searched variable plan.
+    pub variable_acc: f32,
+    /// The searched per-layer plan.
+    pub variable_plan: Vec<usize>,
+}
+
+/// Experiment scale knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5Config {
+    /// Train samples per class for the 10-class sets (scaled down for the
+    /// 100-class set automatically).
+    pub train_per_class: usize,
+    /// Test images evaluated per configuration.
+    pub eval_images: usize,
+    /// Images used inside the variable-plan search.
+    pub search_images: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Channel width of the scaled VGG/ResNet variants.
+    pub width: usize,
+    /// Uniform hash lengths to evaluate.
+    pub hash_lengths: Vec<usize>,
+    /// Accuracy tolerance for the variable-plan search.
+    pub tolerance: f32,
+    /// Which workloads to run (subset of 0..4, in Table I order).
+    pub workloads: Vec<usize>,
+}
+
+impl Default for Fig5Config {
+    fn default() -> Self {
+        Fig5Config {
+            train_per_class: 64,
+            eval_images: 40,
+            search_images: 24,
+            epochs: 3,
+            width: 8,
+            hash_lengths: vec![256, 512, 768, 1024],
+            tolerance: 0.03,
+            workloads: vec![0, 1, 2, 3],
+        }
+    }
+}
+
+impl Fig5Config {
+    /// A minimal configuration for unit tests.
+    pub fn smoke() -> Self {
+        Fig5Config {
+            train_per_class: 6,
+            eval_images: 12,
+            search_images: 8,
+            epochs: 1,
+            width: 4,
+            hash_lengths: vec![256, 1024],
+            tolerance: 0.1,
+            workloads: vec![0],
+        }
+    }
+}
+
+fn subset(images: &Tensor, labels: &[usize], count: usize) -> (Tensor, Vec<usize>) {
+    let n = labels.len().min(count);
+    let sample: usize = images.shape().dims()[1..].iter().product();
+    let mut dims = vec![n];
+    dims.extend_from_slice(&images.shape().dims()[1..]);
+    (
+        Tensor::from_vec(
+            images.data()[..n * sample].to_vec(),
+            deepcam_tensor::Shape::new(&dims),
+        )
+        .expect("subset volume consistent"),
+        labels[..n].to_vec(),
+    )
+}
+
+fn run_workload(
+    name: &str,
+    mut model: Cnn,
+    data_cfg: &SynthConfig,
+    cfg: &Fig5Config,
+) -> Fig5Row {
+    let (train_set, test_set) = generate(data_cfg);
+    let tc = TrainConfig {
+        epochs: cfg.epochs,
+        batch_size: 32,
+        lr: 0.03,
+        momentum: 0.9,
+        weight_decay: 1e-4,
+        seed: 7,
+    };
+    train(&mut model, train_set.images(), train_set.labels(), &tc).expect("training succeeds");
+    let (eval_x, eval_y) = subset(test_set.images(), test_set.labels(), cfg.eval_images);
+    let baseline_acc = evaluate(&mut model, &eval_x, &eval_y, 16).expect("evaluation succeeds");
+    // BN calibration set: training images, never test data.
+    let (calib_x, _) = subset(train_set.images(), train_set.labels(), 32);
+
+    let mut uniform = Vec::new();
+    for &k in &cfg.hash_lengths {
+        let mut engine = DeepCamEngine::compile(
+            &model,
+            EngineConfig {
+                plan: HashPlan::Uniform(k),
+                ..EngineConfig::default()
+            },
+        )
+        .expect("engine compiles");
+        engine.calibrate_bn(&calib_x).expect("calibration succeeds");
+        let acc = engine.evaluate(&eval_x, &eval_y, 16).expect("dc evaluation succeeds");
+        uniform.push((k, acc));
+    }
+
+    let (search_x, search_y) = subset(test_set.images(), test_set.labels(), cfg.search_images);
+    let search = search_variable_plan_calibrated(
+        &model,
+        &search_x,
+        &search_y,
+        &EngineConfig::default(),
+        cfg.tolerance,
+        16,
+        Some(&calib_x),
+    )
+    .expect("vhl search succeeds");
+    let variable_plan = match &search.plan {
+        HashPlan::PerLayer(ks) => ks.clone(),
+        HashPlan::Uniform(k) => vec![*k],
+    };
+    let mut engine = DeepCamEngine::compile(
+        &model,
+        EngineConfig {
+            plan: search.plan.clone(),
+            ..EngineConfig::default()
+        },
+    )
+    .expect("engine compiles");
+    engine.calibrate_bn(&calib_x).expect("calibration succeeds");
+    let variable_acc = engine.evaluate(&eval_x, &eval_y, 16).expect("dc evaluation succeeds");
+
+    Fig5Row {
+        workload: name.to_string(),
+        baseline_acc,
+        uniform,
+        variable_acc,
+        variable_plan,
+    }
+}
+
+/// Runs the accuracy experiment for the selected workloads.
+pub fn run(cfg: &Fig5Config) -> Vec<Fig5Row> {
+    let mut rows = Vec::new();
+    for &w in &cfg.workloads {
+        let row = match w {
+            0 => {
+                let mut rng = seeded_rng(100);
+                let data = SynthConfig::digits().with_samples(cfg.train_per_class, 20);
+                run_workload(
+                    "LeNet5 / SynthDigits",
+                    scaled_lenet5(&mut rng, 10),
+                    &data,
+                    cfg,
+                )
+            }
+            1 => {
+                let mut rng = seeded_rng(101);
+                let data = SynthConfig::objects10().with_samples(cfg.train_per_class, 16);
+                run_workload(
+                    "VGG11 / SynthObjects10",
+                    scaled_vgg11(&mut rng, cfg.width, 10),
+                    &data,
+                    cfg,
+                )
+            }
+            2 => {
+                let mut rng = seeded_rng(102);
+                let per_class = (cfg.train_per_class / 8).max(4);
+                let data = SynthConfig::objects100().with_samples(per_class, 2);
+                run_workload(
+                    "VGG16 / SynthObjects100",
+                    scaled_vgg16(&mut rng, cfg.width, 100),
+                    &data,
+                    cfg,
+                )
+            }
+            3 => {
+                let mut rng = seeded_rng(103);
+                let per_class = (cfg.train_per_class / 8).max(4);
+                let data = SynthConfig::objects100().with_samples(per_class, 2);
+                run_workload(
+                    "ResNet18 / SynthObjects100",
+                    scaled_resnet18(&mut rng, cfg.width, 100),
+                    &data,
+                    cfg,
+                )
+            }
+            other => panic!("workload index {other} out of range"),
+        };
+        rows.push(row);
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_lenet_runs_end_to_end() {
+        let rows = run(&Fig5Config::smoke());
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert!(r.baseline_acc >= 0.0 && r.baseline_acc <= 1.0);
+        assert_eq!(r.uniform.len(), 2);
+        assert_eq!(r.variable_plan.len(), 5); // LeNet5 dot layers
+        assert!(r.variable_acc >= 0.0 && r.variable_acc <= 1.0);
+    }
+}

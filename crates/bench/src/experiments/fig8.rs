@@ -1,0 +1,76 @@
+//! Fig. 8 — CAM hardware overhead (search energy + area) across row and
+//! column sizes.
+
+use deepcam_cam::{AreaModel, CamConfig, CamCostModel, SUPPORTED_COL_SIZES, SUPPORTED_ROW_SIZES};
+
+/// One `(rows, cols)` design point of Fig. 8.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig8Point {
+    /// CAM rows.
+    pub rows: usize,
+    /// Word length in bits.
+    pub cols: usize,
+    /// Energy of one parallel search, picojoules.
+    pub search_energy_pj: f64,
+    /// Energy of writing one full tile (all rows), picojoules.
+    pub write_energy_pj: f64,
+    /// Array area in mm² (fixed-width design at this geometry).
+    pub area_mm2: f64,
+}
+
+/// Sweeps every supported row×column combination.
+pub fn run() -> Vec<Fig8Point> {
+    let cost = CamCostModel::default();
+    let area = AreaModel::default();
+    let mut points = Vec::new();
+    for &rows in &SUPPORTED_ROW_SIZES {
+        for &cols in &SUPPORTED_COL_SIZES {
+            let cfg = CamConfig::new(rows, cols).expect("supported sizes");
+            let search = cost.search_cost(&cfg);
+            let write = cost.write_cost(&cfg, rows);
+            points.push(Fig8Point {
+                rows,
+                cols,
+                search_energy_pj: search.energy_j * 1e12,
+                write_energy_pj: write.energy_j * 1e12,
+                area_mm2: area.fixed_array_area_um2(rows, cols) / 1e6,
+            });
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_grid() {
+        let pts = run();
+        assert_eq!(pts.len(), 16);
+    }
+
+    #[test]
+    fn energy_monotone_in_rows_and_cols() {
+        let pts = run();
+        let at = |r: usize, c: usize| {
+            pts.iter()
+                .find(|p| p.rows == r && p.cols == c)
+                .copied()
+                .expect("point exists")
+        };
+        assert!(at(128, 256).search_energy_pj > at(64, 256).search_energy_pj);
+        assert!(at(64, 512).search_energy_pj > at(64, 256).search_energy_pj);
+        assert!(at(512, 1024).area_mm2 > at(64, 256).area_mm2);
+    }
+
+    #[test]
+    fn largest_point_dominates() {
+        let pts = run();
+        let max = pts
+            .iter()
+            .max_by(|a, b| a.search_energy_pj.total_cmp(&b.search_energy_pj))
+            .expect("non-empty");
+        assert_eq!((max.rows, max.cols), (512, 1024));
+    }
+}

@@ -1,0 +1,9 @@
+//! One module per reproduced table/figure.
+
+pub mod fig10;
+pub mod fig2;
+pub mod fig5;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod table2;

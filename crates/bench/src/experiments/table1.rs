@@ -1,0 +1,66 @@
+//! Table I — the hardware evaluation setup summary.
+
+use deepcam_models::zoo;
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Category label.
+    pub category: String,
+    /// CPU column.
+    pub cpu: String,
+    /// Systolic (Eyeriss) column.
+    pub systolic: String,
+    /// DeepCAM column.
+    pub deepcam: String,
+}
+
+/// Builds the setup table, including the workload list with our
+/// synthetic-dataset substitutions spelled out.
+pub fn run() -> Vec<Table1Row> {
+    let workloads = zoo::all_workloads()
+        .iter()
+        .map(|m| m.workload())
+        .collect::<Vec<_>>()
+        .join(", ");
+    vec![
+        Table1Row {
+            category: "Configuration".into(),
+            cpu: "Skylake with AVX-512 (VNNI), 2.1 GHz".into(),
+            systolic: "Eyeriss (14 x 12), INT8, 200 MHz".into(),
+            deepcam: "FeFET CAM with VHL, 300 MHz, 45 nm".into(),
+        },
+        Table1Row {
+            category: "Hardware performance".into(),
+            cpu: "overall inference computation cycles".into(),
+            systolic: "overall inference computation cycles".into(),
+            deepcam: "overall inference computation cycles".into(),
+        },
+        Table1Row {
+            category: "Energy consumption".into(),
+            cpu: "dynamic inference energy".into(),
+            systolic: "dynamic inference energy".into(),
+            deepcam: "dynamic inference energy".into(),
+        },
+        Table1Row {
+            category: "CNN & dataset".into(),
+            cpu: workloads.clone(),
+            systolic: workloads.clone(),
+            deepcam: format!("{workloads} (synthetic stand-ins, DESIGN.md §4)"),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_categories() {
+        let rows = run();
+        assert_eq!(rows.len(), 4);
+        assert!(rows[0].deepcam.contains("FeFET"));
+        assert!(rows[3].cpu.contains("LeNet5 MNIST"));
+        assert!(rows[3].cpu.contains("ResNet18 CIFAR100"));
+    }
+}

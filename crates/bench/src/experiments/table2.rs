@@ -1,0 +1,103 @@
+//! Table II — DeepCAM (VHL) vs previously published analog PIM engines
+//! on VGG11/CIFAR10: energy and computation cycles per inference.
+
+use deepcam_baselines::{AnalogPim, PimTechnology};
+use deepcam_core::sched::CamScheduler;
+use deepcam_core::{Dataflow, HashPlan};
+use deepcam_models::zoo;
+
+/// One row of Table II.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// System name.
+    pub work: String,
+    /// Memory device.
+    pub device: String,
+    /// Dot-product mode.
+    pub mode: String,
+    /// Energy per inference, µJ.
+    pub energy_uj: f64,
+    /// Computation cycles per inference, ×10⁵.
+    pub cycles_1e5: f64,
+}
+
+/// The paper's published Table II values, for side-by-side comparison in
+/// the harness output.
+pub const PAPER_VALUES: [(&str, f64, f64); 3] = [
+    ("NeuroSim (RRAM)", 34.98, 5.74),
+    ("Valavi et al. (SRAM)", 3.55, 2.56),
+    ("DeepCAM (FeFET, VHL)", 0.488, 2.652),
+];
+
+/// Regenerates Table II. The PIM comparator rows come from their
+/// anchored models; the DeepCAM row comes from our simulator
+/// (activation-stationary, 64 rows, shape-driven variable plan — the
+/// configuration the paper reports its per-inference numbers at).
+pub fn run() -> Vec<Table2Row> {
+    let vgg = zoo::vgg11();
+    let mut rows = Vec::new();
+    for tech in [PimTechnology::NeuroSimRram, PimTechnology::ValaviSram] {
+        let report = AnalogPim::new(tech).run(&vgg);
+        rows.push(Table2Row {
+            work: tech.name().to_string(),
+            device: match tech {
+                PimTechnology::NeuroSimRram => "RRAM".into(),
+                PimTechnology::ValaviSram => "SRAM".into(),
+            },
+            mode: tech.dot_product_mode().to_string(),
+            energy_uj: report.energy_uj(),
+            cycles_1e5: report.total_cycles as f64 / 1e5,
+        });
+    }
+    let dims: Vec<usize> = vgg.dot_layers().iter().map(|d| d.n).collect();
+    let sched =
+        CamScheduler::new(64, Dataflow::ActivationStationary).expect("64 rows supported");
+    let perf = sched
+        .run(&vgg, &HashPlan::variable_for_dims(&dims))
+        .expect("plan matches VGG11");
+    rows.push(Table2Row {
+        work: "DeepCAM (ours, VHL)".into(),
+        device: "FeFET".into(),
+        mode: "Geometric".into(),
+        energy_uj: perf.energy_uj(),
+        cycles_1e5: perf.total_cycles as f64 / 1e5,
+    });
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_rows_in_order() {
+        let rows = run();
+        assert_eq!(rows.len(), 3);
+        assert!(rows[0].work.contains("NeuroSim"));
+        assert!(rows[2].mode == "Geometric");
+    }
+
+    #[test]
+    fn energy_ordering_matches_paper() {
+        // DeepCAM < Valavi < NeuroSim — the table's central claim.
+        let rows = run();
+        assert!(rows[2].energy_uj < rows[1].energy_uj);
+        assert!(rows[1].energy_uj < rows[0].energy_uj);
+    }
+
+    #[test]
+    fn deepcam_energy_same_order_as_paper() {
+        // Paper: 0.488 µJ. Our self-consistent model should land within
+        // an order of magnitude.
+        let rows = run();
+        let e = rows[2].energy_uj;
+        assert!(e > 0.0488 && e < 4.88, "DeepCAM VGG11 energy {e} µJ");
+    }
+
+    #[test]
+    fn comparator_rows_match_anchors() {
+        let rows = run();
+        assert!((rows[0].energy_uj - 34.98).abs() / 34.98 < 0.05);
+        assert!((rows[1].cycles_1e5 - 2.56).abs() / 2.56 < 0.05);
+    }
+}

@@ -1,0 +1,22 @@
+//! # deepcam-bench
+//!
+//! The evaluation harness of the DeepCAM reproduction: one experiment
+//! module per table/figure of the paper, each exposing a pure function
+//! that computes the figure's rows, plus thin `src/bin/*` binaries that
+//! print them. Criterion benches in `benches/` exercise the hot kernels
+//! each experiment depends on.
+//!
+//! | Paper artifact | Module | Binary |
+//! |---|---|---|
+//! | Fig. 2 (approx vs algebraic dot-product) | [`experiments::fig2`] | `fig2_dot_product` |
+//! | Fig. 5 (accuracy vs hash length) | [`experiments::fig5`] | `fig5_accuracy` |
+//! | Fig. 8 (CAM overhead sweep) | [`experiments::fig8`] | `fig8_cam_overhead` |
+//! | Fig. 9 (cycles + utilization) | [`experiments::fig9`] | `fig9_cycles` |
+//! | Fig. 10 (normalized energy) | [`experiments::fig10`] | `fig10_energy` |
+//! | Table I (setup) | [`experiments::table1`] | `table1_setup` |
+//! | Table II (PIM comparison) | [`experiments::table2`] | `table2_pim_comparison` |
+
+pub mod experiments;
+pub mod table;
+
+pub use table::TableWriter;

@@ -1,0 +1,280 @@
+//! Functional CAM array simulator.
+
+use deepcam_hash::BitVec;
+use serde::{Deserialize, Serialize};
+
+use crate::config::CamConfig;
+use crate::error::CamError;
+use crate::Result;
+
+/// The result of one row's match-line evaluation during a search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchHit {
+    /// Row index.
+    pub row: usize,
+    /// True Hamming distance between the key and the stored word.
+    pub hamming: usize,
+    /// Distance as reported by the configured sense amplifier (equals
+    /// `hamming` under [`crate::SenseModel::Exact`]).
+    pub sensed: usize,
+}
+
+/// A dynamic-size CAM array: `rows` words of the configured active word
+/// length, searched in parallel.
+///
+/// The array is *functional*: it returns exact (or sense-amp-quantized)
+/// Hamming distances. Energy and latency are accounted separately via
+/// [`crate::CamCostModel`], keeping behaviour and cost models independent
+/// — the same split EvaCAM makes between functional and circuit level.
+///
+/// # Example
+///
+/// ```
+/// use deepcam_cam::{CamArray, CamConfig};
+/// use deepcam_hash::BitVec;
+///
+/// let mut cam = CamArray::new(CamConfig::new(64, 256)?);
+/// let word = BitVec::from_bools(&[true; 256]);
+/// cam.write_row(3, word.clone())?;
+/// let hits = cam.search(&word)?;
+/// assert_eq!(hits.len(), 1); // only occupied rows respond
+/// assert_eq!(hits[0].row, 3);
+/// assert_eq!(hits[0].hamming, 0);
+/// # Ok::<(), deepcam_cam::CamError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CamArray {
+    config: CamConfig,
+    rows: Vec<Option<BitVec>>,
+}
+
+impl CamArray {
+    /// Creates an empty array.
+    pub fn new(config: CamConfig) -> Self {
+        let rows = vec![None; config.rows];
+        CamArray { config, rows }
+    }
+
+    /// The array configuration.
+    pub fn config(&self) -> &CamConfig {
+        &self.config
+    }
+
+    /// Number of rows currently holding a word.
+    pub fn occupied_rows(&self) -> usize {
+        self.rows.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// Row utilization in `[0, 1]` — the quantity plotted in Fig. 9.
+    pub fn utilization(&self) -> f64 {
+        self.occupied_rows() as f64 / self.config.rows.max(1) as f64
+    }
+
+    /// Writes a word into row `row`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CamError::RowOutOfRange`] or
+    /// [`CamError::WordLengthMismatch`] (the word must exactly fill the
+    /// active word length).
+    pub fn write_row(&mut self, row: usize, word: BitVec) -> Result<()> {
+        if row >= self.config.rows {
+            return Err(CamError::RowOutOfRange {
+                row,
+                rows: self.config.rows,
+            });
+        }
+        if word.len() != self.config.word_bits() {
+            return Err(CamError::WordLengthMismatch {
+                expected: self.config.word_bits(),
+                actual: word.len(),
+            });
+        }
+        self.rows[row] = Some(word);
+        Ok(())
+    }
+
+    /// Clears every row (a new tile is about to be loaded).
+    pub fn clear(&mut self) {
+        for r in &mut self.rows {
+            *r = None;
+        }
+    }
+
+    /// Loads a batch of words into rows `0..words.len()`, clearing the
+    /// array first. This is the "tile load" operation of the scheduler.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CamError::CapacityExceeded`] when more words than rows
+    /// are offered, or a word-length error from [`CamArray::write_row`].
+    pub fn load(&mut self, words: &[BitVec]) -> Result<()> {
+        if words.len() > self.config.rows {
+            return Err(CamError::CapacityExceeded {
+                offered: words.len(),
+                rows: self.config.rows,
+            });
+        }
+        self.clear();
+        for (i, w) in words.iter().enumerate() {
+            self.write_row(i, w.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Reconfigures the active word length, clearing all rows (stored
+    /// words are only meaningful at the width they were written).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CamConfig::set_word_bits`].
+    pub fn set_word_bits(&mut self, word_bits: usize) -> Result<()> {
+        self.config.set_word_bits(word_bits)?;
+        self.clear();
+        Ok(())
+    }
+
+    /// Searches the key against all occupied rows *in parallel* (O(1)
+    /// array time), returning one hit per occupied row in row order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CamError::WordLengthMismatch`] when the key width differs
+    /// from the active word length.
+    pub fn search(&self, key: &BitVec) -> Result<Vec<SearchHit>> {
+        if key.len() != self.config.word_bits() {
+            return Err(CamError::WordLengthMismatch {
+                expected: self.config.word_bits(),
+                actual: key.len(),
+            });
+        }
+        let word_bits = self.config.word_bits();
+        let mut hits = Vec::with_capacity(self.occupied_rows());
+        for (row, stored) in self.rows.iter().enumerate() {
+            if let Some(word) = stored {
+                let hamming = word
+                    .hamming(key)
+                    .expect("stored word width is validated on write");
+                hits.push(SearchHit {
+                    row,
+                    hamming,
+                    sensed: self.config.sense.read(hamming, word_bits),
+                });
+            }
+        }
+        Ok(hits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sense::SenseModel;
+    use deepcam_tensor::rng::seeded_rng;
+    use rand::RngExt;
+
+    fn random_word(bits: usize, rng: &mut impl rand::Rng) -> BitVec {
+        let mut w = BitVec::zeros(bits);
+        for i in 0..bits {
+            if rng.random::<bool>() {
+                w.set(i, true);
+            }
+        }
+        w
+    }
+
+    #[test]
+    fn empty_array_returns_no_hits() {
+        let cam = CamArray::new(CamConfig::new(64, 256).unwrap());
+        let hits = cam.search(&BitVec::zeros(256)).unwrap();
+        assert!(hits.is_empty());
+        assert_eq!(cam.utilization(), 0.0);
+    }
+
+    #[test]
+    fn search_matches_reference_popcount() {
+        let mut rng = seeded_rng(1);
+        let mut cam = CamArray::new(CamConfig::new(64, 512).unwrap());
+        let words: Vec<BitVec> = (0..64).map(|_| random_word(512, &mut rng)).collect();
+        cam.load(&words).unwrap();
+        let key = random_word(512, &mut rng);
+        let hits = cam.search(&key).unwrap();
+        assert_eq!(hits.len(), 64);
+        for hit in hits {
+            let expected = words[hit.row].hamming(&key).unwrap();
+            assert_eq!(hit.hamming, expected);
+            assert_eq!(hit.sensed, expected); // Exact sense model
+        }
+    }
+
+    #[test]
+    fn clocked_sense_quantizes() {
+        let mut rng = seeded_rng(2);
+        let cfg = CamConfig::new(64, 256)
+            .unwrap()
+            .with_sense(SenseModel::Clocked { levels: 8 });
+        let mut cam = CamArray::new(cfg);
+        let words: Vec<BitVec> = (0..16).map(|_| random_word(256, &mut rng)).collect();
+        cam.load(&words).unwrap();
+        let key = random_word(256, &mut rng);
+        let hits = cam.search(&key).unwrap();
+        // Coarse sensing rarely matches everywhere; true values stay exact.
+        assert!(hits.iter().any(|h| h.sensed != h.hamming));
+        for hit in hits {
+            assert_eq!(hit.hamming, words[hit.row].hamming(&key).unwrap());
+        }
+    }
+
+    #[test]
+    fn load_validates_capacity() {
+        let mut cam = CamArray::new(CamConfig::new(64, 256).unwrap());
+        let words: Vec<BitVec> = (0..65).map(|_| BitVec::zeros(256)).collect();
+        assert!(matches!(
+            cam.load(&words),
+            Err(CamError::CapacityExceeded { offered: 65, .. })
+        ));
+    }
+
+    #[test]
+    fn partial_load_utilization() {
+        // The paper's weight-stationary example: 6 kernels in a 64-row CAM
+        // → 9.4% utilization.
+        let mut cam = CamArray::new(CamConfig::new(64, 256).unwrap());
+        let words: Vec<BitVec> = (0..6).map(|_| BitVec::zeros(256)).collect();
+        cam.load(&words).unwrap();
+        assert_eq!(cam.occupied_rows(), 6);
+        assert!((cam.utilization() - 6.0 / 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn write_row_validates() {
+        let mut cam = CamArray::new(CamConfig::new(64, 256).unwrap());
+        assert!(cam.write_row(64, BitVec::zeros(256)).is_err());
+        assert!(cam.write_row(0, BitVec::zeros(255)).is_err());
+    }
+
+    #[test]
+    fn key_width_validated() {
+        let cam = CamArray::new(CamConfig::new(64, 512).unwrap());
+        assert!(cam.search(&BitVec::zeros(256)).is_err());
+    }
+
+    #[test]
+    fn reconfigure_clears_rows() {
+        let mut cam = CamArray::new(CamConfig::new(64, 256).unwrap());
+        cam.write_row(0, BitVec::zeros(256)).unwrap();
+        cam.set_word_bits(512).unwrap();
+        assert_eq!(cam.occupied_rows(), 0);
+        assert_eq!(cam.config().word_bits(), 512);
+        // Old-width writes now fail.
+        assert!(cam.write_row(0, BitVec::zeros(256)).is_err());
+    }
+
+    #[test]
+    fn load_replaces_previous_tile() {
+        let mut cam = CamArray::new(CamConfig::new(64, 256).unwrap());
+        cam.load(&vec![BitVec::zeros(256); 10]).unwrap();
+        cam.load(&vec![BitVec::zeros(256); 3]).unwrap();
+        assert_eq!(cam.occupied_rows(), 3);
+    }
+}

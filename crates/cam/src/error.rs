@@ -1,0 +1,82 @@
+//! Error type for CAM operations.
+
+use std::fmt;
+
+/// Error returned by CAM configuration and array operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CamError {
+    /// Row index beyond the array height.
+    RowOutOfRange {
+        /// Offending row index.
+        row: usize,
+        /// Array height.
+        rows: usize,
+    },
+    /// Stored word or search key width differs from the configured word
+    /// length.
+    WordLengthMismatch {
+        /// Width the array is configured for.
+        expected: usize,
+        /// Width of the offending word.
+        actual: usize,
+    },
+    /// Configuration invalid (unsupported row count, word length not a
+    /// multiple of the chunk size, etc.).
+    InvalidConfig(String),
+    /// Attempted to load more contexts than the array has rows.
+    CapacityExceeded {
+        /// Number of contexts offered.
+        offered: usize,
+        /// Number of rows available.
+        rows: usize,
+    },
+}
+
+impl fmt::Display for CamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CamError::RowOutOfRange { row, rows } => {
+                write!(f, "row {row} out of range for {rows}-row array")
+            }
+            CamError::WordLengthMismatch { expected, actual } => {
+                write!(f, "word length {actual} does not match configured {expected}")
+            }
+            CamError::InvalidConfig(msg) => write!(f, "invalid CAM configuration: {msg}"),
+            CamError::CapacityExceeded { offered, rows } => {
+                write!(f, "cannot load {offered} contexts into {rows} rows")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CamError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CamError::RowOutOfRange { row: 70, rows: 64 }
+            .to_string()
+            .contains("70"));
+        assert!(CamError::WordLengthMismatch {
+            expected: 256,
+            actual: 100
+        }
+        .to_string()
+        .contains("256"));
+        assert!(CamError::CapacityExceeded {
+            offered: 100,
+            rows: 64
+        }
+        .to_string()
+        .contains("100"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync + std::error::Error>() {}
+        check::<CamError>();
+    }
+}

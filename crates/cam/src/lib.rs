@@ -1,0 +1,56 @@
+//! # deepcam-cam
+//!
+//! A behavioural + cost model of the dynamic-size FeFET content
+//! addressable memory at the heart of DeepCAM (paper §III-B, Fig. 6).
+//!
+//! The hardware being modelled:
+//!
+//! * a CAM array of `R ∈ {64,128,256,512}` rows;
+//! * each word is built from **four 256-bit chunks** joined by
+//!   transmission gates, so the active word length (= hash length) is
+//!   reconfigurable to 256/512/768/1024 bits ([`chunk`]);
+//! * a search broadcasts a key on the search lines and every row's match
+//!   line (ML) discharges at a rate proportional to its number of
+//!   mismatching cells; the **clocked self-referenced sense amplifier**
+//!   (Ni et al., Nature Electronics 2019) converts discharge time to a
+//!   Hamming-distance estimate for *all rows in parallel* — the O(1)
+//!   dot-product time claim ([`sense`]);
+//! * search/write energy and array area follow an EvaCAM-style analytical
+//!   model calibrated to published FeFET CAM figures ([`energy`],
+//!   [`area`]).
+//!
+//! [`array::CamArray`] is the functional simulator used by
+//! `deepcam-core`'s inference engine; [`energy::CamCostModel`] is queried
+//! by the scheduler for cycle and energy accounting.
+//!
+//! # Example
+//!
+//! ```
+//! use deepcam_cam::{CamArray, CamConfig};
+//! use deepcam_hash::BitVec;
+//!
+//! let mut cam = CamArray::new(CamConfig::new(64, 256)?);
+//! cam.write_row(0, BitVec::from_bools(&[true; 256]))?;
+//! let hits = cam.search(&BitVec::from_bools(&[false; 256]))?;
+//! assert_eq!(hits[0].hamming, 256);
+//! # Ok::<(), deepcam_cam::CamError>(())
+//! ```
+
+pub mod area;
+pub mod array;
+pub mod chunk;
+pub mod config;
+pub mod energy;
+pub mod error;
+pub mod sense;
+
+pub use area::AreaModel;
+pub use array::{CamArray, SearchHit};
+pub use chunk::ChunkConfig;
+pub use config::{CamConfig, SUPPORTED_COL_SIZES, SUPPORTED_ROW_SIZES};
+pub use energy::{CamCostModel, SearchCost};
+pub use error::CamError;
+pub use sense::SenseModel;
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, CamError>;

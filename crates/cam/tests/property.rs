@@ -1,0 +1,98 @@
+//! Property-based tests for the CAM hardware model.
+
+use deepcam_cam::{
+    AreaModel, CamArray, CamConfig, CamCostModel, ChunkConfig, SenseModel, SUPPORTED_COL_SIZES,
+    SUPPORTED_ROW_SIZES,
+};
+use deepcam_hash::BitVec;
+use proptest::prelude::*;
+
+fn word(len: usize) -> impl Strategy<Value = BitVec> {
+    proptest::collection::vec(any::<bool>(), len).prop_map(|v| BitVec::from_bools(&v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn search_results_independent_of_row_order_content(
+        words in proptest::collection::vec(word(256), 1..16),
+        key in word(256),
+    ) {
+        // Loading the same multiset of words twice gives identical hits.
+        let mut cam1 = CamArray::new(CamConfig::new(64, 256).unwrap());
+        cam1.load(&words).unwrap();
+        let mut cam2 = CamArray::new(CamConfig::new(64, 256).unwrap());
+        cam2.load(&words).unwrap();
+        prop_assert_eq!(cam1.search(&key).unwrap(), cam2.search(&key).unwrap());
+    }
+
+    #[test]
+    fn hamming_bounds_hold(words in proptest::collection::vec(word(512), 1..8), key in word(512)) {
+        let mut cam = CamArray::new(CamConfig::new(64, 512).unwrap());
+        cam.load(&words).unwrap();
+        for hit in cam.search(&key).unwrap() {
+            prop_assert!(hit.hamming <= 512);
+            prop_assert!(hit.sensed <= 512);
+        }
+    }
+
+    #[test]
+    fn searching_stored_word_gives_zero(words in proptest::collection::vec(word(256), 1..8)) {
+        let mut cam = CamArray::new(CamConfig::new(64, 256).unwrap());
+        cam.load(&words).unwrap();
+        for (i, w) in words.iter().enumerate() {
+            let hits = cam.search(w).unwrap();
+            prop_assert_eq!(hits[i].hamming, 0);
+            prop_assert_eq!(hits[i].sensed, 0); // exact match never discharges
+        }
+    }
+
+    #[test]
+    fn clocked_sense_never_reports_zero_for_mismatch(
+        hd in 1usize..1024,
+        levels in 1usize..256,
+    ) {
+        let s = SenseModel::Clocked { levels };
+        prop_assert!(s.read(hd, 1024) >= 1);
+    }
+
+    #[test]
+    fn search_energy_monotone_in_active_rows(
+        rows_idx in 0usize..4,
+        cols_idx in 0usize..4,
+        active in 1usize..64,
+    ) {
+        let cfg = CamConfig::new(SUPPORTED_ROW_SIZES[rows_idx], SUPPORTED_COL_SIZES[cols_idx]).unwrap();
+        prop_assume!(active < cfg.rows);
+        let m = CamCostModel::default();
+        let less = m.search_cost_with_rows(&cfg, active).energy_j;
+        let more = m.search_cost_with_rows(&cfg, active + 1).energy_j;
+        prop_assert!(more > less);
+    }
+
+    #[test]
+    fn area_monotone_in_rows(rows_idx in 0usize..3) {
+        let m = AreaModel::default();
+        let small = m.array_area_um2(&CamConfig::new(SUPPORTED_ROW_SIZES[rows_idx], 256).unwrap());
+        let large = m.array_area_um2(&CamConfig::new(SUPPORTED_ROW_SIZES[rows_idx + 1], 256).unwrap());
+        prop_assert!(large > small);
+    }
+
+    #[test]
+    fn chunk_roundtrip(enabled in 1usize..=4) {
+        let c = ChunkConfig::new(enabled).unwrap();
+        prop_assert_eq!(ChunkConfig::for_hash_len(c.word_bits()).unwrap(), c);
+        prop_assert_eq!(c.active_gates() + 1, c.enabled());
+    }
+
+    #[test]
+    fn write_then_clear_empties(words in proptest::collection::vec(word(256), 1..10)) {
+        let mut cam = CamArray::new(CamConfig::new(64, 256).unwrap());
+        cam.load(&words).unwrap();
+        prop_assert_eq!(cam.occupied_rows(), words.len());
+        cam.clear();
+        prop_assert_eq!(cam.occupied_rows(), 0);
+        prop_assert!(cam.search(&BitVec::zeros(256)).unwrap().is_empty());
+    }
+}

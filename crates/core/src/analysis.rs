@@ -1,0 +1,186 @@
+//! Variable-hash-length search (the procedure behind Fig. 5's "variable"
+//! configuration).
+//!
+//! The paper observes that "each CNN layer requires a certain minimum
+//! hash length to maintain the overall classification accuracy" and picks
+//! per-layer lengths accordingly. This module implements that selection
+//! as a greedy layer-order search: starting from all-1024, each layer in
+//! turn is lowered to the smallest supported length whose accuracy stays
+//! within `tolerance` of the all-1024 reference (already-lowered layers
+//! keep their choices). Greedy-in-execution-order matches how the paper
+//! reports per-layer optima and costs `O(layers × |candidates|)`
+//! evaluations.
+
+use deepcam_hash::SUPPORTED_HASH_LENGTHS;
+use deepcam_models::Cnn;
+use deepcam_tensor::Tensor;
+
+use crate::engine::{DeepCamEngine, EngineConfig};
+use crate::hashplan::HashPlan;
+use crate::Result;
+
+/// Result of a variable-hash-length search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VhlSearchResult {
+    /// The selected per-layer plan.
+    pub plan: HashPlan,
+    /// DeepCAM accuracy at the all-1024 reference configuration.
+    pub reference_accuracy: f32,
+    /// DeepCAM accuracy under the selected plan.
+    pub final_accuracy: f32,
+    /// Number of engine evaluations performed.
+    pub evaluations: usize,
+}
+
+/// Greedily searches a per-layer hash plan for `model` that keeps
+/// accuracy within `tolerance` of the all-1024 configuration, evaluated
+/// on `(images, labels)`.
+///
+/// # Errors
+///
+/// Propagates engine compilation/inference errors.
+///
+/// # Panics
+///
+/// Panics if `images` and `labels` disagree in length (the underlying
+/// evaluation asserts this).
+pub fn search_variable_plan(
+    model: &Cnn,
+    images: &Tensor,
+    labels: &[usize],
+    base: &EngineConfig,
+    tolerance: f32,
+    batch_size: usize,
+) -> Result<VhlSearchResult> {
+    search_variable_plan_calibrated(model, images, labels, base, tolerance, batch_size, None)
+}
+
+/// [`search_variable_plan`] with an optional BN-calibration set applied to
+/// every candidate engine (see [`DeepCamEngine::calibrate_bn`]).
+///
+/// # Errors
+///
+/// Propagates engine compilation/inference errors.
+#[allow(clippy::too_many_arguments)]
+pub fn search_variable_plan_calibrated(
+    model: &Cnn,
+    images: &Tensor,
+    labels: &[usize],
+    base: &EngineConfig,
+    tolerance: f32,
+    batch_size: usize,
+    calibration: Option<&Tensor>,
+) -> Result<VhlSearchResult> {
+    let layers = model.dot_layer_count();
+    let max_k = *SUPPORTED_HASH_LENGTHS.last().expect("non-empty");
+    let mut ks = vec![max_k; layers];
+    let mut evaluations = 0usize;
+
+    let eval = |plan: HashPlan, evals: &mut usize| -> Result<f32> {
+        let cfg = EngineConfig {
+            plan,
+            ..base.clone()
+        };
+        let mut engine = DeepCamEngine::compile(model, cfg)?;
+        if let Some(calib) = calibration {
+            engine.calibrate_bn(calib)?;
+        }
+        *evals += 1;
+        engine.evaluate(images, labels, batch_size)
+    };
+
+    let reference = eval(HashPlan::PerLayer(ks.clone()), &mut evaluations)?;
+    for layer in 0..layers {
+        for &candidate in SUPPORTED_HASH_LENGTHS.iter() {
+            if candidate >= ks[layer] {
+                break; // candidates are ascending; nothing smaller left
+            }
+            let mut trial = ks.clone();
+            trial[layer] = candidate;
+            let acc = eval(HashPlan::PerLayer(trial.clone()), &mut evaluations)?;
+            if acc + tolerance >= reference {
+                ks = trial;
+                break; // smallest acceptable found (ascending order)
+            }
+        }
+    }
+    let final_accuracy = eval(HashPlan::PerLayer(ks.clone()), &mut evaluations)?;
+    Ok(VhlSearchResult {
+        plan: HashPlan::PerLayer(ks),
+        reference_accuracy: reference,
+        final_accuracy,
+        evaluations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepcam_models::scaled::scaled_lenet5;
+    use deepcam_tensor::rng::{fill_normal, seeded_rng};
+    use deepcam_tensor::Shape;
+
+    fn toy_images(n: usize) -> (Tensor, Vec<usize>) {
+        // Same two-class structure as the trainer tests.
+        let mut rng = seeded_rng(11);
+        let mut data = vec![0.0f32; n * 784];
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % 2;
+            labels.push(class);
+            let img = &mut data[i * 784..(i + 1) * 784];
+            fill_normal(&mut rng, img, 0.0, 0.3);
+            let rows = if class == 0 { 0..14 } else { 14..28 };
+            for r in rows {
+                for c in 0..28 {
+                    img[r * 28 + c] += 1.2;
+                }
+            }
+        }
+        (
+            Tensor::from_vec(data, Shape::new(&[n, 1, 28, 28])).unwrap(),
+            labels,
+        )
+    }
+
+    #[test]
+    fn search_produces_valid_plan() {
+        let mut rng = seeded_rng(1);
+        let mut model = scaled_lenet5(&mut rng, 2);
+        let (x, y) = toy_images(16);
+        // A quick touch of training so accuracy is not degenerate.
+        let cfg = deepcam_models::train::TrainConfig {
+            epochs: 1,
+            batch_size: 8,
+            lr: 0.02,
+            ..deepcam_models::train::TrainConfig::default()
+        };
+        deepcam_models::train::train(&mut model, &x, &y, &cfg).unwrap();
+
+        let base = EngineConfig::default();
+        let result = search_variable_plan(&model, &x, &y, &base, 0.1, 8).unwrap();
+        match &result.plan {
+            HashPlan::PerLayer(ks) => {
+                assert_eq!(ks.len(), 5);
+                assert!(ks.iter().all(|k| SUPPORTED_HASH_LENGTHS.contains(k)));
+            }
+            _ => panic!("expected per-layer plan"),
+        }
+        assert!(result.final_accuracy + 0.1 >= result.reference_accuracy);
+        assert!(result.evaluations >= 2);
+    }
+
+    #[test]
+    fn generous_tolerance_shrinks_everything() {
+        let mut rng = seeded_rng(2);
+        let model = scaled_lenet5(&mut rng, 2);
+        let (x, y) = toy_images(8);
+        let base = EngineConfig::default();
+        // tolerance 1.0 accepts any accuracy → every layer drops to 256.
+        let result = search_variable_plan(&model, &x, &y, &base, 1.0, 8).unwrap();
+        match &result.plan {
+            HashPlan::PerLayer(ks) => assert!(ks.iter().all(|&k| k == 256), "{ks:?}"),
+            _ => panic!("expected per-layer plan"),
+        }
+    }
+}

@@ -1,0 +1,690 @@
+//! The functional DeepCAM inference engine.
+//!
+//! [`DeepCamEngine::compile`] turns a trained [`Cnn`] into the deployment
+//! artifact the paper describes: per-layer projection matrices, weight
+//! contexts (norm + hash per kernel), and a pipeline of digital
+//! peripheral steps. [`DeepCamEngine::infer`] then runs real inference:
+//!
+//! 1. im2col the layer input and hash every patch with the layer's
+//!    projection (the on-chip crossbar; optional device noise),
+//! 2. Hamming-compare against the stored kernel contexts — functionally
+//!    what the CAM array does in parallel,
+//! 3. reconstruct each output as
+//!    `‖a‖·‖w‖·cos(π·HD/k)` with eq. 5 cosine and minifloat norms,
+//! 4. run ReLU/pool/batch-norm/bias exactly (digital post-processing).
+//!
+//! The result is the "DC" accuracy of the paper's Fig. 5, directly
+//! comparable to the float model's "BL" accuracy.
+
+use deepcam_hash::context::ContextSet;
+use deepcam_hash::geometric::{CosineMode, GeometricDot, NormMode};
+use deepcam_hash::{BitVec, ContextGenerator, Minifloat8};
+use deepcam_models::{Block, Cnn, ResBlock};
+use deepcam_tensor::ops::conv::{im2col, Conv2dConfig};
+use deepcam_tensor::ops::norm::BN_EPS;
+use deepcam_tensor::ops::pool::{avg_pool2d, max_pool2d, PoolConfig};
+use deepcam_tensor::rng::{seeded_rng, standard_normal};
+use deepcam_tensor::{Shape, Tensor};
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreError;
+use crate::hashplan::HashPlan;
+use crate::Result;
+
+/// Functional engine configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Hash length per dot layer.
+    pub plan: HashPlan,
+    /// Base seed for the per-layer projection matrices.
+    pub seed: u64,
+    /// Cosine evaluation (eq. 5 by default).
+    pub cosine: CosineMode,
+    /// Norm quantization (8-bit minifloat by default).
+    pub norm: NormMode,
+    /// Crossbar device-noise level for *activation* hashing: standard
+    /// deviation of the analog disturbance relative to the patch norm
+    /// (0.0 = ideal device). Weight hashes are software-generated and
+    /// always clean.
+    pub crossbar_noise: f32,
+    /// Worker threads for patch hashing (0 = all available cores).
+    pub threads: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            plan: HashPlan::uniform_max(),
+            seed: 0xDEE9CA4,
+            cosine: CosineMode::default(),
+            norm: NormMode::default(),
+            crossbar_noise: 0.0,
+            threads: 0,
+        }
+    }
+}
+
+/// One compiled pipeline step.
+enum Step {
+    Conv {
+        cfg: Conv2dConfig,
+        proj: Tensor, // [n, k]
+        weights: ContextSet,
+        bias: Vec<f32>,
+        k: usize,
+        layer_idx: usize,
+    },
+    Linear {
+        proj: Tensor, // [n, k]
+        weights: ContextSet,
+        bias: Vec<f32>,
+        k: usize,
+        layer_idx: usize,
+    },
+    Bn {
+        gamma: Vec<f32>,
+        beta: Vec<f32>,
+        mean: Vec<f32>,
+        var: Vec<f32>,
+    },
+    Relu,
+    MaxPool(PoolConfig),
+    AvgPool(PoolConfig),
+    Flatten,
+    Residual {
+        body: Vec<Step>,
+        shortcut: Option<Vec<Step>>,
+    },
+}
+
+/// A trained CNN compiled for CAM-based inference.
+pub struct DeepCamEngine {
+    steps: Vec<Step>,
+    cfg: EngineConfig,
+    dot_layers: usize,
+    model_name: String,
+}
+
+impl DeepCamEngine {
+    /// Compiles a trained model under a configuration.
+    ///
+    /// Dot layers are numbered in traversal order (residual bodies before
+    /// their shortcuts), matching
+    /// [`deepcam_models::Cnn::dot_layer_count`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidPlan`] when the plan does not cover
+    /// the model, or hashing errors when a layer's geometry is invalid.
+    pub fn compile(model: &Cnn, cfg: EngineConfig) -> Result<Self> {
+        let total = model.dot_layer_count();
+        cfg.plan.validate(total)?;
+        let mut idx = 0usize;
+        let steps = compile_blocks(&model.blocks, &cfg, &mut idx)?;
+        debug_assert_eq!(idx, total);
+        Ok(DeepCamEngine {
+            steps,
+            cfg,
+            dot_layers: total,
+            model_name: model.name.clone(),
+        })
+    }
+
+    /// Number of dot-product layers compiled to CAM form.
+    pub fn dot_layers(&self) -> usize {
+        self.dot_layers
+    }
+
+    /// Name of the source model.
+    pub fn model_name(&self) -> &str {
+        &self.model_name
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Runs inference on an NCHW batch, returning logits `[N, classes]`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor shape errors (batch/model mismatch).
+    pub fn infer(&self, batch: &Tensor) -> Result<Tensor> {
+        let mut cur = batch.clone();
+        for step in &self.steps {
+            cur = self.run_step(step, &cur)?;
+        }
+        Ok(cur)
+    }
+
+    /// Recalibrates every batch-norm stage's running statistics under the
+    /// *approximate* datapath, using `images` as the calibration set.
+    ///
+    /// The float model's BN statistics describe float activations; after
+    /// dot-products are replaced by hash-based approximations, the
+    /// activation distribution shifts (the eq. 5 cosine has a positive
+    /// bias and the Hamming estimator adds variance), and the mismatch
+    /// compounds across deep networks. Recomputing BN statistics under
+    /// the deployed arithmetic is the standard compute-in-memory
+    /// calibration step and substantially recovers deep-model accuracy
+    /// (see EXPERIMENTS.md, Fig. 5).
+    ///
+    /// # Errors
+    ///
+    /// Propagates inference errors.
+    pub fn calibrate_bn(&mut self, images: &Tensor) -> Result<()> {
+        let cfg = self.cfg.clone();
+        let mut steps = std::mem::take(&mut self.steps);
+        let result = calibrate_steps(&mut steps, images.clone(), &cfg);
+        self.steps = steps;
+        result.map(|_| ())
+    }
+
+    /// Top-1 accuracy over a labelled set, processed in mini-batches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates inference errors.
+    pub fn evaluate(&self, images: &Tensor, labels: &[usize], batch_size: usize) -> Result<f32> {
+        let n = images.shape().dim(0);
+        assert_eq!(n, labels.len(), "label count must match image count");
+        let sample: usize = images.shape().dims()[1..].iter().product();
+        let mut correct = 0usize;
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + batch_size.max(1)).min(n);
+            let mut dims = vec![end - start];
+            dims.extend_from_slice(&images.shape().dims()[1..]);
+            let chunk = Tensor::from_vec(
+                images.data()[start * sample..end * sample].to_vec(),
+                Shape::new(&dims),
+            )?;
+            let logits = self.infer(&chunk)?;
+            let classes = logits.shape().dim(1);
+            for (row, &label) in (start..end).enumerate().map(|(i, _)| i).zip(&labels[start..end])
+            {
+                let slice = &logits.data()[row * classes..(row + 1) * classes];
+                let mut best = 0usize;
+                for (j, &v) in slice.iter().enumerate() {
+                    if v > slice[best] {
+                        best = j;
+                    }
+                }
+                if best == label {
+                    correct += 1;
+                }
+            }
+            start = end;
+        }
+        Ok(correct as f32 / n.max(1) as f32)
+    }
+
+    fn run_step(&self, step: &Step, x: &Tensor) -> Result<Tensor> {
+        run_step(step, x, &self.cfg)
+    }
+}
+
+fn run_step(step: &Step, x: &Tensor, cfg: &EngineConfig) -> Result<Tensor> {
+    {
+        match step {
+            Step::Conv {
+                cfg: conv_cfg,
+                proj,
+                weights,
+                bias,
+                k,
+                layer_idx,
+            } => {
+                let (n_batch, _c, h, w) = x.shape().as_nchw().ok_or_else(|| {
+                    CoreError::Unsupported("conv input must be NCHW".to_string())
+                })?;
+                let (oh, ow) = conv_cfg.output_hw(h, w);
+                let patches = im2col(x, conv_cfg)?; // [N*P, n]
+                let out2d = dot_rows(&patches, proj, weights, *k, *layer_idx, cfg)?;
+                // Permute [N*P, M] -> [N, M, OH, OW] and add bias.
+                let p = oh * ow;
+                let m = weights.len();
+                let mut out = vec![0.0f32; n_batch * m * p];
+                for ni in 0..n_batch {
+                    for pi in 0..p {
+                        let row = (ni * p + pi) * m;
+                        for (mi, &b) in bias.iter().enumerate() {
+                            out[(ni * m + mi) * p + pi] = out2d[row + mi] + b;
+                        }
+                    }
+                }
+                Ok(Tensor::from_vec(out, Shape::new(&[n_batch, m, oh, ow]))?)
+            }
+            Step::Linear {
+                proj,
+                weights,
+                bias,
+                k,
+                layer_idx,
+            } => {
+                let out2d = dot_rows(x, proj, weights, *k, *layer_idx, cfg)?;
+                let n_batch = x.shape().dim(0);
+                let m = weights.len();
+                let mut out = out2d;
+                for ni in 0..n_batch {
+                    for (mi, &b) in bias.iter().enumerate() {
+                        out[ni * m + mi] += b;
+                    }
+                }
+                Ok(Tensor::from_vec(out, Shape::new(&[n_batch, m]))?)
+            }
+            Step::Bn {
+                gamma,
+                beta,
+                mean,
+                var,
+            } => {
+                let (n, c, h, w) = x.shape().as_nchw().ok_or_else(|| {
+                    CoreError::Unsupported("batch norm input must be NCHW".to_string())
+                })?;
+                let mut out = x.clone();
+                for ni in 0..n {
+                    for ci in 0..c {
+                        let inv = 1.0 / (var[ci] + BN_EPS).sqrt();
+                        let base = (ni * c + ci) * h * w;
+                        for v in &mut out.data_mut()[base..base + h * w] {
+                            *v = gamma[ci] * (*v - mean[ci]) * inv + beta[ci];
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            Step::Relu => Ok(x.map(|v| v.max(0.0))),
+            Step::MaxPool(p) => Ok(max_pool2d(x, p)?.0),
+            Step::AvgPool(p) => Ok(avg_pool2d(x, p)?),
+            Step::Flatten => {
+                let n = x.shape().dim(0);
+                let rest = x.len() / n.max(1);
+                Ok(x.clone().reshape(Shape::new(&[n, rest]))?)
+            }
+            Step::Residual { body, shortcut } => {
+                let mut main = x.clone();
+                for s in body {
+                    main = run_step(s, &main, cfg)?;
+                }
+                let skip = match shortcut {
+                    Some(sc) => {
+                        let mut t = x.clone();
+                        for s in sc {
+                            t = run_step(s, &t, cfg)?;
+                        }
+                        t
+                    }
+                    None => x.clone(),
+                };
+                Ok(main.add(&skip)?.map(|v| v.max(0.0)))
+            }
+        }
+    }
+}
+
+/// Walks the pipeline forwarding `x`, replacing every batch-norm stage's
+/// statistics with the batch statistics of its *approximate-datapath*
+/// input.
+fn calibrate_steps(steps: &mut [Step], x: Tensor, cfg: &EngineConfig) -> Result<Tensor> {
+    let mut cur = x;
+    for step in steps.iter_mut() {
+        cur = match step {
+            Step::Bn { mean, var, .. } => {
+                let (n, c, h, w) = cur.shape().as_nchw().ok_or_else(|| {
+                    CoreError::Unsupported("batch norm input must be NCHW".to_string())
+                })?;
+                let count = (n * h * w).max(1) as f32;
+                let mut new_mean = vec![0.0f32; c];
+                let mut new_var = vec![0.0f32; c];
+                for ni in 0..n {
+                    for (ci, m) in new_mean.iter_mut().enumerate() {
+                        let base = (ni * c + ci) * h * w;
+                        for &v in &cur.data()[base..base + h * w] {
+                            *m += v;
+                        }
+                    }
+                }
+                for m in &mut new_mean {
+                    *m /= count;
+                }
+                for ni in 0..n {
+                    for (ci, nv) in new_var.iter_mut().enumerate() {
+                        let base = (ni * c + ci) * h * w;
+                        for &v in &cur.data()[base..base + h * w] {
+                            let d = v - new_mean[ci];
+                            *nv += d * d;
+                        }
+                    }
+                }
+                for v in &mut new_var {
+                    *v /= count;
+                }
+                *mean = new_mean;
+                *var = new_var;
+                run_step(step, &cur, cfg)?
+            }
+            Step::Residual { body, shortcut } => {
+                let main = calibrate_steps(body, cur.clone(), cfg)?;
+                let skip = match shortcut {
+                    Some(sc) => calibrate_steps(sc, cur.clone(), cfg)?,
+                    None => cur.clone(),
+                };
+                main.add(&skip)?.map(|v| v.max(0.0))
+            }
+            other => run_step(other, &cur, cfg)?,
+        };
+    }
+    Ok(cur)
+}
+
+/// The heart of the engine: approximate dot-products of every row of
+/// `rows [R, n]` against every stored kernel context, via hashing and
+/// Hamming distance. Returns a flat `[R * M]` buffer.
+fn dot_rows(
+    rows: &Tensor,
+    proj: &Tensor,
+    weights: &ContextSet,
+    k: usize,
+    layer_idx: usize,
+    engine_cfg: &EngineConfig,
+) -> Result<Vec<f32>> {
+    {
+        let r = rows.shape().dim(0);
+        let n = rows.shape().dim(1);
+        let m = weights.len();
+        let mut out = vec![0.0f32; r * m];
+        let threads = if engine_cfg.threads == 0 {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        } else {
+            engine_cfg.threads
+        };
+        let chunk_rows = r.div_ceil(threads.max(1)).max(1);
+        let noise = engine_cfg.crossbar_noise;
+        let cosine = engine_cfg.cosine;
+        let norm_mode = engine_cfg.norm;
+        let seed = engine_cfg.seed;
+
+        let row_data = rows.data();
+        let out_chunks: Vec<(usize, &mut [f32])> = {
+            let mut chunks = Vec::new();
+            let mut rest = out.as_mut_slice();
+            let mut start = 0usize;
+            while !rest.is_empty() {
+                let take = (chunk_rows * m).min(rest.len());
+                let (head, tail) = rest.split_at_mut(take);
+                chunks.push((start, head));
+                rest = tail;
+                start += take / m;
+            }
+            chunks
+        };
+
+        std::thread::scope(|scope| {
+            for (row_start, out_chunk) in out_chunks {
+                let rows_here = out_chunk.len() / m;
+                scope.spawn(move || {
+                    // Batched projection of this chunk: [rows_here, n] x [n, k].
+                    let chunk = Tensor::from_vec(
+                        row_data[row_start * n..(row_start + rows_here) * n].to_vec(),
+                        Shape::new(&[rows_here, n]),
+                    )
+                    .expect("chunk volume is consistent");
+                    let projected = chunk
+                        .matmul(proj)
+                        .expect("projection dims match by construction");
+                    for local in 0..rows_here {
+                        let patch = &row_data[(row_start + local) * n..(row_start + local + 1) * n];
+                        let norm = patch.iter().map(|&v| v * v).sum::<f32>().sqrt();
+                        let mut pre = projected.data()[local * k..(local + 1) * k].to_vec();
+                        if noise > 0.0 {
+                            // Per-patch deterministic RNG: disturbances are
+                            // reproducible across runs and threads.
+                            let mut rng = seeded_rng(
+                                seed ^ ((layer_idx as u64) << 40)
+                                    ^ ((row_start + local) as u64).wrapping_mul(0x9E3779B97F4A7C15),
+                            );
+                            for v in &mut pre {
+                                *v += noise * norm * standard_normal(&mut rng) as f32;
+                            }
+                        }
+                        let bits = BitVec::from_signs(&pre);
+                        let a_norm = match norm_mode {
+                            NormMode::Minifloat8 => Minifloat8::quantize(norm),
+                            NormMode::Fp32 => norm,
+                        };
+                        for (mi, wctx) in weights.iter().enumerate() {
+                            let hd = bits
+                                .hamming(&wctx.bits)
+                                .expect("weight and activation hashes share k");
+                            let theta = GeometricDot::angle_from_hamming(hd, k);
+                            let w_norm = match norm_mode {
+                                NormMode::Minifloat8 => wctx.quantized_norm(),
+                                NormMode::Fp32 => wctx.norm,
+                            };
+                            out_chunk[local * m + mi] = a_norm * w_norm * cosine.eval(theta);
+                        }
+                    }
+                });
+            }
+        });
+        Ok(out)
+    }
+}
+
+
+fn compile_blocks(blocks: &[Block], cfg: &EngineConfig, idx: &mut usize) -> Result<Vec<Step>> {
+    let mut steps = Vec::with_capacity(blocks.len());
+    for block in blocks {
+        match block {
+            Block::Conv(conv) => {
+                let k = cfg.plan.length_for(*idx)?;
+                let n = conv.cfg.patch_len();
+                let gen = ContextGenerator::new(n, k, cfg.seed.wrapping_add(*idx as u64))?;
+                let weights = gen.weight_contexts(&conv.weight.value)?;
+                steps.push(Step::Conv {
+                    cfg: conv.cfg,
+                    proj: gen.projection().to_tensor(),
+                    weights,
+                    bias: conv.bias.value.data().to_vec(),
+                    k,
+                    layer_idx: *idx,
+                });
+                *idx += 1;
+            }
+            Block::Linear(lin) => {
+                let k = cfg.plan.length_for(*idx)?;
+                let n = lin.weight.value.shape().dim(1);
+                let gen = ContextGenerator::new(n, k, cfg.seed.wrapping_add(*idx as u64))?;
+                let weights = gen.weight_contexts(&lin.weight.value)?;
+                steps.push(Step::Linear {
+                    proj: gen.projection().to_tensor(),
+                    weights,
+                    bias: lin.bias.value.data().to_vec(),
+                    k,
+                    layer_idx: *idx,
+                });
+                *idx += 1;
+            }
+            Block::Bn(bn) => steps.push(Step::Bn {
+                gamma: bn.gamma.value.data().to_vec(),
+                beta: bn.beta.value.data().to_vec(),
+                mean: bn.running_mean.clone(),
+                var: bn.running_var.clone(),
+            }),
+            Block::Relu(_) => steps.push(Step::Relu),
+            Block::MaxPool(p) => steps.push(Step::MaxPool(p.cfg)),
+            Block::AvgPool(p) => steps.push(Step::AvgPool(p.cfg)),
+            Block::Flatten(_) => steps.push(Step::Flatten),
+            Block::Residual(ResBlock { body, shortcut, .. }) => {
+                let body_steps = compile_blocks(body, cfg, idx)?;
+                let shortcut_steps = match shortcut {
+                    Some(s) => Some(compile_blocks(s, cfg, idx)?),
+                    None => None,
+                };
+                steps.push(Step::Residual {
+                    body: body_steps,
+                    shortcut: shortcut_steps,
+                });
+            }
+        }
+    }
+    Ok(steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepcam_models::scaled::{scaled_lenet5, scaled_resnet18};
+    use deepcam_tensor::rng::seeded_rng;
+    use deepcam_tensor::Layer;
+
+    fn tiny_batch(n: usize) -> Tensor {
+        let mut rng = seeded_rng(5);
+        deepcam_tensor::init::normal(&mut rng, Shape::new(&[n, 1, 28, 28]), 0.0, 1.0)
+    }
+
+    #[test]
+    fn compile_counts_layers() {
+        let mut rng = seeded_rng(0);
+        let model = scaled_lenet5(&mut rng, 10);
+        let engine = DeepCamEngine::compile(&model, EngineConfig::default()).unwrap();
+        assert_eq!(engine.dot_layers(), 5);
+        assert_eq!(engine.model_name(), "LeNet5");
+    }
+
+    #[test]
+    fn infer_shapes() {
+        let mut rng = seeded_rng(1);
+        let model = scaled_lenet5(&mut rng, 10);
+        let cfg = EngineConfig {
+            plan: HashPlan::Uniform(256),
+            ..EngineConfig::default()
+        };
+        let engine = DeepCamEngine::compile(&model, cfg).unwrap();
+        let logits = engine.infer(&tiny_batch(3)).unwrap();
+        assert_eq!(logits.shape(), &Shape::new(&[3, 10]));
+        assert!(logits.all_finite());
+    }
+
+    #[test]
+    fn tracks_float_model_outputs() {
+        // At k=1024 with exact cosine + fp32 norms, the engine's logits
+        // should correlate strongly with the float model's.
+        let mut rng = seeded_rng(2);
+        let mut model = scaled_lenet5(&mut rng, 10);
+        let x = tiny_batch(4);
+        let float_logits = model.forward(&x, false).unwrap();
+        let cfg = EngineConfig {
+            plan: HashPlan::Uniform(1024),
+            cosine: CosineMode::Exact,
+            norm: NormMode::Fp32,
+            ..EngineConfig::default()
+        };
+        let engine = DeepCamEngine::compile(&model, cfg).unwrap();
+        let dc_logits = engine.infer(&x).unwrap();
+        // Pearson correlation across all logits.
+        let a = float_logits.data();
+        let b = dc_logits.data();
+        let ma = a.iter().sum::<f32>() / a.len() as f32;
+        let mb = b.iter().sum::<f32>() / b.len() as f32;
+        let mut cov = 0.0;
+        let mut va = 0.0;
+        let mut vb = 0.0;
+        for i in 0..a.len() {
+            cov += (a[i] - ma) * (b[i] - mb);
+            va += (a[i] - ma).powi(2);
+            vb += (b[i] - mb).powi(2);
+        }
+        let corr = cov / (va.sqrt() * vb.sqrt()).max(1e-9);
+        assert!(corr > 0.5, "correlation {corr}");
+    }
+
+    #[test]
+    fn plan_must_cover_model() {
+        let mut rng = seeded_rng(3);
+        let model = scaled_lenet5(&mut rng, 10);
+        let cfg = EngineConfig {
+            plan: HashPlan::PerLayer(vec![256; 3]),
+            ..EngineConfig::default()
+        };
+        assert!(matches!(
+            DeepCamEngine::compile(&model, cfg),
+            Err(CoreError::InvalidPlan(_))
+        ));
+    }
+
+    #[test]
+    fn residual_model_compiles_and_runs() {
+        let mut rng = seeded_rng(4);
+        let model = scaled_resnet18(&mut rng, 4, 10);
+        let cfg = EngineConfig {
+            plan: HashPlan::Uniform(256),
+            ..EngineConfig::default()
+        };
+        let engine = DeepCamEngine::compile(&model, cfg).unwrap();
+        assert_eq!(engine.dot_layers(), 21);
+        let mut rng2 = seeded_rng(6);
+        let x = deepcam_tensor::init::normal(&mut rng2, Shape::new(&[2, 3, 32, 32]), 0.0, 1.0);
+        let logits = engine.infer(&x).unwrap();
+        assert_eq!(logits.shape(), &Shape::new(&[2, 10]));
+        assert!(logits.all_finite());
+    }
+
+    #[test]
+    fn noise_changes_outputs_deterministically() {
+        let mut rng = seeded_rng(7);
+        let model = scaled_lenet5(&mut rng, 10);
+        let x = tiny_batch(2);
+        let mk = |noise: f32| {
+            let cfg = EngineConfig {
+                plan: HashPlan::Uniform(256),
+                crossbar_noise: noise,
+                ..EngineConfig::default()
+            };
+            DeepCamEngine::compile(&model, cfg).unwrap().infer(&x).unwrap()
+        };
+        let clean = mk(0.0);
+        let noisy1 = mk(0.5);
+        let noisy2 = mk(0.5);
+        assert_ne!(clean.data(), noisy1.data());
+        assert_eq!(noisy1.data(), noisy2.data()); // deterministic noise
+    }
+
+    #[test]
+    fn calibrate_bn_changes_stats_and_keeps_shapes() {
+        let mut rng = seeded_rng(9);
+        let model = deepcam_models::scaled::scaled_vgg11(&mut rng, 4, 10);
+        let cfg = EngineConfig {
+            plan: HashPlan::Uniform(256),
+            ..EngineConfig::default()
+        };
+        let mut engine = DeepCamEngine::compile(&model, cfg).unwrap();
+        let mut rng2 = seeded_rng(10);
+        let calib = deepcam_tensor::init::normal(&mut rng2, Shape::new(&[4, 3, 32, 32]), 0.0, 1.0);
+        let before = engine.infer(&calib).unwrap();
+        engine.calibrate_bn(&calib).unwrap();
+        let after = engine.infer(&calib).unwrap();
+        assert_eq!(before.shape(), after.shape());
+        assert!(after.all_finite());
+        // Calibration must actually change the BN statistics (and hence
+        // the logits) for a model whose float stats are untrained.
+        assert_ne!(before.data(), after.data());
+    }
+
+    #[test]
+    fn evaluate_bounds() {
+        let mut rng = seeded_rng(8);
+        let model = scaled_lenet5(&mut rng, 10);
+        let cfg = EngineConfig {
+            plan: HashPlan::Uniform(256),
+            ..EngineConfig::default()
+        };
+        let engine = DeepCamEngine::compile(&model, cfg).unwrap();
+        let x = tiny_batch(6);
+        let labels = vec![0usize; 6];
+        let acc = engine.evaluate(&x, &labels, 4).unwrap();
+        assert!((0.0..=1.0).contains(&acc));
+    }
+}

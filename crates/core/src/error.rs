@@ -1,0 +1,89 @@
+//! Unified error type for the accelerator simulator.
+
+use std::fmt;
+
+use deepcam_cam::CamError;
+use deepcam_hash::HashError;
+use deepcam_tensor::TensorError;
+
+/// Error returned by DeepCAM compilation, scheduling and inference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A tensor operation failed (shape mismatch etc.).
+    Tensor(TensorError),
+    /// Hashing or context generation failed.
+    Hash(HashError),
+    /// The CAM model rejected a configuration or operation.
+    Cam(CamError),
+    /// A hash plan is inconsistent with the model (wrong layer count or
+    /// unsupported length).
+    InvalidPlan(String),
+    /// The model contains a construct the engine cannot compile.
+    Unsupported(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Tensor(e) => write!(f, "tensor error: {e}"),
+            CoreError::Hash(e) => write!(f, "hash error: {e}"),
+            CoreError::Cam(e) => write!(f, "cam error: {e}"),
+            CoreError::InvalidPlan(msg) => write!(f, "invalid hash plan: {msg}"),
+            CoreError::Unsupported(msg) => write!(f, "unsupported model construct: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Tensor(e) => Some(e),
+            CoreError::Hash(e) => Some(e),
+            CoreError::Cam(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for CoreError {
+    fn from(e: TensorError) -> Self {
+        CoreError::Tensor(e)
+    }
+}
+
+impl From<HashError> for CoreError {
+    fn from(e: HashError) -> Self {
+        CoreError::Hash(e)
+    }
+}
+
+impl From<CamError> for CoreError {
+    fn from(e: CamError) -> Self {
+        CoreError::Cam(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_work() {
+        let e: CoreError = TensorError::MissingForwardCache("x").into();
+        assert!(matches!(e, CoreError::Tensor(_)));
+        let e: CoreError = HashError::InvalidConfig("y".into()).into();
+        assert!(matches!(e, CoreError::Hash(_)));
+        let e: CoreError = CamError::InvalidConfig("z".into()).into();
+        assert!(matches!(e, CoreError::Cam(_)));
+    }
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e: CoreError = TensorError::MissingForwardCache("conv").into();
+        assert!(e.to_string().contains("tensor error"));
+        assert!(e.source().is_some());
+        let p = CoreError::InvalidPlan("bad".into());
+        assert!(p.source().is_none());
+    }
+}

@@ -1,0 +1,186 @@
+//! Hash-length assignment across a network's dot-product layers.
+//!
+//! The paper's *variable hash length encoding strategy* (§III-A, Fig. 5):
+//! every CNN layer gets the minimum hash length that preserves accuracy,
+//! instead of provisioning the worst-case length everywhere. The CAM's
+//! chunked word (256/512/768/1024 bits) provides the discrete choices.
+
+use deepcam_hash::SUPPORTED_HASH_LENGTHS;
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreError;
+use crate::Result;
+
+/// A hash length for every dot-product layer of a model.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HashPlan {
+    /// The same length for all layers (the Fig. 10 baselines: 256-bit
+    /// "DeepCAM-256", 1024-bit "Max DeepCAM").
+    Uniform(usize),
+    /// One length per dot-product layer, in execution order (the paper's
+    /// VHL configuration).
+    PerLayer(Vec<usize>),
+}
+
+impl HashPlan {
+    /// The paper's homogeneous minimal configuration (Fig. 10 baseline).
+    pub fn uniform_min() -> Self {
+        HashPlan::Uniform(256)
+    }
+
+    /// "Max DeepCAM": homogeneous 1024-bit words.
+    pub fn uniform_max() -> Self {
+        HashPlan::Uniform(1024)
+    }
+
+    /// A shape-driven variable plan for weight-free model specs, where no
+    /// accuracy search is possible: longer patch vectors get longer
+    /// hashes. Rationale: the Hamming angle estimator's resolution must
+    /// cover the richer angular structure of high-dimensional patches,
+    /// and this matches the qualitative Fig. 5 finding that wide middle
+    /// layers need longer hashes than narrow early/late layers.
+    ///
+    /// Thresholds map im2col length `n` to `{256, 512, 768, 1024}` at
+    /// `n ≤ 128 / ≤ 1152 / ≤ 2560 / larger`.
+    pub fn variable_for_dims(patch_lens: &[usize]) -> Self {
+        HashPlan::PerLayer(
+            patch_lens
+                .iter()
+                .map(|&n| {
+                    if n <= 128 {
+                        256
+                    } else if n <= 1152 {
+                        512
+                    } else if n <= 2560 {
+                        768
+                    } else {
+                        1024
+                    }
+                })
+                .collect(),
+        )
+    }
+
+    /// The hash length for dot-product layer `layer` (0-based, execution
+    /// order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidPlan`] when a per-layer plan is too
+    /// short for the requested index.
+    pub fn length_for(&self, layer: usize) -> Result<usize> {
+        match self {
+            HashPlan::Uniform(k) => Ok(*k),
+            HashPlan::PerLayer(ks) => ks.get(layer).copied().ok_or_else(|| {
+                CoreError::InvalidPlan(format!(
+                    "plan has {} entries, layer {layer} requested",
+                    ks.len()
+                ))
+            }),
+        }
+    }
+
+    /// Validates every length against the CAM-supported set and (for
+    /// per-layer plans) the expected layer count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidPlan`] with a description of the first
+    /// violation.
+    pub fn validate(&self, expected_layers: usize) -> Result<()> {
+        let check = |k: usize| -> Result<()> {
+            if SUPPORTED_HASH_LENGTHS.contains(&k) {
+                Ok(())
+            } else {
+                Err(CoreError::InvalidPlan(format!(
+                    "hash length {k} not in {SUPPORTED_HASH_LENGTHS:?}"
+                )))
+            }
+        };
+        match self {
+            HashPlan::Uniform(k) => check(*k),
+            HashPlan::PerLayer(ks) => {
+                if ks.len() != expected_layers {
+                    return Err(CoreError::InvalidPlan(format!(
+                        "plan has {} entries for a {expected_layers}-layer model",
+                        ks.len()
+                    )));
+                }
+                ks.iter().try_for_each(|&k| check(k))
+            }
+        }
+    }
+
+    /// Mean hash length over `layers` layers (diagnostic; drives the
+    /// headline energy saving).
+    pub fn mean_length(&self, layers: usize) -> f64 {
+        match self {
+            HashPlan::Uniform(k) => *k as f64,
+            HashPlan::PerLayer(ks) => {
+                if ks.is_empty() {
+                    0.0
+                } else {
+                    ks.iter().take(layers.max(1)).sum::<usize>() as f64
+                        / ks.len().min(layers.max(1)) as f64
+                }
+            }
+        }
+    }
+
+    /// Short label for figure legends.
+    pub fn label(&self) -> String {
+        match self {
+            HashPlan::Uniform(k) => format!("uniform-{k}"),
+            HashPlan::PerLayer(_) => "variable".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_lengths() {
+        let p = HashPlan::Uniform(512);
+        assert_eq!(p.length_for(0).unwrap(), 512);
+        assert_eq!(p.length_for(99).unwrap(), 512);
+        assert!(p.validate(5).is_ok());
+    }
+
+    #[test]
+    fn unsupported_length_rejected() {
+        assert!(HashPlan::Uniform(300).validate(3).is_err());
+        assert!(HashPlan::PerLayer(vec![256, 300]).validate(2).is_err());
+    }
+
+    #[test]
+    fn per_layer_count_checked() {
+        let p = HashPlan::PerLayer(vec![256, 512]);
+        assert!(p.validate(3).is_err());
+        assert!(p.validate(2).is_ok());
+        assert!(p.length_for(2).is_err());
+    }
+
+    #[test]
+    fn variable_for_dims_thresholds() {
+        let p = HashPlan::variable_for_dims(&[25, 150, 1152, 2304, 4608]);
+        match p {
+            HashPlan::PerLayer(ks) => assert_eq!(ks, vec![256, 512, 512, 768, 1024]),
+            _ => panic!("expected per-layer plan"),
+        }
+    }
+
+    #[test]
+    fn mean_length() {
+        assert_eq!(HashPlan::Uniform(256).mean_length(4), 256.0);
+        let p = HashPlan::PerLayer(vec![256, 768]);
+        assert_eq!(p.mean_length(2), 512.0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(HashPlan::uniform_max().label(), "uniform-1024");
+        assert_eq!(HashPlan::PerLayer(vec![256]).label(), "variable");
+    }
+}

@@ -1,0 +1,188 @@
+//! In-memory labelled image dataset with mini-batch access.
+
+use deepcam_tensor::{Shape, Tensor};
+use rand::seq::SliceRandom;
+
+/// A labelled image dataset stored as one NCHW tensor.
+///
+/// # Example
+///
+/// ```
+/// use deepcam_data::Dataset;
+/// use deepcam_tensor::{Tensor, Shape};
+///
+/// let images = Tensor::zeros(Shape::new(&[4, 1, 8, 8]));
+/// let ds = Dataset::new(images, vec![0, 1, 0, 1], 2);
+/// let (batch, labels) = ds.batch(&[0, 3]);
+/// assert_eq!(batch.shape().dims()[0], 2);
+/// assert_eq!(labels, vec![0, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    images: Tensor,
+    labels: Vec<usize>,
+    classes: usize,
+}
+
+impl Dataset {
+    /// Wraps images `[N, C, H, W]` and `N` labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the label count disagrees with the batch axis, or a
+    /// label is out of range.
+    pub fn new(images: Tensor, labels: Vec<usize>, classes: usize) -> Self {
+        assert_eq!(
+            images.shape().dim(0),
+            labels.len(),
+            "label count must match image count"
+        );
+        assert!(
+            labels.iter().all(|&l| l < classes),
+            "labels must be < classes"
+        );
+        Dataset {
+            images,
+            labels,
+            classes,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Returns `true` when the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Shape of one sample, `[C, H, W]`.
+    pub fn sample_shape(&self) -> Shape {
+        let d = self.images.shape().dims();
+        Shape::new(&d[1..])
+    }
+
+    /// All images as one tensor.
+    pub fn images(&self) -> &Tensor {
+        &self.images
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Gathers the samples at `indices` into a batch tensor plus labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an index is out of range.
+    pub fn batch(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let sample = self.sample_shape().volume();
+        let mut data = Vec::with_capacity(indices.len() * sample);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            assert!(i < self.len(), "sample index {i} out of range");
+            data.extend_from_slice(&self.images.data()[i * sample..(i + 1) * sample]);
+            labels.push(self.labels[i]);
+        }
+        let mut dims = vec![indices.len()];
+        dims.extend_from_slice(self.sample_shape().dims());
+        (
+            Tensor::from_vec(data, Shape::new(&dims)).expect("batch volume is consistent"),
+            labels,
+        )
+    }
+
+    /// A deterministic shuffled index permutation for one training epoch.
+    pub fn shuffled_indices(&self, seed: u64) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        let mut rng = deepcam_tensor::rng::seeded_rng(seed);
+        idx.shuffle(&mut rng);
+        idx
+    }
+
+    /// Iterates over `(start, end)` ranges covering the dataset in
+    /// batches of `batch_size` (last batch may be short).
+    pub fn batch_ranges(&self, batch_size: usize) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let mut start = 0;
+        while start < self.len() {
+            let end = (start + batch_size.max(1)).min(self.len());
+            out.push((start, end));
+            start = end;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        let images = Tensor::from_vec(
+            (0..3 * 4).map(|i| i as f32).collect(),
+            Shape::new(&[3, 1, 2, 2]),
+        )
+        .unwrap();
+        Dataset::new(images, vec![0, 1, 2], 3)
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let ds = tiny();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.classes(), 3);
+        assert_eq!(ds.sample_shape(), Shape::new(&[1, 2, 2]));
+        assert!(!ds.is_empty());
+    }
+
+    #[test]
+    fn batch_gathers_correct_samples() {
+        let ds = tiny();
+        let (b, l) = ds.batch(&[2, 0]);
+        assert_eq!(b.shape(), &Shape::new(&[2, 1, 2, 2]));
+        assert_eq!(l, vec![2, 0]);
+        assert_eq!(b.data()[0], 8.0); // sample 2 starts at element 8
+        assert_eq!(b.data()[4], 0.0); // sample 0
+    }
+
+    #[test]
+    fn shuffled_indices_deterministic_permutation() {
+        let ds = tiny();
+        let a = ds.shuffled_indices(1);
+        let b = ds.shuffled_indices(1);
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn batch_ranges_cover_everything() {
+        let ds = tiny();
+        let ranges = ds.batch_ranges(2);
+        assert_eq!(ranges, vec![(0, 2), (2, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label count")]
+    fn mismatched_labels_panic() {
+        let images = Tensor::zeros(Shape::new(&[2, 1, 2, 2]));
+        Dataset::new(images, vec![0], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_batch_index_panics() {
+        tiny().batch(&[5]);
+    }
+}

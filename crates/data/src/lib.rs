@@ -1,0 +1,39 @@
+//! # deepcam-data
+//!
+//! Deterministic synthetic image-classification datasets for the DeepCAM
+//! reproduction.
+//!
+//! The paper evaluates on MNIST, CIFAR10 and CIFAR100, none of which is
+//! available offline. The accuracy experiments (paper Fig. 5) measure how
+//! a *trained* classifier degrades when its dot-products are replaced by
+//! hash-based approximations — a property of the classifier's decision
+//! geometry, not of natural-image statistics. These generators therefore
+//! produce class-prototype datasets with the same tensor shapes and class
+//! counts as the originals:
+//!
+//! * [`synth::synth_digits`] — 1×28×28, 10 classes (MNIST stand-in);
+//! * [`synth::synth_objects10`] — 3×32×32, 10 classes (CIFAR10 stand-in);
+//! * [`synth::synth_objects100`] — 3×32×32, 100 classes (CIFAR100
+//!   stand-in).
+//!
+//! Each class has a smooth random prototype; samples are
+//! prototype + texture + i.i.d. noise + a small random translation.
+//! Everything is seeded, so every run of every experiment sees the same
+//! data.
+//!
+//! # Example
+//!
+//! ```
+//! use deepcam_data::synth::{SynthConfig, generate};
+//!
+//! let cfg = SynthConfig::tiny_digits(); // small preset for tests
+//! let (train, test) = generate(&cfg);
+//! assert_eq!(train.classes(), 10);
+//! assert!(train.len() > 0 && test.len() > 0);
+//! ```
+
+pub mod dataset;
+pub mod synth;
+
+pub use dataset::Dataset;
+pub use synth::{generate, SynthConfig};

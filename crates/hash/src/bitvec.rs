@@ -1,0 +1,326 @@
+//! Packed bit vectors with fast Hamming distance.
+//!
+//! A [`BitVec`] is the software representation of one CAM word: the k-bit
+//! hashed binary datum of a context. Hamming distance — the quantity the
+//! FeFET CAM senses in O(1) on its match lines — is XOR + popcount here.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::HashError;
+use crate::Result;
+
+const WORD_BITS: usize = 64;
+
+/// A fixed-length packed bit vector.
+///
+/// # Example
+///
+/// ```
+/// use deepcam_hash::BitVec;
+///
+/// let a = BitVec::from_bools(&[true, false, true, true]);
+/// let b = BitVec::from_bools(&[true, true, true, false]);
+/// assert_eq!(a.hamming(&b)?, 2);
+/// # Ok::<(), deepcam_hash::HashError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitVec {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitVec {
+    /// Creates an all-zero bit vector of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        BitVec {
+            len,
+            words: vec![0; len.div_ceil(WORD_BITS)],
+        }
+    }
+
+    /// Builds a bit vector from booleans.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut v = BitVec::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Builds a bit vector from the signs of `values`: bit `i` is 1 when
+    /// `values[i] >= 0`.
+    ///
+    /// This is the `sign(·)` step of the paper's `hash(x) = sign(xC)`;
+    /// zero maps to 1, the convention used throughout the reproduction.
+    pub fn from_signs(values: &[f32]) -> Self {
+        let mut v = BitVec::zeros(values.len());
+        for (i, &x) in values.iter().enumerate() {
+            if x >= 0.0 {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Length in bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when the vector has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let (w, b) = (i / WORD_BITS, i % WORD_BITS);
+        if value {
+            self.words[w] |= 1 << b;
+        } else {
+            self.words[w] &= !(1 << b);
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The underlying 64-bit words (low bits first; trailing bits of the
+    /// last word are zero).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Hamming distance between two equal-length vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HashError::LengthMismatch`] when the lengths differ.
+    pub fn hamming(&self, other: &BitVec) -> Result<usize> {
+        if self.len != other.len {
+            return Err(HashError::LengthMismatch {
+                lhs: self.len,
+                rhs: other.len,
+            });
+        }
+        Ok(self
+            .words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum())
+    }
+
+    /// Hamming distance over only the first `k` bits of both vectors.
+    ///
+    /// Supports the *variable hash length* strategy: a context hashed once
+    /// at the maximum width can be compared at any shorter width by
+    /// truncation, exactly like disabling CAM chunks via transmission
+    /// gates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HashError::InvalidHashLength`] if `k` exceeds either
+    /// vector.
+    pub fn hamming_prefix(&self, other: &BitVec, k: usize) -> Result<usize> {
+        if k > self.len || k > other.len {
+            return Err(HashError::InvalidHashLength {
+                requested: k,
+                max: self.len.min(other.len),
+            });
+        }
+        let full_words = k / WORD_BITS;
+        let mut dist: usize = self
+            .words
+            .iter()
+            .zip(other.words.iter())
+            .take(full_words)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum();
+        let rem = k % WORD_BITS;
+        if rem > 0 {
+            let mask = (1u64 << rem) - 1;
+            dist += ((self.words[full_words] ^ other.words[full_words]) & mask).count_ones()
+                as usize;
+        }
+        Ok(dist)
+    }
+
+    /// Returns a new vector holding the first `k` bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HashError::InvalidHashLength`] if `k > len`.
+    pub fn prefix(&self, k: usize) -> Result<BitVec> {
+        if k > self.len {
+            return Err(HashError::InvalidHashLength {
+                requested: k,
+                max: self.len,
+            });
+        }
+        let mut out = BitVec::zeros(k);
+        let full_words = k / WORD_BITS;
+        out.words[..full_words].copy_from_slice(&self.words[..full_words]);
+        let rem = k % WORD_BITS;
+        if rem > 0 {
+            out.words[full_words] = self.words[full_words] & ((1u64 << rem) - 1);
+        }
+        Ok(out)
+    }
+
+    /// Iterates over the bits as booleans.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Flips bit `i` in place (used by fault-injection tests and the
+    /// crossbar device-noise model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn flip(&mut self, i: usize) {
+        let cur = self.get(i);
+        self.set(i, !cur);
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let bits: Vec<bool> = iter.into_iter().collect();
+        BitVec::from_bools(&bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_len() {
+        let v = BitVec::zeros(100);
+        assert_eq!(v.len(), 100);
+        assert_eq!(v.count_ones(), 0);
+        assert!(!v.is_empty());
+        assert!(BitVec::zeros(0).is_empty());
+    }
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut v = BitVec::zeros(130);
+        v.set(0, true);
+        v.set(64, true);
+        v.set(129, true);
+        assert!(v.get(0) && v.get(64) && v.get(129));
+        assert!(!v.get(1) && !v.get(63) && !v.get(128));
+        assert_eq!(v.count_ones(), 3);
+        v.set(64, false);
+        assert_eq!(v.count_ones(), 2);
+    }
+
+    #[test]
+    fn from_signs_convention() {
+        let v = BitVec::from_signs(&[1.0, -0.5, 0.0, -0.0]);
+        // Zero (and negative zero, which is >= 0.0 in IEEE comparison)
+        // maps to 1.
+        assert!(v.get(0));
+        assert!(!v.get(1));
+        assert!(v.get(2));
+        assert!(v.get(3));
+    }
+
+    #[test]
+    fn hamming_basic() {
+        let a = BitVec::from_bools(&[true, true, false, false]);
+        let b = BitVec::from_bools(&[true, false, true, false]);
+        assert_eq!(a.hamming(&b).unwrap(), 2);
+        assert_eq!(a.hamming(&a).unwrap(), 0);
+    }
+
+    #[test]
+    fn hamming_across_word_boundary() {
+        let mut a = BitVec::zeros(200);
+        let mut b = BitVec::zeros(200);
+        for i in (0..200).step_by(7) {
+            a.set(i, true);
+        }
+        for i in (0..200).step_by(13) {
+            b.set(i, true);
+        }
+        // Reference via per-bit comparison.
+        let expected = (0..200).filter(|&i| a.get(i) != b.get(i)).count();
+        assert_eq!(a.hamming(&b).unwrap(), expected);
+    }
+
+    #[test]
+    fn hamming_rejects_length_mismatch() {
+        let a = BitVec::zeros(8);
+        let b = BitVec::zeros(9);
+        assert!(matches!(
+            a.hamming(&b),
+            Err(HashError::LengthMismatch { lhs: 8, rhs: 9 })
+        ));
+    }
+
+    #[test]
+    fn hamming_prefix_equals_truncated() {
+        let mut a = BitVec::zeros(300);
+        let mut b = BitVec::zeros(300);
+        for i in (1..300).step_by(3) {
+            a.set(i, true);
+        }
+        for i in (1..300).step_by(5) {
+            b.set(i, true);
+        }
+        for &k in &[0usize, 1, 63, 64, 65, 128, 256, 300] {
+            let fast = a.hamming_prefix(&b, k).unwrap();
+            let slow = a
+                .prefix(k)
+                .unwrap()
+                .hamming(&b.prefix(k).unwrap())
+                .unwrap();
+            assert_eq!(fast, slow, "k={k}");
+        }
+    }
+
+    #[test]
+    fn prefix_bounds_checked() {
+        let a = BitVec::zeros(10);
+        assert!(a.prefix(11).is_err());
+        assert!(a.hamming_prefix(&a, 11).is_err());
+    }
+
+    #[test]
+    fn flip_toggles() {
+        let mut v = BitVec::zeros(4);
+        v.flip(2);
+        assert!(v.get(2));
+        v.flip(2);
+        assert!(!v.get(2));
+    }
+
+    #[test]
+    fn from_iterator() {
+        let v: BitVec = (0..10).map(|i| i % 2 == 0).collect();
+        assert_eq!(v.count_ones(), 5);
+    }
+}

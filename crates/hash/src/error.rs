@@ -1,0 +1,77 @@
+//! Error type for hashing and context generation.
+
+use std::fmt;
+
+/// Error returned by fallible operations in `deepcam-hash`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HashError {
+    /// Input vector length differs from the projection's expected
+    /// dimensionality.
+    DimensionMismatch {
+        /// Dimensionality the projection was built for.
+        expected: usize,
+        /// Dimensionality of the offending input.
+        actual: usize,
+    },
+    /// Two bit vectors of different lengths were compared.
+    LengthMismatch {
+        /// Length of the left operand in bits.
+        lhs: usize,
+        /// Length of the right operand in bits.
+        rhs: usize,
+    },
+    /// A requested hash length is invalid (zero, or exceeding the
+    /// projection width when prefix hashing).
+    InvalidHashLength {
+        /// The offending length.
+        requested: usize,
+        /// The maximum allowed in this situation.
+        max: usize,
+    },
+    /// A configuration parameter was invalid (zero dimensions etc.).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for HashError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HashError::DimensionMismatch { expected, actual } => {
+                write!(f, "input has dimension {actual}, projection expects {expected}")
+            }
+            HashError::LengthMismatch { lhs, rhs } => {
+                write!(f, "bit vector lengths differ: {lhs} vs {rhs}")
+            }
+            HashError::InvalidHashLength { requested, max } => {
+                write!(f, "hash length {requested} invalid (max {max})")
+            }
+            HashError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HashError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(HashError::DimensionMismatch {
+            expected: 4,
+            actual: 5
+        }
+        .to_string()
+        .contains("projection expects 4"));
+        assert!(HashError::LengthMismatch { lhs: 8, rhs: 16 }
+            .to_string()
+            .contains("8 vs 16"));
+    }
+
+    #[test]
+    fn is_error_trait_object() {
+        let e: Box<dyn std::error::Error + Send + Sync> =
+            Box::new(HashError::InvalidConfig("x".into()));
+        assert!(e.to_string().contains("invalid configuration"));
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the hashing and geometric dot-product layer.
+
+use deepcam_hash::cosine::{approx_cosine, exact_cosine};
+use deepcam_hash::geometric::{CosineMode, DotOptions, GeometricDot, NormMode};
+use deepcam_hash::{BitVec, Minifloat8, ProjectionMatrix};
+use proptest::prelude::*;
+
+fn vec_strategy(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-5.0f32..5.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn angle_estimate_is_bounded(a in vec_strategy(12), b in vec_strategy(12), seed in 0u64..30) {
+        let gd = GeometricDot::new(12, 512, seed).unwrap();
+        let theta = gd.estimate_angle(&a, &b).unwrap();
+        prop_assert!((0.0..=std::f32::consts::PI + 1e-6).contains(&theta));
+    }
+
+    #[test]
+    fn dot_magnitude_bounded_by_norm_product(
+        a in vec_strategy(10),
+        b in vec_strategy(10),
+        seed in 0u64..30,
+    ) {
+        let gd = GeometricDot::new(10, 256, seed).unwrap();
+        let opts = DotOptions { cosine: CosineMode::Exact, norm: NormMode::Fp32, hash_len: None };
+        let d = gd.dot_with(&a, &b, opts).unwrap();
+        let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+        // |cos| ≤ 1 always, so the reconstruction can never exceed ‖a‖‖b‖.
+        prop_assert!(d.abs() <= na * nb * (1.0 + 1e-4));
+    }
+
+    #[test]
+    fn symmetric_in_operands(a in vec_strategy(8), b in vec_strategy(8), seed in 0u64..20) {
+        let gd = GeometricDot::new(8, 256, seed).unwrap();
+        let ab = gd.dot(&a, &b).unwrap();
+        let ba = gd.dot(&b, &a).unwrap();
+        prop_assert!((ab - ba).abs() < 1e-5, "{} vs {}", ab, ba);
+    }
+
+    #[test]
+    fn cosine_approx_within_documented_bound(theta in 0.0f32..std::f32::consts::PI) {
+        // Worst case of eq. 5 sits near π/3 at ≈ 0.167.
+        let err = (approx_cosine(theta) - exact_cosine(theta)).abs();
+        prop_assert!(err <= 0.18, "error {} at theta {}", err, theta);
+    }
+
+    #[test]
+    fn cosine_approx_is_odd_around_pi_half(theta in 0.0f32..std::f32::consts::FRAC_PI_2) {
+        let a = approx_cosine(theta);
+        let b = approx_cosine(std::f32::consts::PI - theta);
+        prop_assert!((a + b).abs() < 1e-5);
+    }
+
+    #[test]
+    fn minifloat_round_trip_bits(bits in any::<u8>()) {
+        // Every byte decodes to a finite value that re-encodes to itself
+        // (up to the ±0 / duplicate-zero cases).
+        let v = Minifloat8::from_bits(bits).to_f32();
+        prop_assert!(v.is_finite());
+        let re = Minifloat8::from_f32(v);
+        prop_assert!((re.to_f32() - v).abs() < 1e-9);
+    }
+
+    #[test]
+    fn projection_deterministic_and_seed_sensitive(seed in 0u64..1000) {
+        let a = ProjectionMatrix::generate(6, 64, seed);
+        let b = ProjectionMatrix::generate(6, 64, seed);
+        prop_assert_eq!(a.row(0), b.row(0));
+        let c = ProjectionMatrix::generate(6, 64, seed.wrapping_add(1));
+        prop_assert!(a.row(0) != c.row(0));
+    }
+
+    #[test]
+    fn bitvec_prefix_never_increases_distance(
+        bools_a in proptest::collection::vec(any::<bool>(), 128),
+        bools_b in proptest::collection::vec(any::<bool>(), 128),
+        k in 1usize..128,
+    ) {
+        let a = BitVec::from_bools(&bools_a);
+        let b = BitVec::from_bools(&bools_b);
+        let full = a.hamming(&b).unwrap();
+        let prefix = a.hamming_prefix(&b, k).unwrap();
+        prop_assert!(prefix <= full);
+        prop_assert!(prefix <= k);
+    }
+
+    #[test]
+    fn count_ones_consistent_with_self_complement(
+        bools in proptest::collection::vec(any::<bool>(), 100),
+    ) {
+        let v = BitVec::from_bools(&bools);
+        let mut flipped = v.clone();
+        for i in 0..100 {
+            flipped.flip(i);
+        }
+        prop_assert_eq!(v.hamming(&flipped).unwrap(), 100);
+        prop_assert_eq!(v.count_ones() + flipped.count_ones(), 100);
+    }
+}

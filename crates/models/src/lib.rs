@@ -1,0 +1,36 @@
+//! # deepcam-models
+//!
+//! The CNN model zoo of the DeepCAM reproduction, in two parallel
+//! representations:
+//!
+//! 1. **Shape specs** ([`spec`], [`zoo`]) — exact layer geometries of the
+//!    paper's four full-size workloads (LeNet5/MNIST, VGG11/CIFAR10,
+//!    VGG16/CIFAR100, ResNet18/CIFAR100). Cycle and energy models only
+//!    need shapes, never weights, so every performance experiment
+//!    (Figs. 8–10, Table II) runs on these.
+//! 2. **Trainable models** ([`cnn`], [`scaled`]) — scaled-down but
+//!    topologically faithful variants of the same four families, built on
+//!    `deepcam-tensor` and trained in-repo on the synthetic datasets for
+//!    the accuracy experiments (Fig. 5). The [`cnn::Block`] enum keeps
+//!    weights introspectable so `deepcam-core` can compile a trained model
+//!    into CAM contexts.
+//!
+//! # Example
+//!
+//! ```
+//! use deepcam_models::zoo;
+//!
+//! let lenet = zoo::lenet5();
+//! // The classic LeNet5 has ~416k MACs per 32x32 inference.
+//! let macs = lenet.total_macs();
+//! assert!(macs > 380_000 && macs < 450_000, "got {macs}");
+//! ```
+
+pub mod cnn;
+pub mod scaled;
+pub mod spec;
+pub mod train;
+pub mod zoo;
+
+pub use cnn::{Block, Cnn, ResBlock};
+pub use spec::{ConvSpec, DotLayer, LayerSpec, LinearSpec, ModelSpec, PoolKind, PoolSpec};

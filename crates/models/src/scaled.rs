@@ -1,0 +1,212 @@
+//! Scaled-down trainable variants of the paper's four CNN families.
+//!
+//! Full-size VGG16/ResNet18 cannot be trained on a CPU in-session, but the
+//! accuracy experiments (Fig. 5) only need *trained networks of the same
+//! topology family* whose per-layer hash-length sensitivity can be
+//! measured. These constructors reproduce each family's structure —
+//! depth pattern, pooling schedule, residual wiring — at a reduced channel
+//! width (`width` = channels of the first stage; the paper's originals
+//! correspond to width 64).
+
+use deepcam_tensor::layer::{AvgPool2d, BatchNorm2d, Conv2d, Flatten, Linear, MaxPool2d, ReLU};
+use deepcam_tensor::ops::conv::Conv2dConfig;
+use rand::Rng;
+
+use crate::cnn::{Block, Cnn, ResBlock};
+
+fn conv_block<R: Rng + ?Sized>(
+    rng: &mut R,
+    in_c: usize,
+    out_c: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+) -> Block {
+    Block::Conv(Conv2d::new(
+        rng,
+        Conv2dConfig::new(in_c, out_c, k)
+            .with_stride(stride)
+            .with_padding(pad),
+    ))
+}
+
+/// LeNet5 for 1×28×28 inputs (this one is full-size — it is already
+/// small enough to train directly).
+pub fn scaled_lenet5<R: Rng + ?Sized>(rng: &mut R, num_classes: usize) -> Cnn {
+    let blocks = vec![
+        conv_block(rng, 1, 6, 5, 1, 2), // 28×28
+        Block::Relu(ReLU::new()),
+        Block::MaxPool(MaxPool2d::new(2)), // 14×14
+        conv_block(rng, 6, 16, 5, 1, 0),   // 10×10
+        Block::Relu(ReLU::new()),
+        Block::MaxPool(MaxPool2d::new(2)), // 5×5
+        Block::Flatten(Flatten::new()),
+        Block::Linear(Linear::new(rng, 16 * 5 * 5, 120)),
+        Block::Relu(ReLU::new()),
+        Block::Linear(Linear::new(rng, 120, 84)),
+        Block::Relu(ReLU::new()),
+        Block::Linear(Linear::new(rng, 84, num_classes)),
+    ];
+    Cnn::new("LeNet5", blocks, num_classes)
+}
+
+fn vgg_family<R: Rng + ?Sized>(
+    rng: &mut R,
+    name: &str,
+    plan: &[isize],
+    width: usize,
+    num_classes: usize,
+) -> Cnn {
+    // plan entries: positive = conv with channels entry*width/8, -1 = pool.
+    let mut blocks = Vec::new();
+    let mut in_c = 3usize;
+    for &e in plan {
+        if e < 0 {
+            blocks.push(Block::MaxPool(MaxPool2d::new(2)));
+        } else {
+            let out_c = (e as usize * width) / 8;
+            blocks.push(conv_block(rng, in_c, out_c, 3, 1, 1));
+            blocks.push(Block::Bn(BatchNorm2d::new(out_c)));
+            blocks.push(Block::Relu(ReLU::new()));
+            in_c = out_c;
+        }
+    }
+    blocks.push(Block::Flatten(Flatten::new()));
+    blocks.push(Block::Linear(Linear::new(rng, in_c, num_classes)));
+    Cnn::new(name, blocks, num_classes)
+}
+
+/// Scaled VGG11 for 3×32×32 inputs. `width` is the first-stage channel
+/// count (original: 64).
+pub fn scaled_vgg11<R: Rng + ?Sized>(rng: &mut R, width: usize, num_classes: usize) -> Cnn {
+    // Channel multipliers (×width/8): 8,16,32,32,64,64,64,64 of the
+    // original 64,128,256,256,512,512,512,512 pattern.
+    vgg_family(
+        rng,
+        "VGG11",
+        &[8, -1, 16, -1, 32, 32, -1, 64, 64, -1, 64, 64, -1],
+        width,
+        num_classes,
+    )
+}
+
+/// Scaled VGG16 for 3×32×32 inputs.
+pub fn scaled_vgg16<R: Rng + ?Sized>(rng: &mut R, width: usize, num_classes: usize) -> Cnn {
+    vgg_family(
+        rng,
+        "VGG16",
+        &[
+            8, 8, -1, 16, 16, -1, 32, 32, 32, -1, 64, 64, 64, -1, 64, 64, 64, -1,
+        ],
+        width,
+        num_classes,
+    )
+}
+
+fn basic_block<R: Rng + ?Sized>(rng: &mut R, in_c: usize, out_c: usize, stride: usize) -> Block {
+    let body = vec![
+        conv_block(rng, in_c, out_c, 3, stride, 1),
+        Block::Bn(BatchNorm2d::new(out_c)),
+        Block::Relu(ReLU::new()),
+        conv_block(rng, out_c, out_c, 3, 1, 1),
+        Block::Bn(BatchNorm2d::new(out_c)),
+    ];
+    if stride != 1 || in_c != out_c {
+        let shortcut = vec![
+            conv_block(rng, in_c, out_c, 1, stride, 0),
+            Block::Bn(BatchNorm2d::new(out_c)),
+        ];
+        Block::Residual(ResBlock::with_shortcut(body, shortcut))
+    } else {
+        Block::Residual(ResBlock::new(body))
+    }
+}
+
+/// Scaled CIFAR-style ResNet18 for 3×32×32 inputs. `width` is the stem
+/// channel count (original: 64).
+pub fn scaled_resnet18<R: Rng + ?Sized>(rng: &mut R, width: usize, num_classes: usize) -> Cnn {
+    let w = width;
+    let mut blocks = vec![
+        conv_block(rng, 3, w, 3, 1, 1),
+        Block::Bn(BatchNorm2d::new(w)),
+        Block::Relu(ReLU::new()),
+    ];
+    let stages = [(w, 1usize), (2 * w, 2), (4 * w, 2), (8 * w, 2)];
+    let mut in_c = w;
+    for &(out_c, first_stride) in &stages {
+        blocks.push(basic_block(rng, in_c, out_c, first_stride));
+        blocks.push(basic_block(rng, out_c, out_c, 1));
+        in_c = out_c;
+    }
+    blocks.push(Block::AvgPool(AvgPool2d::new(4))); // 4×4 → 1×1
+    blocks.push(Block::Flatten(Flatten::new()));
+    blocks.push(Block::Linear(Linear::new(rng, 8 * w, num_classes)));
+    Cnn::new("ResNet18", blocks, num_classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepcam_tensor::rng::seeded_rng;
+    use deepcam_tensor::{Layer, Shape, Tensor};
+
+    #[test]
+    fn lenet_shapes() {
+        let mut rng = seeded_rng(0);
+        let mut net = scaled_lenet5(&mut rng, 10);
+        let x = Tensor::zeros(Shape::new(&[2, 1, 28, 28]));
+        let y = net.forward(&x, false).unwrap();
+        assert_eq!(y.shape(), &Shape::new(&[2, 10]));
+        assert_eq!(net.dot_layer_count(), 5);
+    }
+
+    #[test]
+    fn vgg11_shapes() {
+        let mut rng = seeded_rng(1);
+        let mut net = scaled_vgg11(&mut rng, 8, 10);
+        let x = Tensor::zeros(Shape::new(&[1, 3, 32, 32]));
+        let y = net.forward(&x, false).unwrap();
+        assert_eq!(y.shape(), &Shape::new(&[1, 10]));
+        assert_eq!(net.dot_layer_count(), 9); // 8 convs + fc, like the original
+    }
+
+    #[test]
+    fn vgg16_shapes() {
+        let mut rng = seeded_rng(2);
+        let mut net = scaled_vgg16(&mut rng, 8, 100);
+        let x = Tensor::zeros(Shape::new(&[1, 3, 32, 32]));
+        let y = net.forward(&x, false).unwrap();
+        assert_eq!(y.shape(), &Shape::new(&[1, 100]));
+        assert_eq!(net.dot_layer_count(), 14);
+    }
+
+    #[test]
+    fn resnet18_shapes() {
+        let mut rng = seeded_rng(3);
+        let mut net = scaled_resnet18(&mut rng, 8, 100);
+        let x = Tensor::zeros(Shape::new(&[1, 3, 32, 32]));
+        let y = net.forward(&x, false).unwrap();
+        assert_eq!(y.shape(), &Shape::new(&[1, 100]));
+        // Same dot-layer count as the full-size spec: 21.
+        assert_eq!(net.dot_layer_count(), 21);
+    }
+
+    #[test]
+    fn resnet18_backward_runs() {
+        let mut rng = seeded_rng(4);
+        let mut net = scaled_resnet18(&mut rng, 4, 10);
+        let x = Tensor::zeros(Shape::new(&[2, 3, 32, 32]));
+        let y = net.forward(&x, true).unwrap();
+        let gx = net.backward(&Tensor::full(y.shape().clone(), 0.1)).unwrap();
+        assert_eq!(gx.shape(), x.shape());
+    }
+
+    #[test]
+    fn width_scales_parameters() {
+        let mut rng = seeded_rng(5);
+        let mut small = scaled_vgg11(&mut rng, 8, 10);
+        let mut rng2 = seeded_rng(5);
+        let mut big = scaled_vgg11(&mut rng2, 16, 10);
+        assert!(big.param_count() > 3 * small.param_count());
+    }
+}

@@ -1,0 +1,345 @@
+//! Layer-shape specifications for performance and energy modelling.
+//!
+//! A [`ModelSpec`] is the weight-free description of a CNN: enough to
+//! compute MAC counts, im2col geometry, and the CAM mapping quantities
+//! used by every scheduler — how many dot-products a layer performs
+//! (`P`), against how many kernels (`M`), at what vector length (`n`).
+
+use serde::{Deserialize, Serialize};
+
+/// 2-D convolution shape.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConvSpec {
+    /// Layer name, e.g. `"conv1"`.
+    pub name: String,
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels (kernels, `M`).
+    pub out_channels: usize,
+    /// Square kernel size.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Padding.
+    pub padding: usize,
+    /// Input feature-map height.
+    pub in_h: usize,
+    /// Input feature-map width.
+    pub in_w: usize,
+}
+
+impl ConvSpec {
+    /// Output height.
+    pub fn out_h(&self) -> usize {
+        (self.in_h + 2 * self.padding - self.kernel) / self.stride + 1
+    }
+
+    /// Output width.
+    pub fn out_w(&self) -> usize {
+        (self.in_w + 2 * self.padding - self.kernel) / self.stride + 1
+    }
+
+    /// Output spatial positions per image: `P = OH·OW`.
+    pub fn positions(&self) -> usize {
+        self.out_h() * self.out_w()
+    }
+
+    /// im2col patch length: `n = C·K·K`.
+    pub fn patch_len(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+
+    /// Multiply-accumulates per image.
+    pub fn macs(&self) -> u64 {
+        self.positions() as u64 * self.out_channels as u64 * self.patch_len() as u64
+    }
+
+    /// Weight parameter count (no bias).
+    pub fn params(&self) -> u64 {
+        self.out_channels as u64 * self.patch_len() as u64
+    }
+}
+
+/// Fully-connected layer shape.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LinearSpec {
+    /// Layer name, e.g. `"fc1"`.
+    pub name: String,
+    /// Input features.
+    pub in_features: usize,
+    /// Output features.
+    pub out_features: usize,
+}
+
+impl LinearSpec {
+    /// MACs per image.
+    pub fn macs(&self) -> u64 {
+        self.in_features as u64 * self.out_features as u64
+    }
+
+    /// Weight parameter count (no bias).
+    pub fn params(&self) -> u64 {
+        self.macs()
+    }
+}
+
+/// Pooling kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PoolKind {
+    /// Max pooling.
+    Max,
+    /// Average pooling (including global average pooling).
+    Avg,
+}
+
+/// Pooling layer shape.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PoolSpec {
+    /// Max or average.
+    pub kind: PoolKind,
+    /// Window (= stride; non-overlapping, as in all four workloads).
+    pub kernel: usize,
+    /// Channels passing through.
+    pub channels: usize,
+    /// Input feature-map height.
+    pub in_h: usize,
+    /// Input feature-map width.
+    pub in_w: usize,
+}
+
+impl PoolSpec {
+    /// Output elements per image.
+    pub fn out_elements(&self) -> usize {
+        self.channels * (self.in_h / self.kernel) * (self.in_w / self.kernel)
+    }
+
+    /// Comparison/add operations per image (window size per output).
+    pub fn ops(&self) -> u64 {
+        (self.out_elements() * self.kernel * self.kernel) as u64
+    }
+}
+
+/// One layer of a model spec.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerSpec {
+    /// Convolution (a dot-product layer).
+    Conv(ConvSpec),
+    /// Fully-connected (a dot-product layer).
+    Linear(LinearSpec),
+    /// Pooling.
+    Pool(PoolSpec),
+    /// Batch normalization over `elements` activations.
+    BatchNorm {
+        /// Activations normalized per image.
+        elements: usize,
+    },
+    /// Element-wise activation over `elements` activations.
+    Activation {
+        /// Activations touched per image.
+        elements: usize,
+    },
+    /// Residual skip-connection addition over `elements` activations.
+    EltwiseAdd {
+        /// Elements added per image.
+        elements: usize,
+    },
+}
+
+impl LayerSpec {
+    /// MACs per image (zero for non-dot-product layers).
+    pub fn macs(&self) -> u64 {
+        match self {
+            LayerSpec::Conv(c) => c.macs(),
+            LayerSpec::Linear(l) => l.macs(),
+            _ => 0,
+        }
+    }
+
+    /// Returns `true` for layers whose dot-products DeepCAM offloads to
+    /// the CAM (conv and linear).
+    pub fn is_dot_layer(&self) -> bool {
+        matches!(self, LayerSpec::Conv(_) | LayerSpec::Linear(_))
+    }
+}
+
+/// The CAM-mapping view of one dot-product layer: `P` input vectors
+/// against `M` kernel vectors of length `n`.
+///
+/// * Convolution: `P` = output positions, `M` = kernels, `n` = patch len.
+/// * Linear: `P` = 1 (one input vector per image), `M` = output neurons,
+///   `n` = input features.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DotLayer {
+    /// Source layer name.
+    pub name: String,
+    /// Number of input (activation) vectors per image.
+    pub p: usize,
+    /// Number of kernel (weight) vectors.
+    pub m: usize,
+    /// Vector length before hashing.
+    pub n: usize,
+    /// Unique input activations feeding the layer (`C·H·W` for a conv —
+    /// smaller than `p·n` because im2col duplicates overlapping pixels).
+    /// Memory-traffic models charge DRAM per unique element.
+    pub input_elems: usize,
+}
+
+impl DotLayer {
+    /// Dot products per image: `P·M`.
+    pub fn dot_products(&self) -> u64 {
+        self.p as u64 * self.m as u64
+    }
+
+    /// MACs per image.
+    pub fn macs(&self) -> u64 {
+        self.dot_products() * self.n as u64
+    }
+}
+
+/// A complete weight-free model description.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelSpec {
+    /// Model name, e.g. `"VGG11"`.
+    pub name: String,
+    /// Dataset label, e.g. `"CIFAR10"` (as in the paper's workload pairs).
+    pub dataset: String,
+    /// Input `(channels, height, width)`.
+    pub input: (usize, usize, usize),
+    /// Classifier classes.
+    pub num_classes: usize,
+    /// Layers in execution order.
+    pub layers: Vec<LayerSpec>,
+}
+
+impl ModelSpec {
+    /// Total MACs per image.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs()).sum()
+    }
+
+    /// Total weight parameters.
+    pub fn total_params(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| match l {
+                LayerSpec::Conv(c) => c.params(),
+                LayerSpec::Linear(l) => l.params(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// The dot-product layers in CAM-mapping form, execution order.
+    pub fn dot_layers(&self) -> Vec<DotLayer> {
+        self.layers
+            .iter()
+            .filter_map(|l| match l {
+                LayerSpec::Conv(c) => Some(DotLayer {
+                    name: c.name.clone(),
+                    p: c.positions(),
+                    m: c.out_channels,
+                    n: c.patch_len(),
+                    input_elems: c.in_channels * c.in_h * c.in_w,
+                }),
+                LayerSpec::Linear(l) => Some(DotLayer {
+                    name: l.name.clone(),
+                    p: 1,
+                    m: l.out_features,
+                    n: l.in_features,
+                    input_elems: l.in_features,
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// `"name dataset"` workload label used in figures.
+    pub fn workload(&self) -> String {
+        format!("{} {}", self.name, self.dataset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv(in_c: usize, out_c: usize, k: usize, s: usize, p: usize, h: usize) -> ConvSpec {
+        ConvSpec {
+            name: "c".into(),
+            in_channels: in_c,
+            out_channels: out_c,
+            kernel: k,
+            stride: s,
+            padding: p,
+            in_h: h,
+            in_w: h,
+        }
+    }
+
+    #[test]
+    fn conv_geometry() {
+        let c = conv(1, 6, 5, 1, 0, 32);
+        assert_eq!((c.out_h(), c.out_w()), (28, 28));
+        assert_eq!(c.positions(), 784);
+        assert_eq!(c.patch_len(), 25);
+        assert_eq!(c.macs(), 784 * 6 * 25);
+    }
+
+    #[test]
+    fn strided_padded_conv() {
+        let c = conv(64, 128, 3, 2, 1, 32);
+        assert_eq!(c.out_h(), 16);
+        assert_eq!(c.patch_len(), 576);
+    }
+
+    #[test]
+    fn linear_macs() {
+        let l = LinearSpec {
+            name: "fc".into(),
+            in_features: 120,
+            out_features: 84,
+        };
+        assert_eq!(l.macs(), 10_080);
+    }
+
+    #[test]
+    fn dot_layers_extract_conv_and_linear() {
+        let spec = ModelSpec {
+            name: "T".into(),
+            dataset: "D".into(),
+            input: (1, 8, 8),
+            num_classes: 2,
+            layers: vec![
+                LayerSpec::Conv(conv(1, 4, 3, 1, 1, 8)),
+                LayerSpec::Activation { elements: 256 },
+                LayerSpec::Linear(LinearSpec {
+                    name: "fc".into(),
+                    in_features: 256,
+                    out_features: 2,
+                }),
+            ],
+        };
+        let dots = spec.dot_layers();
+        assert_eq!(dots.len(), 2);
+        assert_eq!(dots[0].p, 64);
+        assert_eq!(dots[0].m, 4);
+        assert_eq!(dots[0].n, 9);
+        assert_eq!(dots[1].p, 1);
+        assert_eq!(dots[1].m, 2);
+        assert_eq!(dots[1].n, 256);
+        assert_eq!(spec.total_macs(), 64 * 4 * 9 + 512);
+    }
+
+    #[test]
+    fn pool_ops() {
+        let p = PoolSpec {
+            kind: PoolKind::Max,
+            kernel: 2,
+            channels: 16,
+            in_h: 10,
+            in_w: 10,
+        };
+        assert_eq!(p.out_elements(), 16 * 25);
+        assert_eq!(p.ops(), 16 * 25 * 4);
+    }
+}

@@ -1,0 +1,214 @@
+//! Mini-batch SGD training and evaluation for the scaled models.
+//!
+//! This is the "software baseline" (BL) pipeline of Fig. 5: the models
+//! trained here are then compiled to CAM contexts by `deepcam-core` and
+//! re-evaluated under approximate geometric dot-products (DC).
+
+use deepcam_tensor::ops::loss::{accuracy, cross_entropy};
+use deepcam_tensor::optim::Sgd;
+use deepcam_tensor::rng::seeded_rng;
+use deepcam_tensor::{Layer, Shape, Tensor, TensorError};
+use rand::seq::SliceRandom;
+
+use crate::cnn::Cnn;
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 5,
+            batch_size: 32,
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 5e-4,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-epoch training statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean training loss.
+    pub loss: f32,
+    /// Training accuracy over the epoch.
+    pub accuracy: f32,
+}
+
+fn gather_batch(images: &Tensor, labels: &[usize], idx: &[usize]) -> (Tensor, Vec<usize>) {
+    let sample: usize = images.shape().dims()[1..].iter().product();
+    let mut data = Vec::with_capacity(idx.len() * sample);
+    let mut lab = Vec::with_capacity(idx.len());
+    for &i in idx {
+        data.extend_from_slice(&images.data()[i * sample..(i + 1) * sample]);
+        lab.push(labels[i]);
+    }
+    let mut dims = vec![idx.len()];
+    dims.extend_from_slice(&images.shape().dims()[1..]);
+    (
+        Tensor::from_vec(data, Shape::new(&dims)).expect("batch volume is consistent"),
+        lab,
+    )
+}
+
+/// Trains `model` on `(images, labels)` and returns per-epoch statistics.
+///
+/// # Errors
+///
+/// Propagates tensor shape errors from the model — these indicate an
+/// architecture/data mismatch.
+pub fn train(
+    model: &mut Cnn,
+    images: &Tensor,
+    labels: &[usize],
+    cfg: &TrainConfig,
+) -> Result<Vec<EpochStats>, TensorError> {
+    let n = images.shape().dim(0);
+    assert_eq!(n, labels.len(), "label count must match image count");
+    let mut opt = Sgd::new(cfg.lr)
+        .with_momentum(cfg.momentum)
+        .with_weight_decay(cfg.weight_decay);
+    let mut history = Vec::with_capacity(cfg.epochs);
+    let mut rng = seeded_rng(cfg.seed);
+    for epoch in 0..cfg.epochs {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut rng);
+        let mut loss_sum = 0.0f32;
+        let mut acc_sum = 0.0f32;
+        let mut batches = 0usize;
+        for chunk in order.chunks(cfg.batch_size.max(1)) {
+            let (x, y) = gather_batch(images, labels, chunk);
+            let logits = model.forward(&x, true)?;
+            let out = cross_entropy(&logits, &y)?;
+            loss_sum += out.loss;
+            acc_sum += accuracy(&logits, &y)?;
+            batches += 1;
+            model.backward(&out.grad_logits)?;
+            let mut params = model.params_mut();
+            opt.step(&mut params)?;
+        }
+        history.push(EpochStats {
+            epoch,
+            loss: loss_sum / batches.max(1) as f32,
+            accuracy: acc_sum / batches.max(1) as f32,
+        });
+    }
+    Ok(history)
+}
+
+/// Evaluates top-1 accuracy in inference mode (running batch-norm stats).
+///
+/// # Errors
+///
+/// Propagates tensor shape errors from the model.
+pub fn evaluate(
+    model: &mut Cnn,
+    images: &Tensor,
+    labels: &[usize],
+    batch_size: usize,
+) -> Result<f32, TensorError> {
+    let n = images.shape().dim(0);
+    assert_eq!(n, labels.len(), "label count must match image count");
+    let mut correct = 0.0f32;
+    let idx: Vec<usize> = (0..n).collect();
+    for chunk in idx.chunks(batch_size.max(1)) {
+        let (x, y) = gather_batch(images, labels, chunk);
+        let logits = model.forward(&x, false)?;
+        correct += accuracy(&logits, &y)? * chunk.len() as f32;
+    }
+    Ok(correct / n.max(1) as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scaled::scaled_lenet5;
+    use deepcam_tensor::rng::{fill_normal, seeded_rng as srng};
+
+    /// Two-class toy set: class 0 = bright top half, class 1 = bright
+    /// bottom half, plus noise.
+    fn toy_data(n_per_class: usize, seed: u64) -> (Tensor, Vec<usize>) {
+        let mut rng = srng(seed);
+        let n = n_per_class * 2;
+        let mut data = vec![0.0f32; n * 28 * 28];
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % 2;
+            labels.push(class);
+            let img = &mut data[i * 784..(i + 1) * 784];
+            fill_normal(&mut rng, img, 0.0, 0.3);
+            let rows = if class == 0 { 0..14 } else { 14..28 };
+            for r in rows {
+                for v in &mut img[r * 28..(r + 1) * 28] {
+                    *v += 1.0;
+                }
+            }
+        }
+        (
+            Tensor::from_vec(data, Shape::new(&[n, 1, 28, 28])).unwrap(),
+            labels,
+        )
+    }
+
+    #[test]
+    fn training_reduces_loss_and_learns() {
+        let mut rng = srng(7);
+        let mut model = scaled_lenet5(&mut rng, 2);
+        let (x, y) = toy_data(30, 1);
+        let cfg = TrainConfig {
+            epochs: 3,
+            batch_size: 10,
+            lr: 0.02,
+            momentum: 0.9,
+            weight_decay: 0.0,
+            seed: 3,
+        };
+        let hist = train(&mut model, &x, &y, &cfg).unwrap();
+        assert!(hist.last().unwrap().loss < hist.first().unwrap().loss);
+        let (xt, yt) = toy_data(10, 2);
+        let acc = evaluate(&mut model, &xt, &yt, 8).unwrap();
+        assert!(acc > 0.8, "accuracy {acc}");
+    }
+
+    #[test]
+    fn evaluate_untrained_is_chancy() {
+        let mut rng = srng(8);
+        let mut model = scaled_lenet5(&mut rng, 2);
+        let (xt, yt) = toy_data(20, 4);
+        let acc = evaluate(&mut model, &xt, &yt, 16).unwrap();
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn history_length_matches_epochs() {
+        let mut rng = srng(9);
+        let mut model = scaled_lenet5(&mut rng, 2);
+        let (x, y) = toy_data(5, 5);
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 4,
+            ..TrainConfig::default()
+        };
+        let hist = train(&mut model, &x, &y, &cfg).unwrap();
+        assert_eq!(hist.len(), 2);
+        assert_eq!(hist[0].epoch, 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Error type shared by all tensor operations.
+
+use std::fmt;
+
+use crate::shape::Shape;
+
+/// Error returned by fallible tensor and layer operations.
+///
+/// # Example
+///
+/// ```
+/// use deepcam_tensor::{Tensor, Shape, TensorError};
+///
+/// let err = Tensor::from_vec(vec![1.0], Shape::new(&[2, 2])).unwrap_err();
+/// assert!(matches!(err, TensorError::LengthMismatch { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorError {
+    /// The provided buffer length does not match the product of the shape
+    /// dimensions.
+    LengthMismatch {
+        /// Number of elements implied by the shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two operands have incompatible shapes for the attempted operation.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        lhs: Shape,
+        /// Shape of the right-hand operand.
+        rhs: Shape,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// The tensor does not have the rank required by the operation.
+    RankMismatch {
+        /// Required rank.
+        expected: usize,
+        /// Actual rank.
+        actual: usize,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// An operator was configured with an invalid hyper-parameter
+    /// (for example a zero stride or a kernel larger than its padded input).
+    InvalidConfig(String),
+    /// `backward` was called before `forward` populated the cached
+    /// activations required to compute gradients.
+    MissingForwardCache(&'static str),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => write!(
+                f,
+                "buffer length {actual} does not match shape volume {expected}"
+            ),
+            TensorError::ShapeMismatch { lhs, rhs, op } => {
+                write!(f, "shape mismatch in {op}: lhs {lhs} vs rhs {rhs}")
+            }
+            TensorError::RankMismatch {
+                expected,
+                actual,
+                op,
+            } => write!(f, "{op} expects rank {expected}, got rank {actual}"),
+            TensorError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            TensorError::MissingForwardCache(op) => {
+                write!(f, "{op}: backward called before forward")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_length_mismatch() {
+        let e = TensorError::LengthMismatch {
+            expected: 4,
+            actual: 1,
+        };
+        assert_eq!(
+            e.to_string(),
+            "buffer length 1 does not match shape volume 4"
+        );
+    }
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = TensorError::ShapeMismatch {
+            lhs: Shape::new(&[2, 3]),
+            rhs: Shape::new(&[4]),
+            op: "add",
+        };
+        assert!(e.to_string().contains("add"));
+        assert!(e.to_string().contains("[2, 3]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(TensorError::MissingForwardCache("conv"));
+        assert!(e.to_string().contains("conv"));
+    }
+}

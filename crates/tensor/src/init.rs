@@ -1,0 +1,93 @@
+//! Weight initializers for the trainable models.
+
+use rand::Rng;
+
+use crate::rng::{fill_normal, fill_uniform};
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+/// He (Kaiming) normal initialization: `N(0, sqrt(2 / fan_in))`.
+///
+/// The right default for the ReLU CNNs of the paper's model zoo.
+///
+/// # Example
+///
+/// ```
+/// use deepcam_tensor::{init, rng::seeded_rng, Shape};
+///
+/// let mut rng = seeded_rng(0);
+/// let w = init::he_normal(&mut rng, Shape::new(&[16, 8, 3, 3]), 72);
+/// assert_eq!(w.len(), 16 * 8 * 9);
+/// ```
+pub fn he_normal<R: Rng + ?Sized>(rng: &mut R, shape: Shape, fan_in: usize) -> Tensor {
+    let std_dev = (2.0 / fan_in.max(1) as f32).sqrt();
+    let mut t = Tensor::zeros(shape);
+    fill_normal(rng, t.data_mut(), 0.0, std_dev);
+    t
+}
+
+/// Xavier/Glorot uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform<R: Rng + ?Sized>(
+    rng: &mut R,
+    shape: Shape,
+    fan_in: usize,
+    fan_out: usize,
+) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    let mut t = Tensor::zeros(shape);
+    fill_uniform(rng, t.data_mut(), -a, a);
+    t
+}
+
+/// Uniform initialization in `[lo, hi)`, used mostly by tests and by the
+/// synthetic data generators.
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R, shape: Shape, lo: f32, hi: f32) -> Tensor {
+    let mut t = Tensor::zeros(shape);
+    fill_uniform(rng, t.data_mut(), lo, hi);
+    t
+}
+
+/// Standard-normal initialization scaled by `std_dev`.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, shape: Shape, mean: f32, std_dev: f32) -> Tensor {
+    let mut t = Tensor::zeros(shape);
+    fill_normal(rng, t.data_mut(), mean, std_dev);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn he_std_matches_fan_in() {
+        let mut rng = seeded_rng(5);
+        let w = he_normal(&mut rng, Shape::new(&[50_000]), 50);
+        let mean = w.mean();
+        let var = w.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / w.len() as f32;
+        let expected = 2.0 / 50.0;
+        assert!((var - expected).abs() < expected * 0.1, "var {var}");
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = seeded_rng(6);
+        let w = xavier_uniform(&mut rng, Shape::new(&[1000]), 30, 70);
+        let a = (6.0f32 / 100.0).sqrt();
+        assert!(w.data().iter().all(|&x| x.abs() <= a));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = he_normal(&mut seeded_rng(1), Shape::new(&[64]), 8);
+        let b = he_normal(&mut seeded_rng(1), Shape::new(&[64]), 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_fan_in_does_not_panic() {
+        let w = he_normal(&mut seeded_rng(2), Shape::new(&[4]), 0);
+        assert!(w.all_finite());
+    }
+}

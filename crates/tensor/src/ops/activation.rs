@@ -1,0 +1,113 @@
+//! Element-wise activations and softmax.
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+use crate::Result;
+
+/// Rectified linear unit: `max(0, x)`.
+///
+/// One of the "peripheral operations" DeepCAM executes digitally in the
+/// post-processing module (paper §III-B).
+pub fn relu(x: &Tensor) -> Tensor {
+    x.map(|v| v.max(0.0))
+}
+
+/// Backward pass of [`relu`]: passes gradient where the *input* was
+/// positive.
+///
+/// # Errors
+///
+/// Returns a shape error when the operands disagree.
+pub fn relu_backward(grad_out: &Tensor, input: &Tensor) -> Result<Tensor> {
+    if grad_out.shape() != input.shape() {
+        return Err(TensorError::ShapeMismatch {
+            lhs: grad_out.shape().clone(),
+            rhs: input.shape().clone(),
+            op: "relu_backward",
+        });
+    }
+    let data = grad_out
+        .data()
+        .iter()
+        .zip(input.data().iter())
+        .map(|(&g, &x)| if x > 0.0 { g } else { 0.0 })
+        .collect();
+    Tensor::from_vec(data, grad_out.shape().clone())
+}
+
+/// Row-wise softmax of a rank-2 tensor `[N, K]`, numerically stabilized by
+/// subtracting the row max.
+///
+/// # Errors
+///
+/// Returns a rank error unless `x` is rank 2.
+pub fn softmax(x: &Tensor) -> Result<Tensor> {
+    if x.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: x.shape().rank(),
+            op: "softmax",
+        });
+    }
+    let (n, k) = (x.shape().dim(0), x.shape().dim(1));
+    let mut out = vec![0.0f32; n * k];
+    for i in 0..n {
+        let row = &x.data()[i * k..(i + 1) * k];
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0;
+        for (j, &v) in row.iter().enumerate() {
+            let e = (v - max).exp();
+            out[i * k + j] = e;
+            denom += e;
+        }
+        for v in &mut out[i * k..(i + 1) * k] {
+            *v /= denom;
+        }
+    }
+    Tensor::from_vec(out, x.shape().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::Shape;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let x = Tensor::from_slice(&[-1.0, 0.0, 2.0]);
+        assert_eq!(relu(&x).data(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks() {
+        let x = Tensor::from_slice(&[-1.0, 0.5, 0.0]);
+        let g = Tensor::from_slice(&[10.0, 10.0, 10.0]);
+        assert_eq!(relu_backward(&g, &x).unwrap().data(), &[0.0, 10.0, 0.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], Shape::new(&[2, 3])).unwrap();
+        let p = softmax(&x).unwrap();
+        for i in 0..2 {
+            let s: f32 = p.data()[i * 3..(i + 1) * 3].iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        // Monotone in logits.
+        assert!(p.data()[2] > p.data()[1]);
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let x = Tensor::from_vec(vec![1000.0, 1001.0], Shape::new(&[1, 2])).unwrap();
+        let p = softmax(&x).unwrap();
+        assert!(p.all_finite());
+        assert!((p.data()[0] + p.data()[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_rejects_rank_1() {
+        let x = Tensor::from_slice(&[1.0, 2.0]);
+        assert!(softmax(&x).is_err());
+    }
+}

@@ -1,0 +1,164 @@
+//! Classification loss: softmax cross-entropy with integrated gradient.
+
+use crate::error::TensorError;
+use crate::ops::activation::softmax;
+use crate::tensor::Tensor;
+use crate::Result;
+
+/// Output of [`cross_entropy`]: the scalar loss, the softmax
+/// probabilities, and the ready-to-backpropagate logit gradient.
+#[derive(Debug, Clone)]
+pub struct CrossEntropyOutput {
+    /// Mean negative log-likelihood over the batch.
+    pub loss: f32,
+    /// Softmax probabilities, `[N, K]`.
+    pub probs: Tensor,
+    /// Gradient of the mean loss with respect to the logits, `[N, K]`.
+    pub grad_logits: Tensor,
+}
+
+/// Softmax cross-entropy between `logits [N, K]` and integer `targets`
+/// (`targets.len() == N`).
+///
+/// Combining softmax and NLL keeps the backward pass the numerically
+/// stable `(p - onehot) / N` form.
+///
+/// # Errors
+///
+/// Returns an error when `logits` is not rank 2, `targets` has the wrong
+/// length, or any target index is out of range.
+pub fn cross_entropy(logits: &Tensor, targets: &[usize]) -> Result<CrossEntropyOutput> {
+    if logits.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: logits.shape().rank(),
+            op: "cross_entropy",
+        });
+    }
+    let (n, k) = (logits.shape().dim(0), logits.shape().dim(1));
+    if targets.len() != n {
+        return Err(TensorError::LengthMismatch {
+            expected: n,
+            actual: targets.len(),
+        });
+    }
+    if let Some(&bad) = targets.iter().find(|&&t| t >= k) {
+        return Err(TensorError::InvalidConfig(format!(
+            "target class {bad} out of range for {k} classes"
+        )));
+    }
+    let probs = softmax(logits)?;
+    let mut loss = 0.0f32;
+    let mut grad = probs.clone();
+    let inv_n = 1.0 / n as f32;
+    for (i, &t) in targets.iter().enumerate() {
+        let p = probs.data()[i * k + t].max(1e-12);
+        loss -= p.ln();
+        grad.data_mut()[i * k + t] -= 1.0;
+    }
+    grad.map_inplace(|g| g * inv_n);
+    Ok(CrossEntropyOutput {
+        loss: loss * inv_n,
+        probs,
+        grad_logits: grad,
+    })
+}
+
+/// Fraction of rows whose argmax equals the target class.
+///
+/// # Errors
+///
+/// Returns an error when shapes disagree (same conditions as
+/// [`cross_entropy`]).
+pub fn accuracy(logits: &Tensor, targets: &[usize]) -> Result<f32> {
+    if logits.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: logits.shape().rank(),
+            op: "accuracy",
+        });
+    }
+    let (n, k) = (logits.shape().dim(0), logits.shape().dim(1));
+    if targets.len() != n {
+        return Err(TensorError::LengthMismatch {
+            expected: n,
+            actual: targets.len(),
+        });
+    }
+    let mut correct = 0usize;
+    for (i, &t) in targets.iter().enumerate() {
+        let row = &logits.data()[i * k..(i + 1) * k];
+        let mut best = 0usize;
+        for (j, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = j;
+            }
+        }
+        if best == t {
+            correct += 1;
+        }
+    }
+    Ok(correct as f32 / n.max(1) as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::Shape;
+
+    #[test]
+    fn perfect_prediction_has_low_loss() {
+        let logits =
+            Tensor::from_vec(vec![10.0, -10.0, -10.0, 10.0], Shape::new(&[2, 2])).unwrap();
+        let out = cross_entropy(&logits, &[0, 1]).unwrap();
+        assert!(out.loss < 1e-4);
+    }
+
+    #[test]
+    fn uniform_logits_give_log_k() {
+        let logits = Tensor::zeros(Shape::new(&[1, 10]));
+        let out = cross_entropy(&logits, &[3]).unwrap();
+        assert!((out.loss - (10.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_matches_numeric() {
+        let logits =
+            Tensor::from_vec(vec![0.5, -0.2, 0.1, 1.0, 0.0, -1.0], Shape::new(&[2, 3])).unwrap();
+        let targets = [2usize, 0];
+        let out = cross_entropy(&logits, &targets).unwrap();
+        let eps = 1e-3;
+        for i in 0..6 {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let fp = cross_entropy(&lp, &targets).unwrap().loss;
+            let fm = cross_entropy(&lm, &targets).unwrap().loss;
+            let num = (fp - fm) / (2.0 * eps);
+            assert!(
+                (num - out.grad_logits.data()[i]).abs() < 1e-3,
+                "grad[{i}]: {num} vs {}",
+                out.grad_logits.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_targets() {
+        let logits = Tensor::zeros(Shape::new(&[2, 3]));
+        assert!(cross_entropy(&logits, &[0]).is_err());
+        assert!(cross_entropy(&logits, &[0, 5]).is_err());
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let logits = Tensor::from_vec(
+            vec![2.0, 1.0, 0.0, 0.0, 1.0, 2.0, 1.0, 2.0, 0.0],
+            Shape::new(&[3, 3]),
+        )
+        .unwrap();
+        let acc = accuracy(&logits, &[0, 2, 0]).unwrap();
+        assert!((acc - 2.0 / 3.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,148 @@
+//! Stochastic gradient descent with momentum and weight decay.
+
+use crate::layer::Param;
+use crate::tensor::Tensor;
+use crate::Result;
+
+/// SGD optimizer.
+///
+/// Momentum buffers are keyed by parameter position, so the same parameter
+/// list (in the same order) must be passed to every [`Sgd::step`] call —
+/// which [`crate::layer::Layer::params_mut`] guarantees for a fixed
+/// architecture.
+///
+/// # Example
+///
+/// ```
+/// use deepcam_tensor::{optim::Sgd, layer::Param, Tensor, Shape};
+///
+/// let mut p = Param::new(Tensor::full(Shape::new(&[1]), 1.0));
+/// p.grad = Tensor::full(Shape::new(&[1]), 0.5);
+/// let mut opt = Sgd::new(0.1);
+/// opt.step(&mut [&mut p])?;
+/// assert!((p.value.data()[0] - 0.95).abs() < 1e-6);
+/// # Ok::<(), deepcam_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables momentum).
+    pub momentum: f32,
+    /// L2 weight-decay coefficient (0 disables decay).
+    pub weight_decay: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Plain SGD with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Builder-style momentum override.
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        self.momentum = momentum;
+        self
+    }
+
+    /// Builder-style weight-decay override.
+    pub fn with_weight_decay(mut self, weight_decay: f32) -> Self {
+        self.weight_decay = weight_decay;
+        self
+    }
+
+    /// Applies one update step and clears the gradients.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors if a parameter's gradient shape ever
+    /// disagrees with its value (which indicates a bug in a layer).
+    pub fn step(&mut self, params: &mut [&mut Param]) -> Result<()> {
+        if self.velocity.len() < params.len() {
+            for p in params[self.velocity.len()..].iter() {
+                self.velocity.push(Tensor::zeros(p.value.shape().clone()));
+            }
+        }
+        for (i, p) in params.iter_mut().enumerate() {
+            let mut update = p.grad.clone();
+            if self.weight_decay > 0.0 {
+                update.axpy(self.weight_decay, &p.value)?;
+            }
+            if self.momentum > 0.0 {
+                let v = &mut self.velocity[i];
+                v.map_inplace(|x| x * self.momentum);
+                v.axpy(1.0, &update)?;
+                update = v.clone();
+            }
+            p.value.axpy(-self.lr, &update)?;
+            p.zero_grad();
+        }
+        Ok(())
+    }
+
+    /// Zeroes all gradients without updating (useful between accumulation
+    /// phases).
+    pub fn zero_grad(&self, params: &mut [&mut Param]) {
+        for p in params.iter_mut() {
+            p.zero_grad();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::Shape;
+
+    fn param(v: f32, g: f32) -> Param {
+        let mut p = Param::new(Tensor::full(Shape::new(&[1]), v));
+        p.grad = Tensor::full(Shape::new(&[1]), g);
+        p
+    }
+
+    #[test]
+    fn plain_sgd_step() {
+        let mut p = param(1.0, 2.0);
+        let mut opt = Sgd::new(0.5);
+        opt.step(&mut [&mut p]).unwrap();
+        assert!((p.value.data()[0] - 0.0).abs() < 1e-6);
+        assert_eq!(p.grad.data()[0], 0.0); // cleared
+    }
+
+    #[test]
+    fn momentum_accumulates() {
+        let mut p = param(0.0, 1.0);
+        let mut opt = Sgd::new(1.0).with_momentum(0.5);
+        opt.step(&mut [&mut p]).unwrap(); // v=1, x=-1
+        p.grad = Tensor::full(Shape::new(&[1]), 1.0);
+        opt.step(&mut [&mut p]).unwrap(); // v=1.5, x=-2.5
+        assert!((p.value.data()[0] + 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params() {
+        let mut p = param(10.0, 0.0);
+        let mut opt = Sgd::new(0.1).with_weight_decay(1.0);
+        opt.step(&mut [&mut p]).unwrap();
+        assert!((p.value.data()[0] - 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn converges_on_quadratic() {
+        // Minimize (x-3)^2 by hand-computed gradient 2(x-3).
+        let mut p = param(0.0, 0.0);
+        let mut opt = Sgd::new(0.1).with_momentum(0.9);
+        for _ in 0..200 {
+            let x = p.value.data()[0];
+            p.grad = Tensor::full(Shape::new(&[1]), 2.0 * (x - 3.0));
+            opt.step(&mut [&mut p]).unwrap();
+        }
+        assert!((p.value.data()[0] - 3.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,541 @@
+//! The dense `f32` tensor type used throughout the reproduction.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TensorError;
+use crate::shape::Shape;
+use crate::Result;
+
+/// A dense, row-major tensor of `f32` values.
+///
+/// This is the single numeric currency of the reproduction: CNN activations
+/// and weights ([`crate::layer`]), im2col patch matrices
+/// ([`crate::ops::conv`]), and the vectors hashed by `deepcam-hash` are all
+/// `Tensor`s.
+///
+/// # Example
+///
+/// ```
+/// use deepcam_tensor::{Tensor, Shape};
+///
+/// let t = Tensor::zeros(Shape::new(&[2, 3]));
+/// assert_eq!(t.len(), 6);
+/// let u = t.map(|x| x + 1.0);
+/// assert!(u.data().iter().all(|&v| v == 1.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(shape: Shape) -> Self {
+        let volume = shape.volume();
+        Tensor {
+            shape,
+            data: vec![0.0; volume],
+        }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(shape: Shape, value: f32) -> Self {
+        let volume = shape.volume();
+        Tensor {
+            shape,
+            data: vec![value; volume],
+        }
+    }
+
+    /// Creates a tensor from an existing buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] when `data.len()` differs
+    /// from `shape.volume()`.
+    pub fn from_vec(data: Vec<f32>, shape: Shape) -> Result<Self> {
+        if data.len() != shape.volume() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Creates a rank-1 tensor from a slice.
+    pub fn from_slice(data: &[f32]) -> Self {
+        Tensor {
+            shape: Shape::new(&[data.len()]),
+            data: data.to_vec(),
+        }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying buffer (row-major).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying buffer (row-major).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the index rank or bounds are invalid (debug builds).
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.shape.offset(index)]
+    }
+
+    /// Mutable element reference at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the index rank or bounds are invalid (debug builds).
+    pub fn at_mut(&mut self, index: &[usize]) -> &mut f32 {
+        let off = self.shape.offset(index);
+        &mut self.data[off]
+    }
+
+    /// Reinterprets the buffer with a new shape of equal volume.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if the volumes differ.
+    pub fn reshape(self, shape: Shape) -> Result<Self> {
+        if shape.volume() != self.data.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: self.data.len(),
+            });
+        }
+        Ok(Tensor {
+            shape,
+            data: self.data,
+        })
+    }
+
+    /// Applies `f` to every element, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Element-wise addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn add(&self, rhs: &Tensor) -> Result<Self> {
+        self.zip_with(rhs, "add", |a, b| a + b)
+    }
+
+    /// Element-wise subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn sub(&self, rhs: &Tensor) -> Result<Self> {
+        self.zip_with(rhs, "sub", |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn mul(&self, rhs: &Tensor) -> Result<Self> {
+        self.zip_with(rhs, "mul", |a, b| a * b)
+    }
+
+    /// In-place `self += alpha * rhs` (AXPY).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn axpy(&mut self, alpha: f32, rhs: &Tensor) -> Result<()> {
+        if self.shape != rhs.shape {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape.clone(),
+                rhs: rhs.shape.clone(),
+                op: "axpy",
+            });
+        }
+        for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Multiplies every element by `alpha`, producing a new tensor.
+    pub fn scale(&self, alpha: f32) -> Self {
+        self.map(|x| x * alpha)
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Euclidean (L2) norm of the flattened tensor.
+    ///
+    /// This is the magnitude component of the paper's geometric dot-product
+    /// (eq. 2).
+    pub fn l2_norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Dot product of two tensors of identical volume, flattened.
+    ///
+    /// This is the *algebraic* dot-product of eq. 1 — the reference that
+    /// DeepCAM's geometric approximation is compared against.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the volumes differ.
+    pub fn dot(&self, rhs: &Tensor) -> Result<f32> {
+        if self.len() != rhs.len() {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape.clone(),
+                rhs: rhs.shape.clone(),
+                op: "dot",
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(&a, &b)| a * b)
+            .sum())
+    }
+
+    /// Index and value of the maximum element.
+    ///
+    /// Returns `None` for an empty tensor. Ties resolve to the first
+    /// occurrence, matching `argmax` conventions elsewhere.
+    pub fn argmax(&self) -> Option<(usize, f32)> {
+        let mut best: Option<(usize, f32)> = None;
+        for (i, &v) in self.data.iter().enumerate() {
+            match best {
+                Some((_, bv)) if bv >= v => {}
+                _ => best = Some((i, v)),
+            }
+        }
+        best
+    }
+
+    /// Matrix multiplication for rank-2 tensors: `[m, k] x [k, n] -> [m, n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless both operands are rank
+    /// 2, and [`TensorError::ShapeMismatch`] when the inner dimensions
+    /// disagree.
+    pub fn matmul(&self, rhs: &Tensor) -> Result<Self> {
+        if self.shape.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.shape.rank(),
+                op: "matmul",
+            });
+        }
+        if rhs.shape.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: rhs.shape.rank(),
+                op: "matmul",
+            });
+        }
+        let (m, k) = (self.shape.dim(0), self.shape.dim(1));
+        let (k2, n) = (rhs.shape.dim(0), rhs.shape.dim(1));
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape.clone(),
+                rhs: rhs.shape.clone(),
+                op: "matmul",
+            });
+        }
+        let mut out = vec![0.0f32; m * n];
+        // ikj loop order keeps the innermost accesses contiguous for both
+        // the rhs row and the output row.
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (kk, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &rhs.data[kk * n..(kk + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor::from_vec(out, Shape::new(&[m, n]))
+    }
+
+    /// Transpose of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless the tensor is rank 2.
+    pub fn transpose(&self) -> Result<Self> {
+        if self.shape.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.shape.rank(),
+                op: "transpose",
+            });
+        }
+        let (m, n) = (self.shape.dim(0), self.shape.dim(1));
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor::from_vec(out, Shape::new(&[n, m]))
+    }
+
+    /// Extracts row `row` of a rank-2 tensor as a rank-1 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or `row` is out of bounds.
+    pub fn row(&self, row: usize) -> Tensor {
+        assert_eq!(self.shape.rank(), 2, "row() requires a rank-2 tensor");
+        let n = self.shape.dim(1);
+        Tensor::from_slice(&self.data[row * n..(row + 1) * n])
+    }
+
+    /// Maximum absolute element (0 for an empty tensor).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// Returns `true` when every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    fn zip_with(&self, rhs: &Tensor, op: &'static str, f: impl Fn(f32, f32) -> f32) -> Result<Self> {
+        if self.shape != rhs.shape {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape.clone(),
+                rhs: rhs.shape.clone(),
+                op,
+            });
+        }
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{} [", self.shape)?;
+        const PREVIEW: usize = 8;
+        for (i, v) in self.data.iter().take(PREVIEW).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:.4}")?;
+        }
+        if self.data.len() > PREVIEW {
+            write!(f, ", …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], dims: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), Shape::new(dims)).expect("test tensor")
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(vec![1.0; 3], Shape::new(&[2, 2])).is_err());
+        assert!(Tensor::from_vec(vec![1.0; 4], Shape::new(&[2, 2])).is_ok());
+    }
+
+    #[test]
+    fn zeros_and_full() {
+        assert!(Tensor::zeros(Shape::new(&[3])).data().iter().all(|&x| x == 0.0));
+        assert!(Tensor::full(Shape::new(&[3]), 2.5)
+            .data()
+            .iter()
+            .all(|&x| x == 2.5));
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = t(&[1.0, 2.0], &[2]);
+        let b = t(&[3.0, 5.0], &[2]);
+        assert_eq!(a.add(&b).unwrap().data(), &[4.0, 7.0]);
+        assert_eq!(b.sub(&a).unwrap().data(), &[2.0, 3.0]);
+        assert_eq!(a.mul(&b).unwrap().data(), &[3.0, 10.0]);
+    }
+
+    #[test]
+    fn elementwise_shape_mismatch() {
+        let a = t(&[1.0, 2.0], &[2]);
+        let b = t(&[1.0, 2.0], &[2, 1]);
+        assert!(matches!(
+            a.add(&b),
+            Err(TensorError::ShapeMismatch { op: "add", .. })
+        ));
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = t(&[1.0, 1.0], &[2]);
+        let b = t(&[2.0, 4.0], &[2]);
+        a.axpy(0.5, &b).unwrap();
+        assert_eq!(a.data(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn dot_matches_manual() {
+        let a = t(&[1.0, 2.0, 3.0], &[3]);
+        let b = t(&[4.0, 5.0, 6.0], &[3]);
+        assert_eq!(a.dot(&b).unwrap(), 32.0);
+    }
+
+    #[test]
+    fn paper_example_dot_product() {
+        // The worked example from DeepCAM §II-B: x·y = 2.0765.
+        let x = t(&[0.6012, 0.8383, 0.6859, 0.5712], &[4]);
+        let y = t(&[0.9044, 0.5352, 0.8110, 0.9243], &[4]);
+        let d = x.dot(&y).unwrap();
+        assert!((d - 2.0765).abs() < 1e-3, "got {d}");
+    }
+
+    #[test]
+    fn l2_norm() {
+        let a = t(&[3.0, 4.0], &[2]);
+        assert!((a.l2_norm() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let eye = t(&[1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        assert_eq!(a.matmul(&eye).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = t(&[7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), &Shape::new(&[2, 2]));
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_shapes() {
+        let a = t(&[1.0; 6], &[2, 3]);
+        let b = t(&[1.0; 6], &[2, 3]);
+        assert!(a.matmul(&b).is_err());
+        let v = t(&[1.0; 3], &[3]);
+        assert!(v.matmul(&a).is_err());
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let back = a.transpose().unwrap().transpose().unwrap();
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn argmax_prefers_first_on_tie() {
+        let a = t(&[1.0, 5.0, 5.0, 2.0], &[4]);
+        assert_eq!(a.argmax(), Some((1, 5.0)));
+        assert_eq!(Tensor::zeros(Shape::new(&[0])).argmax(), None);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[4]);
+        let b = a.clone().reshape(Shape::new(&[2, 2])).unwrap();
+        assert_eq!(b.data(), a.data());
+        assert!(a.reshape(Shape::new(&[3])).is_err());
+    }
+
+    #[test]
+    fn row_extraction() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(a.row(1).data(), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn display_truncates() {
+        let a = Tensor::zeros(Shape::new(&[100]));
+        let s = a.to_string();
+        assert!(s.contains('…'));
+    }
+
+    #[test]
+    fn finite_check() {
+        let mut a = t(&[1.0, 2.0], &[2]);
+        assert!(a.all_finite());
+        a.data_mut()[0] = f32::NAN;
+        assert!(!a.all_finite());
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the tensor substrate.
+
+use deepcam_tensor::ops::activation::{relu, softmax};
+use deepcam_tensor::ops::conv::{conv2d, Conv2dConfig};
+use deepcam_tensor::ops::pool::{avg_pool2d, max_pool2d, PoolConfig};
+use deepcam_tensor::{Shape, Tensor};
+use proptest::prelude::*;
+
+fn tensor_strategy(dims: Vec<usize>) -> impl Strategy<Value = Tensor> {
+    let volume: usize = dims.iter().product();
+    proptest::collection::vec(-10.0f32..10.0, volume)
+        .prop_map(move |v| Tensor::from_vec(v, Shape::new(&dims)).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn relu_is_idempotent_and_nonnegative(t in tensor_strategy(vec![3, 7])) {
+        let once = relu(&t);
+        let twice = relu(&once);
+        prop_assert_eq!(&once, &twice);
+        prop_assert!(once.data().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(t in tensor_strategy(vec![4, 6])) {
+        let p = softmax(&t).unwrap();
+        for row in 0..4 {
+            let s: f32 = p.data()[row * 6..(row + 1) * 6].iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-5);
+            prop_assert!(p.data()[row * 6..(row + 1) * 6].iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_invariant_to_row_shift(t in tensor_strategy(vec![2, 5]), shift in -50.0f32..50.0) {
+        let shifted = t.map(|v| v + shift);
+        let a = softmax(&t).unwrap();
+        let b = softmax(&shifted).unwrap();
+        for (x, y) in a.data().iter().zip(b.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn max_pool_dominates_avg_pool(t in tensor_strategy(vec![1, 2, 6, 6])) {
+        let cfg = PoolConfig::new(2);
+        let (mx, _) = max_pool2d(&t, &cfg).unwrap();
+        let av = avg_pool2d(&t, &cfg).unwrap();
+        for (m, a) in mx.data().iter().zip(av.data().iter()) {
+            prop_assert!(m >= a);
+        }
+    }
+
+    #[test]
+    fn conv_is_linear_in_input(
+        x in tensor_strategy(vec![1, 2, 5, 5]),
+        y in tensor_strategy(vec![1, 2, 5, 5]),
+        w in tensor_strategy(vec![3, 2, 3, 3]),
+    ) {
+        let cfg = Conv2dConfig::new(2, 3, 3).with_padding(1);
+        let cx = conv2d(&x, &w, None, &cfg).unwrap();
+        let cy = conv2d(&y, &w, None, &cfg).unwrap();
+        let sum = x.add(&y).unwrap();
+        let csum = conv2d(&sum, &w, None, &cfg).unwrap();
+        let expected = cx.add(&cy).unwrap();
+        for (a, b) in csum.data().iter().zip(expected.data().iter()) {
+            prop_assert!((a - b).abs() < 1e-2 * a.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn dot_is_bilinear_under_scaling(
+        a in proptest::collection::vec(-4.0f32..4.0, 12),
+        b in proptest::collection::vec(-4.0f32..4.0, 12),
+        alpha in -3.0f32..3.0,
+    ) {
+        let ta = Tensor::from_slice(&a);
+        let tb = Tensor::from_slice(&b);
+        let base = ta.dot(&tb).unwrap();
+        let scaled = ta.scale(alpha).dot(&tb).unwrap();
+        prop_assert!((scaled - alpha * base).abs() < 1e-2 * base.abs().max(1.0));
+    }
+
+    #[test]
+    fn l2_norm_triangle_inequality(
+        a in proptest::collection::vec(-4.0f32..4.0, 9),
+        b in proptest::collection::vec(-4.0f32..4.0, 9),
+    ) {
+        let ta = Tensor::from_slice(&a);
+        let tb = Tensor::from_slice(&b);
+        let sum = ta.add(&tb).unwrap();
+        prop_assert!(sum.l2_norm() <= ta.l2_norm() + tb.l2_norm() + 1e-4);
+    }
+
+    #[test]
+    fn transpose_preserves_matmul(
+        a in tensor_strategy(vec![3, 4]),
+        b in tensor_strategy(vec![4, 2]),
+    ) {
+        // (AB)^T == B^T A^T
+        let ab_t = a.matmul(&b).unwrap().transpose().unwrap();
+        let bt_at = b.transpose().unwrap().matmul(&a.transpose().unwrap()).unwrap();
+        for (x, y) in ab_t.data().iter().zip(bt_at.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Train a LeNet5 on the synthetic digits set, compile it for DeepCAM,
+//! and compare float (BL) against CAM-based (DC) accuracy across hash
+//! lengths — the workflow behind the paper's Fig. 5.
+//!
+//! Run: `cargo run --release --example accelerate_cnn`
+
+use deepcam::accel::{DeepCamEngine, EngineConfig, HashPlan};
+use deepcam::data::synth::{generate, SynthConfig};
+use deepcam::models::scaled::scaled_lenet5;
+use deepcam::models::train::{evaluate, train, TrainConfig};
+use deepcam::tensor::rng::seeded_rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Data: a deterministic MNIST stand-in (see DESIGN.md §4).
+    let data_cfg = SynthConfig::digits().with_samples(60, 12);
+    let (train_set, test_set) = generate(&data_cfg);
+    println!(
+        "dataset: {} train / {} test, {} classes",
+        train_set.len(),
+        test_set.len(),
+        train_set.classes()
+    );
+
+    // 2. Train the float model (the paper's "software baseline", BL).
+    let mut rng = seeded_rng(2024);
+    let mut model = scaled_lenet5(&mut rng, 10);
+    let tc = TrainConfig {
+        epochs: 3,
+        batch_size: 32,
+        lr: 0.03,
+        momentum: 0.9,
+        weight_decay: 1e-4,
+        seed: 3,
+    };
+    for stats in train(&mut model, train_set.images(), train_set.labels(), &tc)? {
+        println!(
+            "epoch {}: loss {:.3}, train acc {:.1}%",
+            stats.epoch,
+            stats.loss,
+            stats.accuracy * 100.0
+        );
+    }
+    let bl = evaluate(&mut model, test_set.images(), test_set.labels(), 32)?;
+    println!("BL (float) test accuracy: {:.1}%", bl * 100.0);
+    println!();
+
+    // 3. Compile for the CAM and evaluate at each hash length.
+    println!("DC (DeepCAM) accuracy vs hash length:");
+    for k in [256usize, 512, 768, 1024] {
+        let engine = DeepCamEngine::compile(
+            &model,
+            EngineConfig {
+                plan: HashPlan::Uniform(k),
+                ..EngineConfig::default()
+            },
+        )?;
+        let dc = engine.evaluate(test_set.images(), test_set.labels(), 32)?;
+        println!("  k={k:4}: {:.1}%  (BL - DC = {:+.1} pts)", dc * 100.0, (bl - dc) * 100.0);
+    }
+    Ok(())
+}

@@ -1,0 +1,39 @@
+//! # deepcam — facade crate
+//!
+//! One-stop entry point for the DeepCAM (DATE 2023) reproduction. Each
+//! subsystem lives in its own crate under `crates/`; this facade re-exports
+//! them under stable module names so examples, integration tests and
+//! downstream users can depend on a single crate.
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`tensor`] | `deepcam-tensor` | tensors, CNN ops, backprop, SGD |
+//! | [`data`] | `deepcam-data` | synthetic MNIST/CIFAR-like datasets |
+//! | [`models`] | `deepcam-models` | LeNet5/VGG/ResNet specs + trainable variants |
+//! | [`hash`] | `deepcam-hash` | random projection, geometric dot-products, contexts |
+//! | [`cam`] | `deepcam-cam` | FeFET CAM array, sense amps, energy/area models |
+//! | [`accel`] | `deepcam-core` | the DeepCAM accelerator simulator |
+//! | [`baselines`] | `deepcam-baselines` | Eyeriss, CPU, and analog PIM baselines |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use deepcam::hash::geometric::GeometricDot;
+//! use deepcam::tensor::Tensor;
+//!
+//! // The paper's §II-B worked example: algebraic dot = 2.0765.
+//! let x = Tensor::from_slice(&[0.6012, 0.8383, 0.6859, 0.5712]);
+//! let y = Tensor::from_slice(&[0.9044, 0.5352, 0.8110, 0.9243]);
+//! let gd = GeometricDot::new(4, 1024, 7)?;
+//! let approx = gd.dot(x.data(), y.data())?;
+//! assert!((approx - 2.0765).abs() < 0.25);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use deepcam_baselines as baselines;
+pub use deepcam_cam as cam;
+pub use deepcam_core as accel;
+pub use deepcam_data as data;
+pub use deepcam_hash as hash;
+pub use deepcam_models as models;
+pub use deepcam_tensor as tensor;

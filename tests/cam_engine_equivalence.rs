@@ -1,0 +1,115 @@
+//! The functional engine's fast Hamming path must be *exactly* equivalent
+//! to literally loading contexts into the `CamArray` hardware model and
+//! searching tile by tile — the engine is an optimization, not a
+//! different semantics.
+
+use deepcam::cam::{CamArray, CamConfig};
+use deepcam::hash::cosine::approx_cosine;
+use deepcam::hash::geometric::GeometricDot;
+use deepcam::hash::ContextGenerator;
+use deepcam::tensor::ops::conv::{im2col, Conv2dConfig};
+use deepcam::tensor::rng::seeded_rng;
+use deepcam::tensor::{init, Shape};
+
+#[test]
+fn engine_matches_literal_cam_array_per_layer() {
+    // One conv layer computed two ways.
+    let conv_cfg = Conv2dConfig::new(2, 6, 3).with_padding(1);
+    let k = 256;
+    let rows = 64;
+    let mut rng = seeded_rng(9);
+    let weight = init::he_normal(&mut rng, Shape::new(&[6, 2, 3, 3]), conv_cfg.patch_len());
+    let input = init::normal(&mut rng, Shape::new(&[1, 2, 8, 8]), 0.0, 1.0);
+
+    let generator = ContextGenerator::new(conv_cfg.patch_len(), k, 77).expect("valid dims");
+    let wctx = generator.weight_contexts(&weight).expect("weights hash");
+    let patches = im2col(&input, &conv_cfg).expect("im2col");
+    let p = patches.shape().dim(0);
+
+    // Path A: software reconstruction (what DeepCamEngine::dot_rows does).
+    let mut software = vec![0.0f32; p * 6];
+    for pi in 0..p {
+        let ctx = generator
+            .context_for(patches.row(pi).data())
+            .expect("activation hash");
+        for (mi, w) in wctx.iter().enumerate() {
+            let hd = ctx.bits.hamming(&w.bits).expect("same width");
+            let theta = GeometricDot::angle_from_hamming(hd, k);
+            software[pi * 6 + mi] =
+                ctx.quantized_norm() * w.quantized_norm() * approx_cosine(theta);
+        }
+    }
+
+    // Path B: activation-stationary tiles on the literal CamArray.
+    let mut hardware = vec![0.0f32; p * 6];
+    let mut cam = CamArray::new(CamConfig::new(rows, k).expect("supported"));
+    let mut tile_start = 0usize;
+    while tile_start < p {
+        let tile_end = (tile_start + rows).min(p);
+        let words: Vec<_> = (tile_start..tile_end)
+            .map(|pi| {
+                generator
+                    .context_for(patches.row(pi).data())
+                    .expect("activation hash")
+                    .bits
+            })
+            .collect();
+        cam.load(&words).expect("tile fits");
+        for (mi, w) in wctx.iter().enumerate() {
+            for hit in cam.search(&w.bits).expect("key width matches") {
+                let pi = tile_start + hit.row;
+                let actx = generator
+                    .context_for(patches.row(pi).data())
+                    .expect("activation hash");
+                let theta = GeometricDot::angle_from_hamming(hit.sensed, k);
+                hardware[pi * 6 + mi] =
+                    actx.quantized_norm() * w.quantized_norm() * approx_cosine(theta);
+            }
+        }
+        tile_start = tile_end;
+    }
+
+    for (i, (s, h)) in software.iter().zip(hardware.iter()).enumerate() {
+        assert_eq!(s, h, "divergence at output {i}: software {s} vs cam {h}");
+    }
+}
+
+#[test]
+fn weight_stationary_mapping_same_results() {
+    // The dataflow changes scheduling, never values: WS tiles must produce
+    // the identical output matrix.
+    let k = 256;
+    let dim = 18;
+    let m = 10;
+    let p = 30;
+    let mut rng = seeded_rng(13);
+    let weights = init::normal(&mut rng, Shape::new(&[m, dim]), 0.0, 0.5);
+    let acts = init::normal(&mut rng, Shape::new(&[p, dim]), 0.0, 1.0);
+    let generator = ContextGenerator::new(dim, k, 3).expect("valid dims");
+    let wctx = generator.weight_contexts(&weights).expect("weights hash");
+    let actx = generator.activation_contexts(&acts).expect("acts hash");
+
+    // AS: activations in rows, weights stream.
+    let mut cam = CamArray::new(CamConfig::new(64, k).expect("supported"));
+    let words: Vec<_> = actx.iter().map(|c| c.bits.clone()).collect();
+    cam.load(&words).expect("fits");
+    let mut as_out = vec![0usize; p * m];
+    for (mi, w) in wctx.iter().enumerate() {
+        for hit in cam.search(&w.bits).expect("width") {
+            as_out[hit.row * m + mi] = hit.hamming;
+        }
+    }
+
+    // WS: weights in rows, activations stream.
+    let mut cam = CamArray::new(CamConfig::new(64, k).expect("supported"));
+    let words: Vec<_> = wctx.iter().map(|c| c.bits.clone()).collect();
+    cam.load(&words).expect("fits");
+    let mut ws_out = vec![0usize; p * m];
+    for (pi, a) in actx.iter().enumerate() {
+        for hit in cam.search(&a.bits).expect("width") {
+            ws_out[pi * m + hit.row] = hit.hamming;
+        }
+    }
+
+    assert_eq!(as_out, ws_out, "dataflows must agree on every Hamming distance");
+}

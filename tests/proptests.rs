@@ -1,0 +1,157 @@
+//! Cross-crate property-based tests (proptest) on the reproduction's
+//! core invariants.
+
+use deepcam::cam::{CamArray, CamConfig, SenseModel};
+use deepcam::hash::geometric::{CosineMode, NormMode};
+use deepcam::hash::{context::approx_dot, BitVec, ContextGenerator, Minifloat8};
+use deepcam::tensor::ops::conv::{col2im, im2col, Conv2dConfig};
+use deepcam::tensor::{Shape, Tensor};
+use proptest::prelude::*;
+
+fn bits_strategy(len: usize) -> impl Strategy<Value = BitVec> {
+    proptest::collection::vec(any::<bool>(), len).prop_map(|v| BitVec::from_bools(&v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hamming_is_a_metric(a in bits_strategy(256), b in bits_strategy(256), c in bits_strategy(256)) {
+        let ab = a.hamming(&b).unwrap();
+        let ba = b.hamming(&a).unwrap();
+        prop_assert_eq!(ab, ba); // symmetry
+        prop_assert_eq!(a.hamming(&a).unwrap(), 0); // identity
+        let ac = a.hamming(&c).unwrap();
+        let cb = c.hamming(&b).unwrap();
+        prop_assert!(ab <= ac + cb); // triangle inequality
+    }
+
+    #[test]
+    fn hamming_prefix_consistent_with_truncation(
+        a in bits_strategy(300),
+        b in bits_strategy(300),
+        k in 0usize..=300,
+    ) {
+        let fast = a.hamming_prefix(&b, k).unwrap();
+        let slow = a.prefix(k).unwrap().hamming(&b.prefix(k).unwrap()).unwrap();
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn minifloat_quantization_properties(x in -600.0f32..600.0) {
+        let q = Minifloat8::quantize(x);
+        // Idempotent.
+        prop_assert_eq!(Minifloat8::quantize(q), q);
+        // Bounded.
+        prop_assert!(q.abs() <= Minifloat8::MAX);
+        // Sign-preserving (zero may absorb tiny values).
+        if q != 0.0 {
+            prop_assert_eq!(q.signum(), x.signum());
+        }
+        // Relative error bound for normal-range magnitudes.
+        if x.abs() >= 0.016 && x.abs() <= Minifloat8::MAX {
+            prop_assert!((q - x).abs() <= x.abs() / 16.0 + 1e-6,
+                "quantizing {} gave {}", x, q);
+        }
+    }
+
+    #[test]
+    fn minifloat_encoding_is_monotone(a in 0.0f32..500.0, b in 0.0f32..500.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(Minifloat8::quantize(lo) <= Minifloat8::quantize(hi));
+    }
+
+    #[test]
+    fn self_dot_recovers_squared_norm(
+        v in proptest::collection::vec(-3.0f32..3.0, 16),
+        seed in 0u64..50,
+    ) {
+        let generator = ContextGenerator::new(16, 256, seed).unwrap();
+        let ctx = generator.context_for(&v).unwrap();
+        let d = approx_dot(&ctx, &ctx, 256, CosineMode::Exact, NormMode::Fp32).unwrap();
+        let norm2: f32 = v.iter().map(|x| x * x).sum();
+        // θ = 0 for identical hashes, so the dot is exactly ‖v‖².
+        prop_assert!((d - norm2).abs() <= norm2 * 1e-3 + 1e-4);
+    }
+
+    #[test]
+    fn cam_search_equals_reference_popcount(
+        words in proptest::collection::vec(bits_strategy(256), 1..32),
+        key in bits_strategy(256),
+    ) {
+        let mut cam = CamArray::new(CamConfig::new(64, 256).unwrap());
+        cam.load(&words).unwrap();
+        let hits = cam.search(&key).unwrap();
+        prop_assert_eq!(hits.len(), words.len());
+        for hit in hits {
+            prop_assert_eq!(hit.hamming, words[hit.row].hamming(&key).unwrap());
+        }
+    }
+
+    #[test]
+    fn clocked_sense_monotone_and_exact_at_zero(levels in 2usize..128) {
+        let sense = SenseModel::Clocked { levels };
+        prop_assert_eq!(sense.read(0, 512), 0);
+        let mut prev = 0usize;
+        for hd in 0..=512 {
+            let r = sense.read(hd, 512);
+            prop_assert!(r >= prev);
+            prop_assert!(r <= 512);
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(
+        h in 3usize..8,
+        w in 3usize..8,
+        c in 1usize..3,
+        kernel in 1usize..4,
+        pad in 0usize..2,
+        stride in 1usize..3,
+        seed in 0u64..100,
+    ) {
+        prop_assume!(h + 2 * pad >= kernel && w + 2 * pad >= kernel);
+        let cfg = Conv2dConfig::new(c, 1, kernel).with_padding(pad).with_stride(stride);
+        let mut rng = deepcam::tensor::rng::seeded_rng(seed);
+        let x = deepcam::tensor::init::normal(&mut rng, Shape::new(&[1, c, h, w]), 0.0, 1.0);
+        let cols = im2col(&x, &cfg).unwrap();
+        let y = deepcam::tensor::init::normal(&mut rng, cols.shape().clone(), 0.0, 1.0);
+        // <im2col(x), y> == <x, col2im(y)>.
+        let lhs = cols.dot(&y).unwrap();
+        let folded = col2im(&y, 1, c, h, w, &cfg).unwrap();
+        let rhs = x.dot(&folded).unwrap();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in proptest::collection::vec(-2.0f32..2.0, 6),
+        b in proptest::collection::vec(-2.0f32..2.0, 6),
+        c in proptest::collection::vec(-2.0f32..2.0, 6),
+    ) {
+        let a = Tensor::from_vec(a, Shape::new(&[2, 3])).unwrap();
+        let b = Tensor::from_vec(b, Shape::new(&[3, 2])).unwrap();
+        let c = Tensor::from_vec(c, Shape::new(&[3, 2])).unwrap();
+        let lhs = a.matmul(&b.add(&c).unwrap()).unwrap();
+        let rhs = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
+        for (l, r) in lhs.data().iter().zip(rhs.data().iter()) {
+            prop_assert!((l - r).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn projection_hash_scale_invariant(
+        v in proptest::collection::vec(-4.0f32..4.0, 8),
+        scale in 0.01f32..50.0,
+        seed in 0u64..20,
+    ) {
+        prop_assume!(v.iter().any(|&x| x != 0.0));
+        let generator = ContextGenerator::new(8, 128, seed).unwrap();
+        let base = generator.context_for(&v).unwrap();
+        let scaled: Vec<f32> = v.iter().map(|x| x * scale).collect();
+        let s = generator.context_for(&scaled).unwrap();
+        prop_assert_eq!(base.bits, s.bits); // direction unchanged
+        prop_assert!((s.norm - base.norm * scale).abs() <= base.norm * scale * 1e-3 + 1e-5);
+    }
+}

@@ -1,0 +1,125 @@
+//! Cross-crate invariants of the performance models.
+
+use deepcam::accel::sched::{CamScheduler, CycleModel};
+use deepcam::accel::{Dataflow, HashPlan};
+use deepcam::baselines::{AnalogPim, Eyeriss, PimTechnology, SkylakeCpu};
+use deepcam::models::zoo;
+
+#[test]
+fn work_conservation_every_dot_product_covered() {
+    // AS mapping: Σ(tile rows × streamed keys) must equal P·M exactly —
+    // every output dot-product computed once, none skipped or duplicated.
+    for spec in zoo::all_workloads() {
+        for dataflow in Dataflow::both() {
+            let sched = CamScheduler::new(64, dataflow).expect("rows supported");
+            for layer in spec.dot_layers() {
+                let perf = sched.layer_perf(&layer, 256, false).expect("valid k");
+                let (stored, streamed) = match dataflow {
+                    Dataflow::WeightStationary => (layer.m, layer.p),
+                    Dataflow::ActivationStationary => (layer.p, layer.m),
+                };
+                // searches = tiles × streamed.
+                let tiles = stored.div_ceil(64).max(1) as u64;
+                assert_eq!(perf.searches, tiles * streamed as u64);
+                // Dot products covered: Σ rows_used × streamed = stored × streamed.
+                let covered = (stored * streamed) as u64;
+                assert_eq!(covered, layer.dot_products(), "{}", layer.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn utilization_always_in_bounds() {
+    for spec in zoo::all_workloads() {
+        for dataflow in Dataflow::both() {
+            for rows in [64usize, 512] {
+                let sched = CamScheduler::new(rows, dataflow).expect("rows supported");
+                let perf = sched.run(&spec, &HashPlan::Uniform(512)).expect("plan fits");
+                for layer in &perf.layers {
+                    assert!(
+                        layer.utilization > 0.0 && layer.utilization <= 1.0,
+                        "{} {}: {}",
+                        spec.name,
+                        layer.name,
+                        layer.utilization
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn energy_monotone_in_hash_length() {
+    let spec = zoo::vgg11();
+    let sched = CamScheduler::new(64, Dataflow::ActivationStationary).expect("rows supported");
+    let mut prev = 0.0f64;
+    for k in [256usize, 512, 768, 1024] {
+        let e = sched
+            .run(&spec, &HashPlan::Uniform(k))
+            .expect("plan fits")
+            .total_energy_j;
+        assert!(e > prev, "energy not monotone at k={k}");
+        prev = e;
+    }
+}
+
+#[test]
+fn search_only_is_fastest_accounting() {
+    let spec = zoo::resnet18();
+    let dims: Vec<usize> = spec.dot_layers().iter().map(|d| d.n).collect();
+    let plan = HashPlan::variable_for_dims(&dims);
+    let base = CamScheduler::new(64, Dataflow::ActivationStationary).expect("rows supported");
+    let pipelined = base.run(&spec, &plan).expect("plan fits").total_cycles;
+    let sequential = base
+        .clone()
+        .with_cycle_model(CycleModel::Sequential)
+        .run(&spec, &plan)
+        .expect("plan fits")
+        .total_cycles;
+    let search_only = base
+        .clone()
+        .with_cycle_model(CycleModel::SearchOnly)
+        .run(&spec, &plan)
+        .expect("plan fits")
+        .total_cycles;
+    assert!(search_only <= pipelined);
+    assert!(pipelined <= sequential);
+}
+
+#[test]
+fn system_ordering_holds_across_workloads() {
+    // The paper's Fig. 9/10 ordering: DeepCAM < Eyeriss < CPU on cycles;
+    // DeepCAM < Eyeriss on energy.
+    let eyeriss = Eyeriss::paper_config();
+    let cpu = SkylakeCpu::paper_config();
+    for spec in zoo::all_workloads() {
+        let dims: Vec<usize> = spec.dot_layers().iter().map(|d| d.n).collect();
+        let plan = HashPlan::variable_for_dims(&dims);
+        let dc = CamScheduler::new(64, Dataflow::ActivationStationary)
+            .expect("rows supported")
+            .run(&spec, &plan)
+            .expect("plan fits");
+        let e = eyeriss.run(&spec);
+        let c = cpu.run(&spec);
+        assert!(dc.total_cycles < e.total_cycles, "{}", spec.name);
+        assert!(e.total_cycles < c.total_cycles, "{}", spec.name);
+        assert!(dc.total_energy_j < e.total_energy_j, "{}", spec.name);
+    }
+}
+
+#[test]
+fn table2_orderings() {
+    let vgg = zoo::vgg11();
+    let rram = AnalogPim::new(PimTechnology::NeuroSimRram).run(&vgg);
+    let sram = AnalogPim::new(PimTechnology::ValaviSram).run(&vgg);
+    let dims: Vec<usize> = vgg.dot_layers().iter().map(|d| d.n).collect();
+    let dc = CamScheduler::new(64, Dataflow::ActivationStationary)
+        .expect("rows supported")
+        .run(&vgg, &HashPlan::variable_for_dims(&dims))
+        .expect("plan fits");
+    // Energy: DeepCAM < SRAM PIM < RRAM PIM (Table II's central claim).
+    assert!(dc.total_energy_j < sram.total_energy_j);
+    assert!(sram.total_energy_j < rram.total_energy_j);
+}
