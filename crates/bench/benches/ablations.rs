@@ -16,10 +16,20 @@ fn bench_cosine(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablations/cosine");
     let angles: Vec<f32> = (0..1024).map(|i| i as f32 * 0.003).collect();
     group.bench_function("piecewise_eq5", |b| {
-        b.iter(|| angles.iter().map(|&t| approx_cosine(black_box(t))).sum::<f32>())
+        b.iter(|| {
+            angles
+                .iter()
+                .map(|&t| approx_cosine(black_box(t)))
+                .sum::<f32>()
+        })
     });
     group.bench_function("exact", |b| {
-        b.iter(|| angles.iter().map(|&t| exact_cosine(black_box(t))).sum::<f32>())
+        b.iter(|| {
+            angles
+                .iter()
+                .map(|&t| exact_cosine(black_box(t)))
+                .sum::<f32>()
+        })
     });
     group.finish();
 }
@@ -43,7 +53,11 @@ fn bench_sense_models(c: &mut Criterion) {
         ("clocked16", SenseModel::Clocked { levels: 16 }),
     ] {
         group.bench_function(label, |b| {
-            b.iter(|| (0..1024usize).map(|hd| model.read(black_box(hd), 1024)).sum::<usize>())
+            b.iter(|| {
+                (0..1024usize)
+                    .map(|hd| model.read(black_box(hd), 1024))
+                    .sum::<usize>()
+            })
         });
     }
     group.finish();
@@ -61,7 +75,11 @@ fn bench_cycle_models(c: &mut Criterion) {
             .expect("supported")
             .with_cycle_model(model);
         group.bench_function(label, |b| {
-            b.iter(|| sched.run(black_box(&vgg), black_box(&plan)).expect("plan fits"))
+            b.iter(|| {
+                sched
+                    .run(black_box(&vgg), black_box(&plan))
+                    .expect("plan fits")
+            })
         });
     }
     group.finish();

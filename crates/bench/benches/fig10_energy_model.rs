@@ -19,7 +19,11 @@ fn bench_energy_assembly(c: &mut Criterion) {
         ("variable", HashPlan::variable_for_dims(&dims)),
     ] {
         group.bench_function(format!("vgg11_{label}"), |b| {
-            b.iter(|| sched.run(black_box(&vgg), black_box(&plan)).expect("plan fits"))
+            b.iter(|| {
+                sched
+                    .run(black_box(&vgg), black_box(&plan))
+                    .expect("plan fits")
+            })
         });
     }
     group.finish();

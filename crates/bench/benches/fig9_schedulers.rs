@@ -17,7 +17,11 @@ fn bench_deepcam_scheduler(c: &mut Criterion) {
     for dataflow in Dataflow::both() {
         let sched = CamScheduler::new(64, dataflow).expect("supported rows");
         group.bench_function(format!("resnet18_{}", dataflow.label()), |b| {
-            b.iter(|| sched.run(black_box(&resnet), black_box(&plan)).expect("plan fits"))
+            b.iter(|| {
+                sched
+                    .run(black_box(&resnet), black_box(&plan))
+                    .expect("plan fits")
+            })
         });
     }
     group.finish();
@@ -27,9 +31,7 @@ fn bench_baselines(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig9/baselines");
     let vgg = zoo::vgg16();
     let eyeriss = Eyeriss::paper_config();
-    group.bench_function("eyeriss_vgg16", |b| {
-        b.iter(|| eyeriss.run(black_box(&vgg)))
-    });
+    group.bench_function("eyeriss_vgg16", |b| b.iter(|| eyeriss.run(black_box(&vgg))));
     let cpu = SkylakeCpu::paper_config();
     group.bench_function("skylake_vgg16", |b| b.iter(|| cpu.run(black_box(&vgg))));
     group.finish();

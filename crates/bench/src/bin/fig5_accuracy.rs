@@ -61,7 +61,13 @@ fn main() {
     }
     println!();
     let mut table = TableWriter::new(vec![
-        "workload", "BL %", "DC@256 %", "DC@512 %", "DC@768 %", "DC@1024 %", "DC@VHL %",
+        "workload",
+        "BL %",
+        "DC@256 %",
+        "DC@512 %",
+        "DC@768 %",
+        "DC@1024 %",
+        "DC@VHL %",
         "VHL plan",
     ]);
     for r in &rows {

@@ -82,8 +82,7 @@ pub fn run(cfg: &Fig2Config) -> Vec<Fig2Point> {
             values.push(gd.dot_with(&PAPER_X, &PAPER_Y, opts).expect("valid dims"));
         }
         let mean = values.iter().sum::<f32>() / values.len() as f32;
-        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
-            / values.len() as f32;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / values.len() as f32;
 
         // Random ensemble at a fixed seed.
         let gd = GeometricDot::new(cfg.ensemble_dim, k, 777).expect("valid dims");

@@ -98,12 +98,7 @@ fn subset(images: &Tensor, labels: &[usize], count: usize) -> (Tensor, Vec<usize
     )
 }
 
-fn run_workload(
-    name: &str,
-    mut model: Cnn,
-    data_cfg: &SynthConfig,
-    cfg: &Fig5Config,
-) -> Fig5Row {
+fn run_workload(name: &str, mut model: Cnn, data_cfg: &SynthConfig, cfg: &Fig5Config) -> Fig5Row {
     let (train_set, test_set) = generate(data_cfg);
     let tc = TrainConfig {
         epochs: cfg.epochs,
@@ -130,7 +125,9 @@ fn run_workload(
         )
         .expect("engine compiles");
         engine.calibrate_bn(&calib_x).expect("calibration succeeds");
-        let acc = engine.evaluate(&eval_x, &eval_y, 16).expect("dc evaluation succeeds");
+        let acc = engine
+            .evaluate(&eval_x, &eval_y, 16)
+            .expect("dc evaluation succeeds");
         uniform.push((k, acc));
     }
 
@@ -158,7 +155,9 @@ fn run_workload(
     )
     .expect("engine compiles");
     engine.calibrate_bn(&calib_x).expect("calibration succeeds");
-    let variable_acc = engine.evaluate(&eval_x, &eval_y, 16).expect("dc evaluation succeeds");
+    let variable_acc = engine
+        .evaluate(&eval_x, &eval_y, 16)
+        .expect("dc evaluation succeeds");
 
     Fig5Row {
         workload: name.to_string(),

@@ -50,8 +50,7 @@ pub fn run() -> Vec<Table2Row> {
         });
     }
     let dims: Vec<usize> = vgg.dot_layers().iter().map(|d| d.n).collect();
-    let sched =
-        CamScheduler::new(64, Dataflow::ActivationStationary).expect("64 rows supported");
+    let sched = CamScheduler::new(64, Dataflow::ActivationStationary).expect("64 rows supported");
     let perf = sched
         .run(&vgg, &HashPlan::variable_for_dims(&dims))
         .expect("plan matches VGG11");

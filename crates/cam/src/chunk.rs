@@ -59,7 +59,10 @@ impl ChunkConfig {
     /// multiple of 256, or above 1024 — the paper's hardware only supports
     /// the four discrete widths.
     pub fn for_hash_len(hash_len: usize) -> Result<Self> {
-        if hash_len == 0 || !hash_len.is_multiple_of(CHUNK_BITS) || hash_len > CHUNK_BITS * MAX_CHUNKS {
+        if hash_len == 0
+            || !hash_len.is_multiple_of(CHUNK_BITS)
+            || hash_len > CHUNK_BITS * MAX_CHUNKS
+        {
             return Err(CamError::InvalidConfig(format!(
                 "hash length {hash_len} not in {{256, 512, 768, 1024}}"
             )));

@@ -39,7 +39,10 @@ impl fmt::Display for CamError {
                 write!(f, "row {row} out of range for {rows}-row array")
             }
             CamError::WordLengthMismatch { expected, actual } => {
-                write!(f, "word length {actual} does not match configured {expected}")
+                write!(
+                    f,
+                    "word length {actual} does not match configured {expected}"
+                )
             }
             CamError::InvalidConfig(msg) => write!(f, "invalid CAM configuration: {msg}"),
             CamError::CapacityExceeded { offered, rows } => {

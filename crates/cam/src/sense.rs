@@ -60,7 +60,8 @@ impl SenseModel {
                 // by a fixed clock against an exponential ramp).
                 let t = 1.0 / hd;
                 let t_min = 1.0 / word_bits.max(1) as f64;
-                let ratio = (t_min.ln() / (levels as f64)).exp(); // t_min^(1/levels)
+                // ratio = t_min^(1/levels)
+                let ratio = (t_min.ln() / (levels as f64)).exp();
                 // Find the bin whose representative time is closest to t.
                 let mut level = 0usize;
                 let mut edge = 1.0f64;

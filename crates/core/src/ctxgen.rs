@@ -96,8 +96,8 @@ impl CtxGenCostModel {
         let norm_energy = patches as f64 * (n as f64 * self.add_energy + self.sqrt_energy);
         // Active cells: the full n×k projection is evaluated regardless of
         // tiling; sense amps fire once per hash bit.
-        let hash_energy = patches as f64
-            * ((n * k) as f64 * self.cell_energy + k as f64 * self.sense_energy);
+        let hash_energy =
+            patches as f64 * ((n * k) as f64 * self.cell_energy + k as f64 * self.sense_energy);
         CtxGenCost {
             cycles,
             energy_j: norm_energy + hash_energy,

@@ -202,8 +202,7 @@ impl DeepCamEngine {
             )?;
             let logits = self.infer(&chunk)?;
             let classes = logits.shape().dim(1);
-            for (row, &label) in (start..end).enumerate().map(|(i, _)| i).zip(&labels[start..end])
-            {
+            for (row, &label) in labels[start..end].iter().enumerate() {
                 let slice = &logits.data()[row * classes..(row + 1) * classes];
                 let mut best = 0usize;
                 for (j, &v) in slice.iter().enumerate() {
@@ -236,9 +235,10 @@ fn run_step(step: &Step, x: &Tensor, cfg: &EngineConfig) -> Result<Tensor> {
                 k,
                 layer_idx,
             } => {
-                let (n_batch, _c, h, w) = x.shape().as_nchw().ok_or_else(|| {
-                    CoreError::Unsupported("conv input must be NCHW".to_string())
-                })?;
+                let (n_batch, _c, h, w) = x
+                    .shape()
+                    .as_nchw()
+                    .ok_or_else(|| CoreError::Unsupported("conv input must be NCHW".to_string()))?;
                 let (oh, ow) = conv_cfg.output_hw(h, w);
                 let patches = im2col(x, conv_cfg)?; // [N*P, n]
                 let out2d = dot_rows(&patches, proj, weights, *k, *layer_idx, cfg)?;
@@ -396,7 +396,9 @@ fn dot_rows(
         let m = weights.len();
         let mut out = vec![0.0f32; r * m];
         let threads = if engine_cfg.threads == 0 {
-            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
         } else {
             engine_cfg.threads
         };
@@ -472,7 +474,6 @@ fn dot_rows(
         Ok(out)
     }
 }
-
 
 fn compile_blocks(blocks: &[Block], cfg: &EngineConfig, idx: &mut usize) -> Result<Vec<Step>> {
     let mut steps = Vec::with_capacity(blocks.len());
@@ -643,7 +644,10 @@ mod tests {
                 crossbar_noise: noise,
                 ..EngineConfig::default()
             };
-            DeepCamEngine::compile(&model, cfg).unwrap().infer(&x).unwrap()
+            DeepCamEngine::compile(&model, cfg)
+                .unwrap()
+                .infer(&x)
+                .unwrap()
         };
         let clean = mk(0.0);
         let noisy1 = mk(0.5);

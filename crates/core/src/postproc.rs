@@ -38,7 +38,7 @@ impl Default for PostProcCostModel {
         PostProcCostModel {
             ops_per_dot: 5.0,
             lanes: 128,
-            op_energy: 0.1e-12,      // 0.1 pJ per 16-bit mult-add at 45 nm
+            op_energy: 0.1e-12,       // 0.1 pJ per 16-bit mult-add at 45 nm
             eltwise_energy: 0.02e-12, // comparisons / shifts are cheaper
             eltwise_lanes: 64,
         }

@@ -245,11 +245,8 @@ pub fn generate(cfg: &SynthConfig) -> (Dataset, Dataset) {
         for v in &mut data {
             *v = (*v - mean) * inv;
         }
-        let images = Tensor::from_vec(
-            data,
-            Shape::new(&[n, cfg.channels, cfg.height, cfg.width]),
-        )
-        .expect("generated volume is consistent");
+        let images = Tensor::from_vec(data, Shape::new(&[n, cfg.channels, cfg.height, cfg.width]))
+            .expect("generated volume is consistent");
         Dataset::new(images, labels, cfg.classes)
     };
 
@@ -293,13 +290,8 @@ mod tests {
         let (train, _) = generate(&SynthConfig::tiny_digits());
         let mean = train.images().mean();
         assert!(mean.abs() < 1e-3, "mean {mean}");
-        let var = train
-            .images()
-            .data()
-            .iter()
-            .map(|v| v * v)
-            .sum::<f32>()
-            / train.images().len() as f32;
+        let var =
+            train.images().data().iter().map(|v| v * v).sum::<f32>() / train.images().len() as f32;
         assert!((var - 1.0).abs() < 1e-2, "var {var}");
     }
 
@@ -357,8 +349,14 @@ mod tests {
         let d = SynthConfig::digits();
         assert_eq!((d.channels, d.height, d.width, d.classes), (1, 28, 28, 10));
         let o10 = SynthConfig::objects10();
-        assert_eq!((o10.channels, o10.height, o10.width, o10.classes), (3, 32, 32, 10));
+        assert_eq!(
+            (o10.channels, o10.height, o10.width, o10.classes),
+            (3, 32, 32, 10)
+        );
         let o100 = SynthConfig::objects100();
-        assert_eq!((o100.channels, o100.height, o100.width, o100.classes), (3, 32, 32, 100));
+        assert_eq!(
+            (o100.channels, o100.height, o100.width, o100.classes),
+            (3, 32, 32, 100)
+        );
     }
 }

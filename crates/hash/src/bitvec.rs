@@ -159,8 +159,8 @@ impl BitVec {
         let rem = k % WORD_BITS;
         if rem > 0 {
             let mask = (1u64 << rem) - 1;
-            dist += ((self.words[full_words] ^ other.words[full_words]) & mask).count_ones()
-                as usize;
+            dist +=
+                ((self.words[full_words] ^ other.words[full_words]) & mask).count_ones() as usize;
         }
         Ok(dist)
     }
@@ -293,11 +293,7 @@ mod tests {
         }
         for &k in &[0usize, 1, 63, 64, 65, 128, 256, 300] {
             let fast = a.hamming_prefix(&b, k).unwrap();
-            let slow = a
-                .prefix(k)
-                .unwrap()
-                .hamming(&b.prefix(k).unwrap())
-                .unwrap();
+            let slow = a.prefix(k).unwrap().hamming(&b.prefix(k).unwrap()).unwrap();
             assert_eq!(fast, slow, "k={k}");
         }
     }

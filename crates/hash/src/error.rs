@@ -36,7 +36,10 @@ impl fmt::Display for HashError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             HashError::DimensionMismatch { expected, actual } => {
-                write!(f, "input has dimension {actual}, projection expects {expected}")
+                write!(
+                    f,
+                    "input has dimension {actual}, projection expects {expected}"
+                )
             }
             HashError::LengthMismatch { lhs, rhs } => {
                 write!(f, "bit vector lengths differ: {lhs} vs {rhs}")

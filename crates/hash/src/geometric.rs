@@ -198,7 +198,14 @@ mod tests {
         let theta = gd.estimate_angle(&x, &x).unwrap();
         assert_eq!(theta, 0.0);
         let d = gd
-            .dot_with(&x, &x, DotOptions { norm: NormMode::Fp32, ..DotOptions::default() })
+            .dot_with(
+                &x,
+                &x,
+                DotOptions {
+                    norm: NormMode::Fp32,
+                    ..DotOptions::default()
+                },
+            )
             .unwrap();
         let alg = GeometricDot::algebraic(&x, &x).unwrap();
         assert!((d - alg).abs() / alg < 0.01, "{d} vs {alg}");
@@ -317,10 +324,24 @@ mod tests {
         let x = [1.01, 2.3, -0.7, 0.01, 0.6, -1.4, 2.2, 0.9];
         let y = [0.4, -1.3, 0.8, 1.7, -0.2, 0.5, 1.1, -0.6];
         let exact = gd
-            .dot_with(&x, &y, DotOptions { norm: NormMode::Fp32, ..Default::default() })
+            .dot_with(
+                &x,
+                &y,
+                DotOptions {
+                    norm: NormMode::Fp32,
+                    ..Default::default()
+                },
+            )
             .unwrap();
         let quant = gd
-            .dot_with(&x, &y, DotOptions { norm: NormMode::Minifloat8, ..Default::default() })
+            .dot_with(
+                &x,
+                &y,
+                DotOptions {
+                    norm: NormMode::Minifloat8,
+                    ..Default::default()
+                },
+            )
             .unwrap();
         // Within the ~6% relative step of two 1-4-3 quantizations…
         assert!((exact - quant).abs() <= exact.abs() * 0.15 + 0.05);

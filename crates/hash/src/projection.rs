@@ -173,7 +173,12 @@ mod tests {
         let p = ProjectionMatrix::generate(100, 500, 7);
         let n = p.data.len() as f64;
         let mean = p.data.iter().map(|&x| x as f64).sum::<f64>() / n;
-        let var = p.data.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n;
+        let var = p
+            .data
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var - 1.0).abs() < 0.03, "var {var}");
     }

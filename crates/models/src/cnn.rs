@@ -234,7 +234,10 @@ impl Layer for Cnn {
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
-        self.blocks.iter_mut().flat_map(|b| b.params_mut()).collect()
+        self.blocks
+            .iter_mut()
+            .flat_map(|b| b.params_mut())
+            .collect()
     }
 
     fn name(&self) -> &'static str {
@@ -254,7 +257,10 @@ mod tests {
         Cnn::new(
             "tiny",
             vec![
-                Block::Conv(Conv2d::new(&mut rng, Conv2dConfig::new(1, 4, 3).with_padding(1))),
+                Block::Conv(Conv2d::new(
+                    &mut rng,
+                    Conv2dConfig::new(1, 4, 3).with_padding(1),
+                )),
                 Block::Relu(ReLU::new()),
                 Block::MaxPool(MaxPool2d::new(2)),
                 Block::Flatten(Flatten::new()),
@@ -278,13 +284,22 @@ mod tests {
     fn dot_layer_count_includes_residual_internals() {
         let mut rng = seeded_rng(1);
         let body = vec![
-            Block::Conv(Conv2d::new(&mut rng, Conv2dConfig::new(4, 4, 3).with_padding(1))),
+            Block::Conv(Conv2d::new(
+                &mut rng,
+                Conv2dConfig::new(4, 4, 3).with_padding(1),
+            )),
             Block::Bn(BatchNorm2d::new(4)),
             Block::Relu(ReLU::new()),
-            Block::Conv(Conv2d::new(&mut rng, Conv2dConfig::new(4, 4, 3).with_padding(1))),
+            Block::Conv(Conv2d::new(
+                &mut rng,
+                Conv2dConfig::new(4, 4, 3).with_padding(1),
+            )),
             Block::Bn(BatchNorm2d::new(4)),
         ];
-        let shortcut = vec![Block::Conv(Conv2d::new(&mut rng, Conv2dConfig::new(4, 4, 1)))];
+        let shortcut = vec![Block::Conv(Conv2d::new(
+            &mut rng,
+            Conv2dConfig::new(4, 4, 1),
+        ))];
         let net = Cnn::new(
             "res",
             vec![Block::Residual(ResBlock::with_shortcut(body, shortcut))],
@@ -297,14 +312,19 @@ mod tests {
     fn residual_block_trains() {
         let mut rng = seeded_rng(2);
         let body = vec![
-            Block::Conv(Conv2d::new(&mut rng, Conv2dConfig::new(2, 2, 3).with_padding(1))),
+            Block::Conv(Conv2d::new(
+                &mut rng,
+                Conv2dConfig::new(2, 2, 3).with_padding(1),
+            )),
             Block::Bn(BatchNorm2d::new(2)),
         ];
         let mut block = ResBlock::new(body);
         let x = Tensor::full(Shape::new(&[2, 2, 4, 4]), 0.3);
         let y = block.forward(&x, true).unwrap();
         assert_eq!(y.shape(), x.shape());
-        let g = block.backward(&Tensor::full(x.shape().clone(), 0.1)).unwrap();
+        let g = block
+            .backward(&Tensor::full(x.shape().clone(), 0.1))
+            .unwrap();
         assert_eq!(g.shape(), x.shape());
         assert!(!block.params_mut().is_empty());
     }

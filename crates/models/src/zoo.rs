@@ -25,8 +25,12 @@ fn push_conv_bn_relu(layers: &mut Vec<LayerSpec>, c: ConvSpec) -> usize {
     let out_elems = c.positions() * c.out_channels;
     let out_h = c.out_h();
     layers.push(LayerSpec::Conv(c));
-    layers.push(LayerSpec::BatchNorm { elements: out_elems });
-    layers.push(LayerSpec::Activation { elements: out_elems });
+    layers.push(LayerSpec::BatchNorm {
+        elements: out_elems,
+    });
+    layers.push(LayerSpec::Activation {
+        elements: out_elems,
+    });
     out_h
 }
 
@@ -35,7 +39,9 @@ pub fn lenet5() -> ModelSpec {
     let mut layers = vec![
         // conv1: 1→6 k5 on 32×32 → 28×28
         LayerSpec::Conv(conv("conv1", 1, 6, 5, 1, 0, 32)),
-        LayerSpec::Activation { elements: 6 * 28 * 28 },
+        LayerSpec::Activation {
+            elements: 6 * 28 * 28,
+        },
     ];
     layers.push(LayerSpec::Pool(PoolSpec {
         kind: PoolKind::Avg,
@@ -46,7 +52,9 @@ pub fn lenet5() -> ModelSpec {
     }));
     // conv2: 6→16 k5 on 14×14 → 10×10
     layers.push(LayerSpec::Conv(conv("conv2", 6, 16, 5, 1, 0, 14)));
-    layers.push(LayerSpec::Activation { elements: 16 * 10 * 10 });
+    layers.push(LayerSpec::Activation {
+        elements: 16 * 10 * 10,
+    });
     layers.push(LayerSpec::Pool(PoolSpec {
         kind: PoolKind::Avg,
         kernel: 2,
@@ -157,10 +165,16 @@ pub fn resnet18() -> ModelSpec {
             let out_h = ca.out_h();
             let out_elems = out_c * out_h * out_h;
             layers.push(LayerSpec::Conv(ca));
-            layers.push(LayerSpec::BatchNorm { elements: out_elems });
-            layers.push(LayerSpec::Activation { elements: out_elems });
+            layers.push(LayerSpec::BatchNorm {
+                elements: out_elems,
+            });
+            layers.push(LayerSpec::Activation {
+                elements: out_elems,
+            });
             layers.push(LayerSpec::Conv(conv(&name_b, out_c, out_c, 3, 1, 1, out_h)));
-            layers.push(LayerSpec::BatchNorm { elements: out_elems });
+            layers.push(LayerSpec::BatchNorm {
+                elements: out_elems,
+            });
             if stride != 1 || in_c != out_c {
                 // Projection shortcut.
                 layers.push(LayerSpec::Conv(conv(
@@ -172,10 +186,16 @@ pub fn resnet18() -> ModelSpec {
                     0,
                     h,
                 )));
-                layers.push(LayerSpec::BatchNorm { elements: out_elems });
+                layers.push(LayerSpec::BatchNorm {
+                    elements: out_elems,
+                });
             }
-            layers.push(LayerSpec::EltwiseAdd { elements: out_elems });
-            layers.push(LayerSpec::Activation { elements: out_elems });
+            layers.push(LayerSpec::EltwiseAdd {
+                elements: out_elems,
+            });
+            layers.push(LayerSpec::Activation {
+                elements: out_elems,
+            });
             h = out_h;
             in_c = out_c;
         }
@@ -215,8 +235,12 @@ pub fn resnet18_imagenet() -> ModelSpec {
     let stem_h = stem.out_h();
     let stem_elems = 64 * stem_h * stem_h;
     layers.push(LayerSpec::Conv(stem));
-    layers.push(LayerSpec::BatchNorm { elements: stem_elems });
-    layers.push(LayerSpec::Activation { elements: stem_elems });
+    layers.push(LayerSpec::BatchNorm {
+        elements: stem_elems,
+    });
+    layers.push(LayerSpec::Activation {
+        elements: stem_elems,
+    });
     layers.push(LayerSpec::Pool(PoolSpec {
         kind: PoolKind::Max,
         kernel: 2,
@@ -235,8 +259,12 @@ pub fn resnet18_imagenet() -> ModelSpec {
             let out_h = ca.out_h();
             let out_elems = out_c * out_h * out_h;
             layers.push(LayerSpec::Conv(ca));
-            layers.push(LayerSpec::BatchNorm { elements: out_elems });
-            layers.push(LayerSpec::Activation { elements: out_elems });
+            layers.push(LayerSpec::BatchNorm {
+                elements: out_elems,
+            });
+            layers.push(LayerSpec::Activation {
+                elements: out_elems,
+            });
             layers.push(LayerSpec::Conv(conv(
                 &format!("layer{block_idx}b"),
                 out_c,
@@ -246,7 +274,9 @@ pub fn resnet18_imagenet() -> ModelSpec {
                 1,
                 out_h,
             )));
-            layers.push(LayerSpec::BatchNorm { elements: out_elems });
+            layers.push(LayerSpec::BatchNorm {
+                elements: out_elems,
+            });
             if stride != 1 || in_c != out_c {
                 layers.push(LayerSpec::Conv(conv(
                     &format!("layer{block_idx}s"),
@@ -257,10 +287,16 @@ pub fn resnet18_imagenet() -> ModelSpec {
                     0,
                     h,
                 )));
-                layers.push(LayerSpec::BatchNorm { elements: out_elems });
+                layers.push(LayerSpec::BatchNorm {
+                    elements: out_elems,
+                });
             }
-            layers.push(LayerSpec::EltwiseAdd { elements: out_elems });
-            layers.push(LayerSpec::Activation { elements: out_elems });
+            layers.push(LayerSpec::EltwiseAdd {
+                elements: out_elems,
+            });
+            layers.push(LayerSpec::Activation {
+                elements: out_elems,
+            });
             h = out_h;
             in_c = out_c;
         }

@@ -65,7 +65,12 @@ mod tests {
         let mut rng = seeded_rng(5);
         let w = he_normal(&mut rng, Shape::new(&[50_000]), 50);
         let mean = w.mean();
-        let var = w.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / w.len() as f32;
+        let var = w
+            .data()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / w.len() as f32;
         let expected = 2.0 / 50.0;
         assert!((var - expected).abs() < expected * 0.1, "var {var}");
     }

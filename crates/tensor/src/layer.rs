@@ -97,7 +97,12 @@ impl Conv2d {
         let fan_in = cfg.patch_len();
         let weight = init::he_normal(
             rng,
-            Shape::new(&[cfg.out_channels, cfg.in_channels, cfg.kernel_h, cfg.kernel_w]),
+            Shape::new(&[
+                cfg.out_channels,
+                cfg.in_channels,
+                cfg.kernel_h,
+                cfg.kernel_w,
+            ]),
             fan_in,
         );
         let bias = Tensor::zeros(Shape::new(&[cfg.out_channels]));
@@ -581,7 +586,10 @@ mod tests {
     fn sequential_forward_backward_shapes() {
         let mut rng = seeded_rng(0);
         let mut net = Sequential::new();
-        net.push(Conv2d::new(&mut rng, Conv2dConfig::new(1, 4, 3).with_padding(1)));
+        net.push(Conv2d::new(
+            &mut rng,
+            Conv2dConfig::new(1, 4, 3).with_padding(1),
+        ));
         net.push(ReLU::new());
         net.push(MaxPool2d::new(2));
         net.push(Flatten::new());
@@ -625,7 +633,9 @@ mod tests {
         let x = Tensor::full(Shape::new(&[1, 2, 4, 4]), 1.0);
         let y = block.forward(&x, true).unwrap();
         assert_eq!(y.data(), x.data());
-        let g = block.backward(&Tensor::full(x.shape().clone(), 1.0)).unwrap();
+        let g = block
+            .backward(&Tensor::full(x.shape().clone(), 1.0))
+            .unwrap();
         assert_eq!(g.shape(), x.shape());
         // Identity path alone passes gradient 1 everywhere (plus the conv
         // path contribution, which is 0 for zero weights).
@@ -649,7 +659,9 @@ mod tests {
         let x = Tensor::full(Shape::new(&[1, 2, 8, 8]), 0.5);
         let y = block.forward(&x, true).unwrap();
         assert_eq!(y.shape(), &Shape::new(&[1, 4, 4, 4]));
-        let gx = block.backward(&Tensor::full(y.shape().clone(), 1.0)).unwrap();
+        let gx = block
+            .backward(&Tensor::full(y.shape().clone(), 1.0))
+            .unwrap();
         assert_eq!(gx.shape(), x.shape());
     }
 

@@ -242,8 +242,18 @@ pub fn col2im(
 ///
 /// Propagates shape errors from [`im2col`] and the GEMM, and rejects a
 /// weight tensor whose shape disagrees with `cfg`.
-pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, cfg: &Conv2dConfig) -> Result<Tensor> {
-    let expected_w = Shape::new(&[cfg.out_channels, cfg.in_channels, cfg.kernel_h, cfg.kernel_w]);
+pub fn conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    cfg: &Conv2dConfig,
+) -> Result<Tensor> {
+    let expected_w = Shape::new(&[
+        cfg.out_channels,
+        cfg.in_channels,
+        cfg.kernel_h,
+        cfg.kernel_w,
+    ]);
     if weight.shape() != &expected_w {
         return Err(TensorError::ShapeMismatch {
             lhs: weight.shape().clone(),
@@ -261,7 +271,8 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, bias: Option<&Tensor>, cfg: &Conv
     let wmat = weight
         .clone()
         .reshape(Shape::new(&[cfg.out_channels, cfg.patch_len()]))?;
-    let out2d = patches.matmul(&wmat.transpose()?)?; // [N*P, M]
+    // [N*P, M]
+    let out2d = patches.matmul(&wmat.transpose()?)?;
     // Permute [N*P, M] -> [N, M, OH, OW].
     let p = oh * ow;
     let m = cfg.out_channels;
@@ -342,9 +353,7 @@ pub fn conv2d_backward(
     }
     let db = Tensor::from_vec(db, Shape::new(&[m]))?;
     // dpatches = g2d . W2d -> [N*P, CKK]
-    let wmat = weight
-        .clone()
-        .reshape(Shape::new(&[m, cfg.patch_len()]))?;
+    let wmat = weight.clone().reshape(Shape::new(&[m, cfg.patch_len()]))?;
     let dpatches = g2d.matmul(&wmat)?;
     let dinput = col2im(&dpatches, n, c, h, w, cfg)?;
     Ok((dinput, dw, db))
@@ -358,7 +367,11 @@ mod tests {
 
     fn small_input() -> Tensor {
         // 1x1x4x4 ramp.
-        Tensor::from_vec((0..16).map(|i| i as f32).collect(), Shape::new(&[1, 1, 4, 4])).unwrap()
+        Tensor::from_vec(
+            (0..16).map(|i| i as f32).collect(),
+            Shape::new(&[1, 1, 4, 4]),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -398,7 +411,10 @@ mod tests {
         let cols = im2col(&small_input(), &cfg).unwrap();
         assert_eq!(cols.shape(), &Shape::new(&[16, 9]));
         // Patch at (0,0): top row and left column fall in the padding.
-        assert_eq!(&cols.data()[0..9], &[0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 4.0, 5.0]);
+        assert_eq!(
+            &cols.data()[0..9],
+            &[0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 4.0, 5.0]
+        );
     }
 
     #[test]
@@ -461,7 +477,10 @@ mod tests {
                             }
                         }
                         let got = y.at(&[n, m, ohi, owi]);
-                        assert!((got - acc).abs() < 1e-4, "mismatch at {n},{m},{ohi},{owi}: {got} vs {acc}");
+                        assert!(
+                            (got - acc).abs() < 1e-4,
+                            "mismatch at {n},{m},{ohi},{owi}: {got} vs {acc}"
+                        );
                     }
                 }
             }
@@ -506,7 +525,11 @@ mod tests {
             let fp = conv2d(&xp, &w, Some(&b), &cfg).unwrap().sum();
             let fm = conv2d(&xm, &w, Some(&b), &cfg).unwrap().sum();
             let num = (fp - fm) / (2.0 * eps);
-            assert!((num - dx.data()[idx]).abs() < 1e-2, "dx[{idx}]: {num} vs {}", dx.data()[idx]);
+            assert!(
+                (num - dx.data()[idx]).abs() < 1e-2,
+                "dx[{idx}]: {num} vs {}",
+                dx.data()[idx]
+            );
         }
         for &idx in &[0usize, 10, 20, 53] {
             let mut wp = w.clone();
@@ -516,7 +539,11 @@ mod tests {
             let fp = conv2d(&x, &wp, Some(&b), &cfg).unwrap().sum();
             let fm = conv2d(&x, &wm, Some(&b), &cfg).unwrap().sum();
             let num = (fp - fm) / (2.0 * eps);
-            assert!((num - dw.data()[idx]).abs() < 1e-2, "dw[{idx}]: {num} vs {}", dw.data()[idx]);
+            assert!(
+                (num - dw.data()[idx]).abs() < 1e-2,
+                "dw[{idx}]: {num} vs {}",
+                dw.data()[idx]
+            );
         }
         // Bias gradient for loss=sum is the number of output positions.
         let p = y.len() as f32 / 3.0;

@@ -69,7 +69,10 @@ pub fn linear_backward(
     let (n, f_out) = (grad_out.shape().dim(0), grad_out.shape().dim(1));
     let mut gb = vec![0.0f32; f_out];
     for i in 0..n {
-        for (g, &go) in gb.iter_mut().zip(&grad_out.data()[i * f_out..(i + 1) * f_out]) {
+        for (g, &go) in gb
+            .iter_mut()
+            .zip(&grad_out.data()[i * f_out..(i + 1) * f_out])
+        {
             *g += go;
         }
     }

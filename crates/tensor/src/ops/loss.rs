@@ -108,8 +108,7 @@ mod tests {
 
     #[test]
     fn perfect_prediction_has_low_loss() {
-        let logits =
-            Tensor::from_vec(vec![10.0, -10.0, -10.0, 10.0], Shape::new(&[2, 2])).unwrap();
+        let logits = Tensor::from_vec(vec![10.0, -10.0, -10.0, 10.0], Shape::new(&[2, 2])).unwrap();
         let out = cross_entropy(&logits, &[0, 1]).unwrap();
         assert!(out.loss < 1e-4);
     }

@@ -104,10 +104,7 @@ pub fn max_pool2d(input: &Tensor, cfg: &PoolConfig) -> Result<(Tensor, Vec<usize
             }
         }
     }
-    Ok((
-        Tensor::from_vec(out, Shape::new(&[n, c, oh, ow]))?,
-        idx,
-    ))
+    Ok((Tensor::from_vec(out, Shape::new(&[n, c, oh, ow]))?, idx))
 }
 
 /// Backward pass of [`max_pool2d`]: routes each output gradient to the

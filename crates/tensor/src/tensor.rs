@@ -362,7 +362,12 @@ impl Tensor {
         self.data.iter().all(|x| x.is_finite())
     }
 
-    fn zip_with(&self, rhs: &Tensor, op: &'static str, f: impl Fn(f32, f32) -> f32) -> Result<Self> {
+    fn zip_with(
+        &self,
+        rhs: &Tensor,
+        op: &'static str,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Self> {
         if self.shape != rhs.shape {
             return Err(TensorError::ShapeMismatch {
                 lhs: self.shape.clone(),
@@ -415,7 +420,10 @@ mod tests {
 
     #[test]
     fn zeros_and_full() {
-        assert!(Tensor::zeros(Shape::new(&[3])).data().iter().all(|&x| x == 0.0));
+        assert!(Tensor::zeros(Shape::new(&[3]))
+            .data()
+            .iter()
+            .all(|&x| x == 0.0));
         assert!(Tensor::full(Shape::new(&[3]), 2.5)
             .data()
             .iter()

@@ -55,7 +55,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             },
         )?;
         let dc = engine.evaluate(test_set.images(), test_set.labels(), 32)?;
-        println!("  k={k:4}: {:.1}%  (BL - DC = {:+.1} pts)", dc * 100.0, (bl - dc) * 100.0);
+        println!(
+            "  k={k:4}: {:.1}%  (BL - DC = {:+.1} pts)",
+            dc * 100.0,
+            (bl - dc) * 100.0
+        );
     }
     Ok(())
 }

@@ -16,7 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The paper's §II-B worked example: algebraic dot-product = 2.0765.
     let x = [0.6012f32, 0.8383, 0.6859, 0.5712];
     let y = [0.9044f32, 0.5352, 0.8110, 0.9243];
-    println!("algebraic x.y           = {:.4}", GeometricDot::algebraic(&x, &y)?);
+    println!(
+        "algebraic x.y           = {:.4}",
+        GeometricDot::algebraic(&x, &y)?
+    );
     for k in [64usize, 256, 1024] {
         let gd = GeometricDot::new(4, k, 7)?;
         println!("geometric approx (k={k:4}) = {:.4}", gd.dot(&x, &y)?);
@@ -69,7 +72,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The Hamming angle estimator has std-dev ~pi/(2*sqrt(k)); for unit
     // Gaussian 32-dim operands that is an absolute error scale of
     // ~||a||*||b||*pi/(2*sqrt(k)) ≈ 1.6 here. CNNs tolerate this (Fig. 5).
-    println!("expected |error| scale at k={k}: ~{:.2}", 32.0 * std::f32::consts::PI / (2.0 * (k as f32).sqrt()));
-    println!("utilization: {:.1}% of CAM rows occupied", cam.utilization() * 100.0);
+    println!(
+        "expected |error| scale at k={k}: ~{:.2}",
+        32.0 * std::f32::consts::PI / (2.0 * (k as f32).sqrt())
+    );
+    println!(
+        "utilization: {:.1}% of CAM rows occupied",
+        cam.utilization() * 100.0
+    );
     Ok(())
 }

@@ -111,5 +111,8 @@ fn weight_stationary_mapping_same_results() {
         }
     }
 
-    assert_eq!(as_out, ws_out, "dataflows must agree on every Hamming distance");
+    assert_eq!(
+        as_out, ws_out,
+        "dataflows must agree on every Hamming distance"
+    );
 }

@@ -25,8 +25,13 @@ fn lenet_digits_bl_vs_dc_pipeline() {
     let (train_set, test_set) = generate(&SynthConfig::digits().with_samples(24, 5));
     let mut rng = seeded_rng(1);
     let mut model = scaled_lenet5(&mut rng, 10);
-    train(&mut model, train_set.images(), train_set.labels(), &quick_train_cfg())
-        .expect("training runs");
+    train(
+        &mut model,
+        train_set.images(),
+        train_set.labels(),
+        &quick_train_cfg(),
+    )
+    .expect("training runs");
     let bl = evaluate(&mut model, test_set.images(), test_set.labels(), 25).expect("bl eval");
     assert!(bl > 0.3, "float model failed to learn anything: {bl}");
 
@@ -42,10 +47,7 @@ fn lenet_digits_bl_vs_dc_pipeline() {
         .evaluate(test_set.images(), test_set.labels(), 25)
         .expect("dc eval");
     // At k=1024 the approximation must retain most of the accuracy.
-    assert!(
-        dc + 0.25 >= bl,
-        "DC@1024 {dc} lost too much versus BL {bl}"
-    );
+    assert!(dc + 0.25 >= bl, "DC@1024 {dc} lost too much versus BL {bl}");
 }
 
 #[test]
@@ -53,8 +55,13 @@ fn accuracy_improves_with_hash_length_on_average() {
     let (train_set, test_set) = generate(&SynthConfig::digits().with_samples(24, 5));
     let mut rng = seeded_rng(2);
     let mut model = scaled_lenet5(&mut rng, 10);
-    train(&mut model, train_set.images(), train_set.labels(), &quick_train_cfg())
-        .expect("training runs");
+    train(
+        &mut model,
+        train_set.images(),
+        train_set.labels(),
+        &quick_train_cfg(),
+    )
+    .expect("training runs");
     let acc_at = |k: usize| {
         DeepCamEngine::compile(
             &model,
@@ -103,8 +110,13 @@ fn variable_plan_search_integrates_with_training() {
     let (train_set, test_set) = generate(&SynthConfig::digits().with_samples(16, 4));
     let mut rng = seeded_rng(4);
     let mut model = scaled_lenet5(&mut rng, 10);
-    train(&mut model, train_set.images(), train_set.labels(), &quick_train_cfg())
-        .expect("training runs");
+    train(
+        &mut model,
+        train_set.images(),
+        train_set.labels(),
+        &quick_train_cfg(),
+    )
+    .expect("training runs");
     let (x, y) = test_set.batch(&(0..20).collect::<Vec<_>>());
     let result = deepcam::accel::analysis::search_variable_plan(
         &model,

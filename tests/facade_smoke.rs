@@ -1,0 +1,83 @@
+//! Workspace smoke test: touches every facade re-export path of the
+//! `deepcam` crate so that a manifest or re-export regression in any
+//! member crate is caught by tier-1 (`cargo test -q`) even if no other
+//! integration test happens to import that module.
+
+use deepcam::accel::sched::CamScheduler;
+use deepcam::accel::{Dataflow, DeepCamEngine, EngineConfig, HashPlan};
+use deepcam::baselines::{Eyeriss, SkylakeCpu};
+use deepcam::cam::{CamArray, CamConfig};
+use deepcam::data::synth::{generate, SynthConfig};
+use deepcam::hash::geometric::GeometricDot;
+use deepcam::hash::{BitVec, ContextGenerator};
+use deepcam::models::{scaled::scaled_lenet5, zoo};
+use deepcam::tensor::rng::seeded_rng;
+use deepcam::tensor::{Shape, Tensor};
+
+#[test]
+fn tensor_reexport_path() {
+    let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], Shape::new(&[2, 2])).unwrap();
+    assert_eq!(t.data().len(), 4);
+}
+
+#[test]
+fn data_reexport_path() {
+    let (train, test) = generate(&SynthConfig::tiny_digits());
+    assert_eq!(train.classes(), 10);
+    assert!(!train.is_empty() && !test.is_empty());
+}
+
+#[test]
+fn models_reexport_path() {
+    let spec = zoo::lenet5();
+    assert!(spec.total_macs() > 0);
+    let mut rng = seeded_rng(0);
+    let model = scaled_lenet5(&mut rng, 10);
+    drop(model);
+}
+
+#[test]
+fn hash_reexport_path() {
+    let gd = GeometricDot::new(4, 1024, 7).unwrap();
+    let approx = gd
+        .dot(
+            &[0.6012, 0.8383, 0.6859, 0.5712],
+            &[0.9044, 0.5352, 0.8110, 0.9243],
+        )
+        .unwrap();
+    // The paper's §II-B worked example: algebraic dot = 2.0765.
+    assert!((approx - 2.0765).abs() < 0.25, "approx {approx}");
+    let ctx = ContextGenerator::new(4, 256, 1)
+        .unwrap()
+        .context_for(&[1.0, 0.0, 0.0, 0.0])
+        .unwrap();
+    assert_eq!(ctx.bits.len(), 256);
+}
+
+#[test]
+fn cam_reexport_path() {
+    let mut cam = CamArray::new(CamConfig::new(64, 256).unwrap());
+    cam.write_row(0, BitVec::from_bools(&[true; 256])).unwrap();
+    let hits = cam.search(&BitVec::from_bools(&[false; 256])).unwrap();
+    assert_eq!(hits[0].hamming, 256);
+}
+
+#[test]
+fn accel_reexport_path() {
+    let sched = CamScheduler::new(64, Dataflow::ActivationStationary).unwrap();
+    let perf = sched.run(&zoo::lenet5(), &HashPlan::Uniform(256)).unwrap();
+    assert!(perf.total_cycles > 0);
+    // The engine types named by ISSUE 1 must stay importable from `accel`.
+    let cfg = EngineConfig::default();
+    let mut rng = seeded_rng(1);
+    let model = scaled_lenet5(&mut rng, 10);
+    let engine = DeepCamEngine::compile(&model, cfg).unwrap();
+    drop(engine);
+}
+
+#[test]
+fn baselines_reexport_path() {
+    let spec = zoo::lenet5();
+    assert!(Eyeriss::paper_config().run(&spec).total_cycles > 0);
+    assert!(SkylakeCpu::default().run(&spec).total_cycles > 0);
+}

@@ -35,7 +35,9 @@ fn utilization_always_in_bounds() {
         for dataflow in Dataflow::both() {
             for rows in [64usize, 512] {
                 let sched = CamScheduler::new(rows, dataflow).expect("rows supported");
-                let perf = sched.run(&spec, &HashPlan::Uniform(512)).expect("plan fits");
+                let perf = sched
+                    .run(&spec, &HashPlan::Uniform(512))
+                    .expect("plan fits");
                 for layer in &perf.layers {
                     assert!(
                         layer.utilization > 0.0 && layer.utilization <= 1.0,

@@ -1,0 +1,246 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API the `deepcam-bench` benches
+//! use — `criterion_group!`/`criterion_main!`, `Criterion::default()` with
+//! `warm_up_time`/`measurement_time`/`sample_size`, `benchmark_group`,
+//! `bench_function` and `Bencher::iter` — with a simple wall-clock
+//! measurement loop. It reports min/median/mean per benchmark. It performs
+//! no statistical analysis, saves no baselines, and exists so that `cargo
+//! bench` and `cargo build --benches` work without registry access.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver, configured per group via the builder
+/// methods and handed to each target of [`criterion_group!`].
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(900),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Starts a named group; benchmark ids are printed as `group/name`.
+    /// The group gets its own copy of the config, so group-level setter
+    /// calls don't leak into later groups (matching real criterion).
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            config: self.clone(),
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let cfg = self.clone();
+        run_benchmark(&cfg, &id.into(), f);
+        self
+    }
+}
+
+/// A named collection of benchmarks with its own copy of the
+/// [`Criterion`] config.
+pub struct BenchmarkGroup {
+    config: Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.config.sample_size = n;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_benchmark(&self.config, &full, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure given to `bench_function`; call [`Bencher::iter`]
+/// with the code under test.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Re-export matching `criterion::black_box` (the std implementation).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn time_one(f: &mut dyn FnMut(&mut Bencher), iters: u64) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(cfg: &Criterion, id: &str, mut f: F) {
+    // Warm-up while calibrating how many iterations fit in one sample.
+    let mut iters: u64 = 1;
+    let warm_start = Instant::now();
+    let mut per_iter = Duration::from_nanos(1);
+    while warm_start.elapsed() < cfg.warm_up_time {
+        let t = time_one(&mut f, iters);
+        per_iter = t.checked_div(iters as u32).unwrap_or(Duration::ZERO);
+        if per_iter.is_zero() {
+            per_iter = Duration::from_nanos(1);
+        }
+        if t < Duration::from_millis(1) {
+            iters = iters.saturating_mul(2);
+        }
+    }
+
+    // Pick an iteration count so sample_size samples fill measurement_time.
+    let budget = cfg.measurement_time.as_nanos() / cfg.sample_size.max(1) as u128;
+    let per = per_iter.as_nanos().max(1);
+    iters = ((budget / per).clamp(1, u64::MAX as u128)) as u64;
+
+    let mut samples: Vec<f64> = (0..cfg.sample_size)
+        .map(|_| time_one(&mut f, iters).as_nanos() as f64 / iters as f64)
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!(
+        "bench: {id:<48} min {:>12} median {:>12} mean {:>12} ({} iters x {} samples)",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean),
+        iters,
+        samples.len()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group. Supports both the simple form
+/// `criterion_group!(name, target_a, target_b)` and the configured form
+/// with `name = ...; config = ...; targets = ...`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                let mut criterion: $crate::Criterion = $config;
+                $target(&mut criterion);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point; requires `harness = false` in the
+/// target's manifest entry.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10))
+            .sample_size(2);
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_naming_and_finish() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10))
+            .sample_size(2);
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("a", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+}

@@ -1,0 +1,47 @@
+//! `any::<T>()` for the primitive types the workspace samples.
+
+use std::marker::PhantomData;
+
+use rand::RngExt;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Returns the canonical strategy for `T`'s full value domain.
+pub fn any<T>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Strategy returned by [`any`].
+#[derive(Clone, Copy, Debug)]
+pub struct Any<T>(PhantomData<T>);
+
+macro_rules! any_via_random {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.random::<$t>()
+            }
+        }
+    )*};
+}
+
+any_via_random!(bool, u8, u32, u64, usize);
+
+impl Strategy for Any<i32> {
+    type Value = i32;
+
+    fn sample(&self, rng: &mut TestRng) -> i32 {
+        rng.random::<u32>() as i32
+    }
+}
+
+impl Strategy for Any<i64> {
+    type Value = i64;
+
+    fn sample(&self, rng: &mut TestRng) -> i64 {
+        rng.random::<u64>() as i64
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline vendored facade standing in for `serde`.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize`; it never
+//! calls a serializer (no `serde_json`, no `toml` — the container has no
+//! registry access). The derive macros re-exported here expand to nothing,
+//! so this facade only needs the trait names to exist for `use
+//! serde::{Deserialize, Serialize}` to resolve.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait SerializeMarker {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait DeserializeMarker {}

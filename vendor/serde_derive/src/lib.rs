@@ -1,0 +1,21 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on config and report
+//! structs for downstream consumers, but nothing in-tree ever serializes —
+//! there is no `serde_json`/`toml` here and no network to fetch one. These
+//! derives therefore expand to nothing: the attribute compiles, the traits
+//! in the vendored `serde` facade stay implementable later, and the cost is
+//! zero. Swap in the real serde from crates.io when the build environment
+//! gains registry access.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
