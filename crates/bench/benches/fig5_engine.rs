@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use deepcam_core::{DeepCamEngine, EngineConfig, HashPlan};
 use deepcam_models::scaled::scaled_lenet5;
 use deepcam_tensor::rng::seeded_rng;
-use deepcam_tensor::{init, Shape};
+use deepcam_tensor::{init, Parallelism, Shape};
 
 fn bench_engine_infer(c: &mut Criterion) {
     let mut rng = seeded_rng(0);
@@ -22,13 +22,43 @@ fn bench_engine_infer(c: &mut Criterion) {
             &model,
             EngineConfig {
                 plan: HashPlan::Uniform(k),
-                threads: 2,
+                parallelism: Parallelism::Fixed(2),
                 ..EngineConfig::default()
             },
         )
         .expect("compiles");
         group.bench_function(format!("lenet5_batch2_k{k}"), |b| {
             b.iter(|| engine.infer(black_box(&batch)).expect("inference succeeds"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_infer_batch(c: &mut Criterion) {
+    // The sharded runtime: image-level fan-out across worker counts.
+    // Outputs are bit-identical across the sweep; only wall clock moves.
+    let mut rng = seeded_rng(0);
+    let model = scaled_lenet5(&mut rng, 10);
+    let mut data_rng = seeded_rng(1);
+    let batch = init::normal(&mut data_rng, Shape::new(&[8, 1, 28, 28]), 0.0, 1.0);
+    let engine = DeepCamEngine::compile(
+        &model,
+        EngineConfig {
+            plan: HashPlan::Uniform(256),
+            ..EngineConfig::default()
+        },
+    )
+    .expect("compiles");
+
+    let mut group = c.benchmark_group("fig5/engine_infer_batch");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        group.bench_function(format!("lenet5_batch8_w{workers}"), |b| {
+            b.iter(|| {
+                engine
+                    .infer_batch_with(black_box(&batch), Parallelism::Fixed(workers))
+                    .expect("inference succeeds")
+            })
         });
     }
     group.finish();
@@ -59,6 +89,6 @@ criterion_group! {
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_millis(900))
         .sample_size(10);
-    targets = bench_engine_infer, bench_engine_compile
+    targets = bench_engine_infer, bench_engine_infer_batch, bench_engine_compile
 }
 criterion_main!(benches);

@@ -2,15 +2,19 @@
 //! hash lengths, with the searched variable-hash-length configuration.
 //!
 //! Usage: `cargo run --release -p deepcam-bench --bin fig5_accuracy
-//! [--quick|--full] [--workload N]`
+//! [--quick|--full] [--workload N] [--workers N]`
 //!
 //! * `--quick` (default): small synthetic sets, all four workloads.
 //! * `--full`: larger train/eval sets (slower, tighter accuracies).
 //! * `--workload N`: run a single workload (0=LeNet5, 1=VGG11, 2=VGG16,
 //!   3=ResNet18).
+//! * `--workers N`: DC evaluation parallelism (default: all cores, or
+//!   `DEEPCAM_WORKERS`). Accuracies are bit-identical at any setting —
+//!   only wall clock changes.
 
 use deepcam_bench::experiments::fig5::{self, Fig5Config};
 use deepcam_bench::TableWriter;
+use deepcam_tensor::Parallelism;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -32,6 +36,14 @@ fn main() {
             .and_then(|v| v.parse().ok())
             .expect("--workload needs an index 0..=3");
         cfg.workloads = vec![idx];
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--workers") {
+        let workers: usize = args
+            .get(pos + 1)
+            .and_then(|v| v.parse().ok())
+            .filter(|&w| w > 0)
+            .expect("--workers needs a positive integer");
+        cfg.parallelism = Parallelism::Fixed(workers);
     }
 
     println!("== Fig. 5: Top-1 accuracy, software baseline (BL) vs DeepCAM (DC) ==");

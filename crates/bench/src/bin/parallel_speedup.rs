@@ -1,0 +1,140 @@
+//! Measures the parallel sharded inference runtime: wall-clock of
+//! batched DC evaluation before (serial) and after (sharded) the
+//! parallel execution layer, across worker counts, and records the
+//! result in `BENCH_parallel.json`.
+//!
+//! Usage: `cargo run --release -p deepcam-bench --bin parallel_speedup
+//! [--out PATH] [--images N] [--repeats R]`
+//!
+//! The run first asserts the determinism contract — every worker count
+//! must produce bit-identical logits — and only then times the sweep,
+//! so the recorded speedups are guaranteed to compare equal computations.
+//! Speedup scales with physical cores; the `host_cores` field records
+//! what the numbers were measured on.
+
+use std::time::Instant;
+
+use deepcam_core::{DeepCamEngine, EngineConfig, HashPlan};
+use deepcam_models::scaled::scaled_vgg11;
+use deepcam_tensor::rng::seeded_rng;
+use deepcam_tensor::{init, Parallelism, Shape};
+
+struct Measurement {
+    workers: usize,
+    millis: f64,
+}
+
+fn median_millis(mut runs: Vec<f64>) -> f64 {
+    runs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    runs[runs.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let arg = |name: &str| -> Option<usize> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|p| args.get(p + 1))
+            .and_then(|v| v.parse().ok())
+    };
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|p| args.get(p + 1).cloned())
+        .unwrap_or_else(|| "BENCH_parallel.json".to_string());
+    let images = arg("--images").unwrap_or(32);
+    let repeats = arg("--repeats").unwrap_or(3).max(1);
+    let worker_counts = [1usize, 2, 4];
+
+    let host_cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    println!("== Parallel sharded inference runtime: before/after ==");
+    println!("host cores: {host_cores}, images: {images}, repeats: {repeats}");
+
+    let mut rng = seeded_rng(0);
+    let model = scaled_vgg11(&mut rng, 8, 10);
+    let engine = DeepCamEngine::compile(
+        &model,
+        EngineConfig {
+            plan: HashPlan::Uniform(256),
+            ..EngineConfig::default()
+        },
+    )
+    .expect("engine compiles");
+    let mut data_rng = seeded_rng(1);
+    let batch = init::normal(&mut data_rng, Shape::new(&[images, 3, 32, 32]), 0.0, 1.0);
+    let labels = vec![0usize; images];
+
+    // Determinism gate: the timed configurations must agree bit-for-bit.
+    let reference = engine
+        .infer_batch_with(&batch, Parallelism::Serial)
+        .expect("serial inference succeeds");
+    for &w in &worker_counts {
+        let logits = engine
+            .infer_batch_with(&batch, Parallelism::Fixed(w))
+            .expect("sharded inference succeeds");
+        assert_eq!(
+            reference.data(),
+            logits.data(),
+            "worker count {w} must be bit-identical to serial"
+        );
+    }
+    println!("determinism gate passed: logits bit-identical at workers {worker_counts:?}");
+
+    let time_eval = |par: Parallelism| -> f64 {
+        let runs: Vec<f64> = (0..repeats)
+            .map(|_| {
+                let start = Instant::now();
+                let acc = engine
+                    .evaluate_parallel_with(&batch, &labels, 4, par)
+                    .expect("evaluation succeeds");
+                let elapsed = start.elapsed().as_secs_f64() * 1e3;
+                std::hint::black_box(acc);
+                elapsed
+            })
+            .collect();
+        median_millis(runs)
+    };
+
+    // "Before": the serial path every PR before this one ran.
+    let serial_ms = time_eval(Parallelism::Serial);
+    println!("serial (before): {serial_ms:.1} ms");
+    // "After": the sharded runtime across the worker sweep.
+    let after: Vec<Measurement> = worker_counts
+        .iter()
+        .map(|&workers| {
+            let millis = time_eval(Parallelism::Fixed(workers));
+            println!(
+                "{workers} workers (after): {millis:.1} ms ({:.2}x vs serial)",
+                serial_ms / millis
+            );
+            Measurement { workers, millis }
+        })
+        .collect();
+
+    // Hand-rolled JSON: the vendored serde is a no-op shim (no
+    // serializer exists offline), and the schema is flat.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"experiment\": \"batched DC evaluation, scaled VGG11 (width 8), k=256\",\n");
+    json.push_str(&format!("  \"host_cores\": {host_cores},\n"));
+    json.push_str(&format!("  \"images\": {images},\n"));
+    json.push_str("  \"batch_size\": 4,\n");
+    json.push_str(&format!("  \"repeats\": {repeats},\n"));
+    json.push_str("  \"bit_identical_across_workers\": true,\n");
+    json.push_str(&format!("  \"serial_before_ms\": {serial_ms:.2},\n"));
+    json.push_str("  \"parallel_after\": [\n");
+    for (i, m) in after.iter().enumerate() {
+        let comma = if i + 1 == after.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"workers\": {}, \"ms\": {:.2}, \"speedup_vs_serial\": {:.3}}}{comma}\n",
+            m.workers,
+            m.millis,
+            serial_ms / m.millis
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_parallel.json");
+    println!("wrote {out_path}");
+}

@@ -13,7 +13,7 @@ use deepcam_models::scaled::{scaled_lenet5, scaled_resnet18, scaled_vgg11, scale
 use deepcam_models::train::{evaluate, train, TrainConfig};
 use deepcam_models::Cnn;
 use deepcam_tensor::rng::seeded_rng;
-use deepcam_tensor::Tensor;
+use deepcam_tensor::{Parallelism, Tensor};
 
 /// Result row for one workload.
 #[derive(Debug, Clone)]
@@ -50,6 +50,9 @@ pub struct Fig5Config {
     pub tolerance: f32,
     /// Which workloads to run (subset of 0..4, in Table I order).
     pub workloads: Vec<usize>,
+    /// Worker parallelism for DC evaluation (bit-exact at any setting;
+    /// `--workers N` on the binary maps to `Parallelism::Fixed(N)`).
+    pub parallelism: Parallelism,
 }
 
 impl Default for Fig5Config {
@@ -63,6 +66,7 @@ impl Default for Fig5Config {
             hash_lengths: vec![256, 512, 768, 1024],
             tolerance: 0.03,
             workloads: vec![0, 1, 2, 3],
+            parallelism: Parallelism::Auto,
         }
     }
 }
@@ -79,6 +83,7 @@ impl Fig5Config {
             hash_lengths: vec![256, 1024],
             tolerance: 0.1,
             workloads: vec![0],
+            parallelism: Parallelism::Fixed(2),
         }
     }
 }
@@ -120,13 +125,14 @@ fn run_workload(name: &str, mut model: Cnn, data_cfg: &SynthConfig, cfg: &Fig5Co
             &model,
             EngineConfig {
                 plan: HashPlan::Uniform(k),
+                parallelism: cfg.parallelism,
                 ..EngineConfig::default()
             },
         )
         .expect("engine compiles");
         engine.calibrate_bn(&calib_x).expect("calibration succeeds");
         let acc = engine
-            .evaluate(&eval_x, &eval_y, 16)
+            .evaluate_parallel(&eval_x, &eval_y, 16)
             .expect("dc evaluation succeeds");
         uniform.push((k, acc));
     }
@@ -150,13 +156,14 @@ fn run_workload(name: &str, mut model: Cnn, data_cfg: &SynthConfig, cfg: &Fig5Co
         &model,
         EngineConfig {
             plan: search.plan.clone(),
+            parallelism: cfg.parallelism,
             ..EngineConfig::default()
         },
     )
     .expect("engine compiles");
     engine.calibrate_bn(&calib_x).expect("calibration succeeds");
     let variable_acc = engine
-        .evaluate(&eval_x, &eval_y, 16)
+        .evaluate_parallel(&eval_x, &eval_y, 16)
         .expect("dc evaluation succeeds");
 
     Fig5Row {

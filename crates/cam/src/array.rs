@@ -1,6 +1,7 @@
 //! Functional CAM array simulator.
 
 use deepcam_hash::BitVec;
+use deepcam_tensor::pool::{split_ranges, ThreadPool};
 use serde::{Deserialize, Serialize};
 
 use crate::config::CamConfig;
@@ -148,21 +149,56 @@ impl CamArray {
                 actual: key.len(),
             });
         }
+        Ok(self.search_rows(key, 0, self.rows.len()))
+    }
+
+    /// [`CamArray::search`] sharded over contiguous row ranges across
+    /// `shards` pool workers — the software analogue of splitting the
+    /// array into independently-sensed sub-arrays.
+    ///
+    /// Returns the same hits in the same (row) order as the unsharded
+    /// search for every shard count: each shard scans a disjoint row
+    /// range and the per-shard hit lists are concatenated in range order.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CamArray::search`].
+    pub fn search_sharded(&self, key: &BitVec, shards: usize) -> Result<Vec<SearchHit>> {
+        if key.len() != self.config.word_bits() {
+            return Err(CamError::WordLengthMismatch {
+                expected: self.config.word_bits(),
+                actual: key.len(),
+            });
+        }
+        if shards <= 1 || self.rows.len() <= 1 {
+            return Ok(self.search_rows(key, 0, self.rows.len()));
+        }
+        let ranges = split_ranges(self.rows.len(), shards);
+        let per_shard: Vec<Vec<SearchHit>> = ThreadPool::global().run_indexed(ranges.len(), |si| {
+            let r = &ranges[si];
+            self.search_rows(key, r.start, r.end)
+        });
+        Ok(per_shard.concat())
+    }
+
+    /// Match-line evaluation for rows `lo..hi` (key width already
+    /// validated). Row order within the range is preserved.
+    fn search_rows(&self, key: &BitVec, lo: usize, hi: usize) -> Vec<SearchHit> {
         let word_bits = self.config.word_bits();
-        let mut hits = Vec::with_capacity(self.occupied_rows());
-        for (row, stored) in self.rows.iter().enumerate() {
+        let mut hits = Vec::with_capacity(hi - lo);
+        for (offset, stored) in self.rows[lo..hi].iter().enumerate() {
             if let Some(word) = stored {
                 let hamming = word
                     .hamming(key)
                     .expect("stored word width is validated on write");
                 hits.push(SearchHit {
-                    row,
+                    row: lo + offset,
                     hamming,
                     sensed: self.config.sense.read(hamming, word_bits),
                 });
             }
         }
-        Ok(hits)
+        hits
     }
 }
 
@@ -223,6 +259,29 @@ mod tests {
         for hit in hits {
             assert_eq!(hit.hamming, words[hit.row].hamming(&key).unwrap());
         }
+    }
+
+    #[test]
+    fn sharded_search_matches_unsharded() {
+        let mut rng = seeded_rng(5);
+        let mut cam = CamArray::new(CamConfig::new(64, 256).unwrap());
+        // Sparse occupancy: hits must keep row indices, not shard-local
+        // offsets, and empty rows must stay silent in every shard.
+        for row in (0..64).step_by(3) {
+            cam.write_row(row, random_word(256, &mut rng)).unwrap();
+        }
+        let key = random_word(256, &mut rng);
+        let reference = cam.search(&key).unwrap();
+        for shards in [1usize, 2, 3, 7, 64, 200] {
+            let sharded = cam.search_sharded(&key, shards).unwrap();
+            assert_eq!(reference, sharded, "shards {shards}");
+        }
+    }
+
+    #[test]
+    fn sharded_search_validates_key_width() {
+        let cam = CamArray::new(CamConfig::new(64, 512).unwrap());
+        assert!(cam.search_sharded(&BitVec::zeros(256), 4).is_err());
     }
 
     #[test]

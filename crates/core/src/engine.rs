@@ -20,9 +20,10 @@ use deepcam_hash::context::ContextSet;
 use deepcam_hash::geometric::{CosineMode, GeometricDot, NormMode};
 use deepcam_hash::{BitVec, ContextGenerator, Minifloat8};
 use deepcam_models::{Block, Cnn, ResBlock};
-use deepcam_tensor::ops::conv::{im2col, Conv2dConfig};
+use deepcam_tensor::ops::conv::{im2col_sharded, Conv2dConfig};
 use deepcam_tensor::ops::norm::BN_EPS;
 use deepcam_tensor::ops::pool::{avg_pool2d, max_pool2d, PoolConfig};
+use deepcam_tensor::pool::{split_ranges, Parallelism, ThreadPool};
 use deepcam_tensor::rng::{seeded_rng, standard_normal};
 use deepcam_tensor::{Shape, Tensor};
 use serde::{Deserialize, Serialize};
@@ -47,8 +48,13 @@ pub struct EngineConfig {
     /// (0.0 = ideal device). Weight hashes are software-generated and
     /// always clean.
     pub crossbar_noise: f32,
-    /// Worker threads for patch hashing (0 = all available cores).
-    pub threads: usize,
+    /// Worker parallelism for patch hashing and batched inference.
+    ///
+    /// Any setting produces **bit-identical** outputs — parallelism only
+    /// changes wall clock (see `tests/parallel_equivalence.rs`). The
+    /// [`Parallelism::Auto`] default honors the `DEEPCAM_WORKERS`
+    /// environment variable.
+    pub parallelism: Parallelism,
 }
 
 impl Default for EngineConfig {
@@ -59,7 +65,7 @@ impl Default for EngineConfig {
             cosine: CosineMode::default(),
             norm: NormMode::default(),
             crossbar_noise: 0.0,
-            threads: 0,
+            parallelism: Parallelism::Auto,
         }
     }
 }
@@ -147,15 +153,83 @@ impl DeepCamEngine {
 
     /// Runs inference on an NCHW batch, returning logits `[N, classes]`.
     ///
+    /// Patch hashing inside each layer is sharded across the configured
+    /// [`Parallelism`]; results are bit-identical for every setting.
+    ///
     /// # Errors
     ///
     /// Propagates tensor shape errors (batch/model mismatch).
     pub fn infer(&self, batch: &Tensor) -> Result<Tensor> {
+        self.infer_at_offset(batch, 0, self.cfg.parallelism.resolve())
+    }
+
+    /// Runs inference with the batch logically positioned at image index
+    /// `img_offset` of a larger set, using `dot_workers` workers inside
+    /// each layer. The offset only matters under `crossbar_noise > 0`,
+    /// where it keeps per-patch noise a function of the *global* image
+    /// index so any batching/sharding of a set reproduces the same
+    /// disturbances.
+    fn infer_at_offset(
+        &self,
+        batch: &Tensor,
+        img_offset: usize,
+        dot_workers: usize,
+    ) -> Result<Tensor> {
         let mut cur = batch.clone();
         for step in &self.steps {
-            cur = self.run_step(step, &cur)?;
+            cur = run_step(step, &cur, &self.cfg, img_offset, dot_workers)?;
         }
         Ok(cur)
+    }
+
+    /// Batched inference fanned out across worker threads: the batch is
+    /// split into contiguous image chunks, each chunk runs the full
+    /// pipeline on one worker, and the logits are reassembled in input
+    /// order (a deterministic reduction).
+    ///
+    /// **Bit-exactness guarantee:** for every worker count — including
+    /// under `crossbar_noise` — the logits equal serial
+    /// [`DeepCamEngine::infer`] exactly. The differential suite in
+    /// `tests/parallel_equivalence.rs` enforces this on all zoo models.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor shape errors (batch/model mismatch).
+    pub fn infer_batch(&self, batch: &Tensor) -> Result<Tensor> {
+        self.infer_batch_with(batch, self.cfg.parallelism)
+    }
+
+    /// [`DeepCamEngine::infer_batch`] with an explicit parallelism
+    /// override (the compiled engine is reusable across worker counts).
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor shape errors (batch/model mismatch).
+    pub fn infer_batch_with(&self, batch: &Tensor, parallelism: Parallelism) -> Result<Tensor> {
+        let n = batch.shape().dim(0);
+        let workers = parallelism.resolve().min(n.max(1));
+        if workers <= 1 {
+            return self.infer_at_offset(batch, 0, parallelism.resolve());
+        }
+        let ranges = split_ranges(n, workers);
+        // Image-level fan-out is the outer parallel loop; the worker
+        // budget left over when there are fewer chunks than workers goes
+        // to per-layer patch hashing inside each chunk (either nesting
+        // is bit-exact — parallelism never changes values).
+        let inner_workers = (workers / ranges.len()).max(1);
+        let chunks: Vec<Result<Tensor>> = ThreadPool::global().run_indexed(ranges.len(), |ci| {
+            let r = &ranges[ci];
+            let chunk = self.image_chunk(batch, r.start, r.end)?;
+            self.infer_at_offset(&chunk, r.start, inner_workers)
+        });
+        let mut logits: Vec<f32> = Vec::new();
+        let mut classes = 0usize;
+        for chunk in chunks {
+            let chunk = chunk?;
+            classes = chunk.shape().dim(1);
+            logits.extend_from_slice(chunk.data());
+        }
+        Ok(Tensor::from_vec(logits, Shape::new(&[n, classes]))?)
     }
 
     /// Recalibrates every batch-norm stage's running statistics under the
@@ -181,50 +255,176 @@ impl DeepCamEngine {
         result.map(|_| ())
     }
 
+    /// Validates an evaluation request and returns the image count.
+    fn check_eval_inputs(
+        &self,
+        images: &Tensor,
+        labels: &[usize],
+        batch_size: usize,
+    ) -> Result<usize> {
+        let n = images.shape().dim(0);
+        if n != labels.len() {
+            return Err(CoreError::InvalidInput(format!(
+                "evaluate: {} images but {} labels",
+                n,
+                labels.len()
+            )));
+        }
+        if batch_size == 0 {
+            return Err(CoreError::InvalidInput(
+                "evaluate: batch_size must be > 0".to_string(),
+            ));
+        }
+        Ok(n)
+    }
+
+    /// Copies images `start..end` into a standalone NCHW batch.
+    fn image_chunk(&self, images: &Tensor, start: usize, end: usize) -> Result<Tensor> {
+        let sample: usize = images.shape().dims()[1..].iter().product();
+        let mut dims = vec![end - start];
+        dims.extend_from_slice(&images.shape().dims()[1..]);
+        Ok(Tensor::from_vec(
+            images.data()[start * sample..end * sample].to_vec(),
+            Shape::new(&dims),
+        )?)
+    }
+
+    /// Counts top-1 hits of `logits` against `labels` (first index wins
+    /// ties, matching `Tensor::argmax`).
+    fn count_correct(logits: &Tensor, labels: &[usize]) -> usize {
+        let classes = logits.shape().dim(1);
+        let mut correct = 0usize;
+        for (row, &label) in labels.iter().enumerate() {
+            let slice = &logits.data()[row * classes..(row + 1) * classes];
+            let mut best = 0usize;
+            for (j, &v) in slice.iter().enumerate() {
+                if v > slice[best] {
+                    best = j;
+                }
+            }
+            if best == label {
+                correct += 1;
+            }
+        }
+        correct
+    }
+
     /// Top-1 accuracy over a labelled set, processed in mini-batches.
+    ///
+    /// When the image count is not a multiple of `batch_size`, the final
+    /// mini-batch is simply smaller — every image is always evaluated,
+    /// never silently dropped (`evaluate_never_truncates_remainder` in
+    /// the test suite pins this down).
     ///
     /// # Errors
     ///
-    /// Propagates inference errors.
+    /// Returns [`CoreError::InvalidInput`] when the label count differs
+    /// from the image count or `batch_size` is zero; propagates inference
+    /// errors.
     pub fn evaluate(&self, images: &Tensor, labels: &[usize], batch_size: usize) -> Result<f32> {
-        let n = images.shape().dim(0);
-        assert_eq!(n, labels.len(), "label count must match image count");
-        let sample: usize = images.shape().dims()[1..].iter().product();
+        let n = self.check_eval_inputs(images, labels, batch_size)?;
+        self.evaluate_batches_serially(
+            images,
+            labels,
+            batch_size,
+            n,
+            self.cfg.parallelism.resolve(),
+        )
+    }
+
+    /// Walks the mini-batches on the calling thread, using `dot_workers`
+    /// workers inside each layer (inputs already validated).
+    fn evaluate_batches_serially(
+        &self,
+        images: &Tensor,
+        labels: &[usize],
+        batch_size: usize,
+        n: usize,
+        dot_workers: usize,
+    ) -> Result<f32> {
         let mut correct = 0usize;
         let mut start = 0usize;
         while start < n {
-            let end = (start + batch_size.max(1)).min(n);
-            let mut dims = vec![end - start];
-            dims.extend_from_slice(&images.shape().dims()[1..]);
-            let chunk = Tensor::from_vec(
-                images.data()[start * sample..end * sample].to_vec(),
-                Shape::new(&dims),
-            )?;
-            let logits = self.infer(&chunk)?;
-            let classes = logits.shape().dim(1);
-            for (row, &label) in labels[start..end].iter().enumerate() {
-                let slice = &logits.data()[row * classes..(row + 1) * classes];
-                let mut best = 0usize;
-                for (j, &v) in slice.iter().enumerate() {
-                    if v > slice[best] {
-                        best = j;
-                    }
-                }
-                if best == label {
-                    correct += 1;
-                }
-            }
+            let end = (start + batch_size).min(n);
+            let chunk = self.image_chunk(images, start, end)?;
+            let logits = self.infer_at_offset(&chunk, start, dot_workers)?;
+            correct += Self::count_correct(&logits, &labels[start..end]);
             start = end;
         }
         Ok(correct as f32 / n.max(1) as f32)
     }
 
-    fn run_step(&self, step: &Step, x: &Tensor) -> Result<Tensor> {
-        run_step(step, x, &self.cfg)
+    /// [`DeepCamEngine::evaluate`] with mini-batches fanned out across
+    /// the configured [`Parallelism`]. Per-batch hit counts are reduced
+    /// in batch order, and per-image logits are bit-identical to the
+    /// serial path, so the returned accuracy is **exactly** equal to
+    /// [`DeepCamEngine::evaluate`] for every worker count.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DeepCamEngine::evaluate`].
+    pub fn evaluate_parallel(
+        &self,
+        images: &Tensor,
+        labels: &[usize],
+        batch_size: usize,
+    ) -> Result<f32> {
+        self.evaluate_parallel_with(images, labels, batch_size, self.cfg.parallelism)
+    }
+
+    /// [`DeepCamEngine::evaluate_parallel`] with an explicit parallelism
+    /// override (the compiled engine is reusable across worker counts).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DeepCamEngine::evaluate`].
+    pub fn evaluate_parallel_with(
+        &self,
+        images: &Tensor,
+        labels: &[usize],
+        batch_size: usize,
+        parallelism: Parallelism,
+    ) -> Result<f32> {
+        let n = self.check_eval_inputs(images, labels, batch_size)?;
+        let workers = parallelism.resolve();
+        if workers <= 1 || n == 0 {
+            // Honor the override on the fallback too: `workers` (not the
+            // engine-config parallelism) drives in-layer patch hashing,
+            // so `Parallelism::Serial` here is genuinely single-threaded.
+            return self.evaluate_batches_serially(images, labels, batch_size, n, workers);
+        }
+        let n_batches = n.div_ceil(batch_size);
+        // As in infer_batch_with: spare workers (when there are fewer
+        // mini-batches than workers) shard patch hashing inside each
+        // batch instead of idling.
+        let inner_workers = (workers / n_batches).max(1);
+        let counts: Vec<Result<usize>> = ThreadPool::global().run_indexed(n_batches, |bi| {
+            let start = bi * batch_size;
+            let end = (start + batch_size).min(n);
+            let chunk = self.image_chunk(images, start, end)?;
+            let logits = self.infer_at_offset(&chunk, start, inner_workers)?;
+            Ok(Self::count_correct(&logits, &labels[start..end]))
+        });
+        let mut correct = 0usize;
+        for count in counts {
+            correct += count?;
+        }
+        Ok(correct as f32 / n as f32)
     }
 }
 
-fn run_step(step: &Step, x: &Tensor, cfg: &EngineConfig) -> Result<Tensor> {
+/// Executes one pipeline step on `x`.
+///
+/// `img_offset` is the global index of `x`'s first image within the set
+/// being inferred (keeps crossbar noise batch-invariant); `dot_workers`
+/// is the worker count for patch hashing inside the step.
+fn run_step(
+    step: &Step,
+    x: &Tensor,
+    cfg: &EngineConfig,
+    img_offset: usize,
+    dot_workers: usize,
+) -> Result<Tensor> {
     {
         match step {
             Step::Conv {
@@ -240,8 +440,22 @@ fn run_step(step: &Step, x: &Tensor, cfg: &EngineConfig) -> Result<Tensor> {
                     .as_nchw()
                     .ok_or_else(|| CoreError::Unsupported("conv input must be NCHW".to_string()))?;
                 let (oh, ow) = conv_cfg.output_hw(h, w);
-                let patches = im2col(x, conv_cfg)?; // [N*P, n]
-                let out2d = dot_rows(&patches, proj, weights, *k, *layer_idx, cfg)?;
+                // Patch extraction shards over the same worker budget as
+                // the hashing below (bit-identical at any count).
+                let patches = im2col_sharded(x, conv_cfg, dot_workers)?; // [N*P, n]
+                                                                         // Every image contributes OH*OW patch rows, so the global
+                                                                         // patch-row offset of this chunk is img_offset * P.
+                let row_offset = img_offset * (oh * ow);
+                let out2d = dot_rows(
+                    &patches,
+                    proj,
+                    weights,
+                    *k,
+                    *layer_idx,
+                    cfg,
+                    row_offset,
+                    dot_workers,
+                )?;
                 // Permute [N*P, M] -> [N, M, OH, OW] and add bias.
                 let p = oh * ow;
                 let m = weights.len();
@@ -263,7 +477,17 @@ fn run_step(step: &Step, x: &Tensor, cfg: &EngineConfig) -> Result<Tensor> {
                 k,
                 layer_idx,
             } => {
-                let out2d = dot_rows(x, proj, weights, *k, *layer_idx, cfg)?;
+                // One patch row per image: the row offset is img_offset.
+                let out2d = dot_rows(
+                    x,
+                    proj,
+                    weights,
+                    *k,
+                    *layer_idx,
+                    cfg,
+                    img_offset,
+                    dot_workers,
+                )?;
                 let n_batch = x.shape().dim(0);
                 let m = weights.len();
                 let mut out = out2d;
@@ -306,13 +530,13 @@ fn run_step(step: &Step, x: &Tensor, cfg: &EngineConfig) -> Result<Tensor> {
             Step::Residual { body, shortcut } => {
                 let mut main = x.clone();
                 for s in body {
-                    main = run_step(s, &main, cfg)?;
+                    main = run_step(s, &main, cfg, img_offset, dot_workers)?;
                 }
                 let skip = match shortcut {
                     Some(sc) => {
                         let mut t = x.clone();
                         for s in sc {
-                            t = run_step(s, &t, cfg)?;
+                            t = run_step(s, &t, cfg, img_offset, dot_workers)?;
                         }
                         t
                     }
@@ -328,6 +552,7 @@ fn run_step(step: &Step, x: &Tensor, cfg: &EngineConfig) -> Result<Tensor> {
 /// statistics with the batch statistics of its *approximate-datapath*
 /// input.
 fn calibrate_steps(steps: &mut [Step], x: Tensor, cfg: &EngineConfig) -> Result<Tensor> {
+    let dot_workers = cfg.parallelism.resolve();
     let mut cur = x;
     for step in steps.iter_mut() {
         cur = match step {
@@ -363,7 +588,7 @@ fn calibrate_steps(steps: &mut [Step], x: Tensor, cfg: &EngineConfig) -> Result<
                 }
                 *mean = new_mean;
                 *var = new_var;
-                run_step(step, &cur, cfg)?
+                run_step(step, &cur, cfg, 0, dot_workers)?
             }
             Step::Residual { body, shortcut } => {
                 let main = calibrate_steps(body, cur.clone(), cfg)?;
@@ -373,7 +598,7 @@ fn calibrate_steps(steps: &mut [Step], x: Tensor, cfg: &EngineConfig) -> Result<
                 };
                 main.add(&skip)?.map(|v| v.max(0.0))
             }
-            other => run_step(other, &cur, cfg)?,
+            other => run_step(other, &cur, cfg, 0, dot_workers)?,
         };
     }
     Ok(cur)
@@ -382,6 +607,14 @@ fn calibrate_steps(steps: &mut [Step], x: Tensor, cfg: &EngineConfig) -> Result<
 /// The heart of the engine: approximate dot-products of every row of
 /// `rows [R, n]` against every stored kernel context, via hashing and
 /// Hamming distance. Returns a flat `[R * M]` buffer.
+///
+/// `row_offset` is the global patch-row index of row 0 (used only to
+/// seed the per-patch crossbar noise, making disturbances a pure
+/// function of the patch's position in the full set); `workers` shards
+/// the row range across the pool. Every output element is computed by
+/// the identical scalar pipeline regardless of sharding, so results are
+/// bit-identical for every worker count.
+#[allow(clippy::too_many_arguments)]
 fn dot_rows(
     rows: &Tensor,
     proj: &Tensor,
@@ -389,89 +622,104 @@ fn dot_rows(
     k: usize,
     layer_idx: usize,
     engine_cfg: &EngineConfig,
+    row_offset: usize,
+    workers: usize,
 ) -> Result<Vec<f32>> {
-    {
-        let r = rows.shape().dim(0);
-        let n = rows.shape().dim(1);
-        let m = weights.len();
-        let mut out = vec![0.0f32; r * m];
-        let threads = if engine_cfg.threads == 0 {
-            std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(1)
-        } else {
-            engine_cfg.threads
-        };
-        let chunk_rows = r.div_ceil(threads.max(1)).max(1);
-        let noise = engine_cfg.crossbar_noise;
-        let cosine = engine_cfg.cosine;
-        let norm_mode = engine_cfg.norm;
-        let seed = engine_cfg.seed;
-
-        let row_data = rows.data();
-        let out_chunks: Vec<(usize, &mut [f32])> = {
-            let mut chunks = Vec::new();
-            let mut rest = out.as_mut_slice();
-            let mut start = 0usize;
-            while !rest.is_empty() {
-                let take = (chunk_rows * m).min(rest.len());
-                let (head, tail) = rest.split_at_mut(take);
-                chunks.push((start, head));
-                rest = tail;
-                start += take / m;
-            }
-            chunks
-        };
-
-        std::thread::scope(|scope| {
-            for (row_start, out_chunk) in out_chunks {
-                let rows_here = out_chunk.len() / m;
-                scope.spawn(move || {
-                    // Batched projection of this chunk: [rows_here, n] x [n, k].
-                    let chunk = Tensor::from_vec(
-                        row_data[row_start * n..(row_start + rows_here) * n].to_vec(),
-                        Shape::new(&[rows_here, n]),
-                    )
-                    .expect("chunk volume is consistent");
-                    let projected = chunk
-                        .matmul(proj)
-                        .expect("projection dims match by construction");
-                    for local in 0..rows_here {
-                        let patch = &row_data[(row_start + local) * n..(row_start + local + 1) * n];
-                        let norm = patch.iter().map(|&v| v * v).sum::<f32>().sqrt();
-                        let mut pre = projected.data()[local * k..(local + 1) * k].to_vec();
-                        if noise > 0.0 {
-                            // Per-patch deterministic RNG: disturbances are
-                            // reproducible across runs and threads.
-                            let mut rng = seeded_rng(
-                                seed ^ ((layer_idx as u64) << 40)
-                                    ^ ((row_start + local) as u64).wrapping_mul(0x9E3779B97F4A7C15),
-                            );
-                            for v in &mut pre {
-                                *v += noise * norm * standard_normal(&mut rng) as f32;
-                            }
-                        }
-                        let bits = BitVec::from_signs(&pre);
-                        let a_norm = match norm_mode {
-                            NormMode::Minifloat8 => Minifloat8::quantize(norm),
-                            NormMode::Fp32 => norm,
-                        };
-                        for (mi, wctx) in weights.iter().enumerate() {
-                            let hd = bits
-                                .hamming(&wctx.bits)
-                                .expect("weight and activation hashes share k");
-                            let theta = GeometricDot::angle_from_hamming(hd, k);
-                            let w_norm = match norm_mode {
-                                NormMode::Minifloat8 => wctx.quantized_norm(),
-                                NormMode::Fp32 => wctx.norm,
-                            };
-                            out_chunk[local * m + mi] = a_norm * w_norm * cosine.eval(theta);
-                        }
-                    }
-                });
-            }
+    let r = rows.shape().dim(0);
+    let n = rows.shape().dim(1);
+    let m = weights.len();
+    let mut out = vec![0.0f32; r * m];
+    let row_data = rows.data();
+    let workers = workers.clamp(1, r.max(1));
+    if workers <= 1 {
+        dot_rows_range(
+            row_data, n, proj, weights, k, layer_idx, engine_cfg, row_offset, 0, &mut out,
+        );
+    } else {
+        let chunk_rows = r.div_ceil(workers);
+        ThreadPool::global().run_chunks_mut(&mut out, chunk_rows * m, |ci, chunk| {
+            dot_rows_range(
+                row_data,
+                n,
+                proj,
+                weights,
+                k,
+                layer_idx,
+                engine_cfg,
+                row_offset,
+                ci * chunk_rows,
+                chunk,
+            );
         });
-        Ok(out)
+    }
+    Ok(out)
+}
+
+/// Hashes patch rows `row_start..row_start + out.len() / M` and fills
+/// their output slice. This single function serves both the serial and
+/// every sharded configuration of [`dot_rows`].
+#[allow(clippy::too_many_arguments)]
+fn dot_rows_range(
+    row_data: &[f32],
+    n: usize,
+    proj: &Tensor,
+    weights: &ContextSet,
+    k: usize,
+    layer_idx: usize,
+    engine_cfg: &EngineConfig,
+    row_offset: usize,
+    row_start: usize,
+    out: &mut [f32],
+) {
+    let m = weights.len();
+    let rows_here = out.len() / m;
+    let noise = engine_cfg.crossbar_noise;
+    let cosine = engine_cfg.cosine;
+    let norm_mode = engine_cfg.norm;
+    let seed = engine_cfg.seed;
+    // Batched projection of this chunk: [rows_here, n] x [n, k]. Each
+    // projected element is a fixed-order dot over n, so chunk boundaries
+    // never change its value.
+    let chunk = Tensor::from_vec(
+        row_data[row_start * n..(row_start + rows_here) * n].to_vec(),
+        Shape::new(&[rows_here, n]),
+    )
+    .expect("chunk volume is consistent");
+    let projected = chunk
+        .matmul(proj)
+        .expect("projection dims match by construction");
+    for local in 0..rows_here {
+        let patch = &row_data[(row_start + local) * n..(row_start + local + 1) * n];
+        let norm = patch.iter().map(|&v| v * v).sum::<f32>().sqrt();
+        let mut pre = projected.data()[local * k..(local + 1) * k].to_vec();
+        if noise > 0.0 {
+            // Per-patch deterministic RNG keyed by the *global* patch
+            // index: disturbances are reproducible across runs, thread
+            // counts and batch splits.
+            let global_row = (row_offset + row_start + local) as u64;
+            let mut rng = seeded_rng(
+                seed ^ ((layer_idx as u64) << 40) ^ global_row.wrapping_mul(0x9E3779B97F4A7C15),
+            );
+            for v in &mut pre {
+                *v += noise * norm * standard_normal(&mut rng) as f32;
+            }
+        }
+        let bits = BitVec::from_signs(&pre);
+        let a_norm = match norm_mode {
+            NormMode::Minifloat8 => Minifloat8::quantize(norm),
+            NormMode::Fp32 => norm,
+        };
+        for (mi, wctx) in weights.iter().enumerate() {
+            let hd = bits
+                .hamming(&wctx.bits)
+                .expect("weight and activation hashes share k");
+            let theta = GeometricDot::angle_from_hamming(hd, k);
+            let w_norm = match norm_mode {
+                NormMode::Minifloat8 => wctx.quantized_norm(),
+                NormMode::Fp32 => wctx.norm,
+            };
+            out[local * m + mi] = a_norm * w_norm * cosine.eval(theta);
+        }
     }
 }
 
@@ -690,5 +938,115 @@ mod tests {
         let labels = vec![0usize; 6];
         let acc = engine.evaluate(&x, &labels, 4).unwrap();
         assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn evaluate_rejects_inconsistent_inputs() {
+        let mut rng = seeded_rng(12);
+        let model = scaled_lenet5(&mut rng, 10);
+        let cfg = EngineConfig {
+            plan: HashPlan::Uniform(256),
+            ..EngineConfig::default()
+        };
+        let engine = DeepCamEngine::compile(&model, cfg).unwrap();
+        let x = tiny_batch(4);
+        // Label count mismatch is a typed error, not a panic.
+        assert!(matches!(
+            engine.evaluate(&x, &[0usize; 3], 2),
+            Err(CoreError::InvalidInput(_))
+        ));
+        // Zero batch size too.
+        assert!(matches!(
+            engine.evaluate(&x, &[0usize; 4], 0),
+            Err(CoreError::InvalidInput(_))
+        ));
+        // And the parallel path applies the same validation.
+        assert!(matches!(
+            engine.evaluate_parallel(&x, &[0usize; 3], 2),
+            Err(CoreError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn evaluate_never_truncates_remainder() {
+        // 6 images with batch_size 4 leaves a remainder mini-batch of 2;
+        // every image must still be evaluated. Comparing against
+        // batch_size 1/6 (where no remainder exists) pins this down:
+        // accuracy is a count over all n images, so any silent drop of
+        // the remainder would shift the result.
+        let mut rng = seeded_rng(14);
+        let model = scaled_lenet5(&mut rng, 10);
+        let cfg = EngineConfig {
+            plan: HashPlan::Uniform(256),
+            ..EngineConfig::default()
+        };
+        let engine = DeepCamEngine::compile(&model, cfg).unwrap();
+        let x = tiny_batch(6);
+        let logits = engine.infer(&x).unwrap();
+        let labels: Vec<usize> = (0..6)
+            .map(|i| {
+                let row = &logits.data()[i * 10..(i + 1) * 10];
+                // Label half the images with their argmax, half wrong, so
+                // the expected accuracy is exactly 3/6 only when all six
+                // are counted.
+                let best = row
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .unwrap()
+                    .0;
+                if i % 2 == 0 {
+                    best
+                } else {
+                    (best + 1) % 10
+                }
+            })
+            .collect();
+        for batch_size in [1usize, 4, 5, 6, 100] {
+            let acc = engine.evaluate(&x, &labels, batch_size).unwrap();
+            assert_eq!(acc, 0.5, "batch_size {batch_size}");
+            let par = engine
+                .evaluate_parallel_with(&x, &labels, batch_size, Parallelism::Fixed(3))
+                .unwrap();
+            assert_eq!(par, 0.5, "parallel batch_size {batch_size}");
+        }
+    }
+
+    #[test]
+    fn infer_batch_matches_infer_bitwise() {
+        let mut rng = seeded_rng(15);
+        let model = scaled_lenet5(&mut rng, 10);
+        let cfg = EngineConfig {
+            plan: HashPlan::Uniform(256),
+            ..EngineConfig::default()
+        };
+        let engine = DeepCamEngine::compile(&model, cfg).unwrap();
+        let x = tiny_batch(5); // odd count: uneven worker chunks
+        let serial = engine.infer(&x).unwrap();
+        for workers in [1usize, 2, 3, 8] {
+            let par = engine
+                .infer_batch_with(&x, Parallelism::Fixed(workers))
+                .unwrap();
+            assert_eq!(serial.data(), par.data(), "workers {workers}");
+            assert_eq!(serial.shape(), par.shape());
+        }
+    }
+
+    #[test]
+    fn noisy_infer_batch_is_batch_invariant() {
+        // Crossbar noise is keyed by the global patch index, so image
+        // sharding must reproduce the serial disturbances exactly.
+        let mut rng = seeded_rng(16);
+        let model = scaled_lenet5(&mut rng, 10);
+        let cfg = EngineConfig {
+            plan: HashPlan::Uniform(256),
+            crossbar_noise: 0.5,
+            ..EngineConfig::default()
+        };
+        let engine = DeepCamEngine::compile(&model, cfg).unwrap();
+        let x = tiny_batch(4);
+        let serial = engine.infer(&x).unwrap();
+        let par = engine.infer_batch_with(&x, Parallelism::Fixed(4)).unwrap();
+        assert_eq!(serial.data(), par.data());
     }
 }

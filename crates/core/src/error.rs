@@ -20,6 +20,9 @@ pub enum CoreError {
     InvalidPlan(String),
     /// The model contains a construct the engine cannot compile.
     Unsupported(String),
+    /// A caller-supplied argument is inconsistent (mismatched label
+    /// count, zero batch size, …).
+    InvalidInput(String),
 }
 
 impl fmt::Display for CoreError {
@@ -30,6 +33,7 @@ impl fmt::Display for CoreError {
             CoreError::Cam(e) => write!(f, "cam error: {e}"),
             CoreError::InvalidPlan(msg) => write!(f, "invalid hash plan: {msg}"),
             CoreError::Unsupported(msg) => write!(f, "unsupported model construct: {msg}"),
+            CoreError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
         }
     }
 }
@@ -85,5 +89,8 @@ mod tests {
         assert!(e.source().is_some());
         let p = CoreError::InvalidPlan("bad".into());
         assert!(p.source().is_none());
+        let i = CoreError::InvalidInput("6 images but 5 labels".into());
+        assert!(i.to_string().contains("invalid input"));
+        assert!(i.source().is_none());
     }
 }

@@ -33,12 +33,14 @@ pub mod init;
 pub mod layer;
 pub mod ops;
 pub mod optim;
+pub mod pool;
 pub mod rng;
 pub mod shape;
 pub mod tensor;
 
 pub use error::TensorError;
 pub use layer::{Layer, Sequential};
+pub use pool::{Parallelism, ThreadPool};
 pub use shape::Shape;
 pub use tensor::Tensor;
 

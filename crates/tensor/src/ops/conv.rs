@@ -11,6 +11,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::error::TensorError;
+use crate::pool::{split_ranges, ThreadPool};
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 use crate::Result;
@@ -130,6 +131,61 @@ impl Conv2dConfig {
 /// Returns an error if `input` is not rank 4, the channel count disagrees
 /// with `cfg`, or `cfg` itself is invalid.
 pub fn im2col(input: &Tensor, cfg: &Conv2dConfig) -> Result<Tensor> {
+    im2col_sharded(input, cfg, 1)
+}
+
+/// Fills `out` (the slices for patch rows `row_start..row_start + len`)
+/// with the im2col expansion of those rows. Each row depends only on the
+/// input, so any partition of the row space reproduces [`im2col`] exactly.
+#[allow(clippy::too_many_arguments)]
+fn im2col_rows(
+    x: &[f32],
+    cfg: &Conv2dConfig,
+    c: usize,
+    h: usize,
+    w: usize,
+    oh: usize,
+    ow: usize,
+    row_start: usize,
+    out: &mut [f32],
+) {
+    let patch = cfg.patch_len();
+    let pad = cfg.padding as isize;
+    let rows_here = out.len() / patch;
+    for local in 0..rows_here {
+        let row = row_start + local;
+        let ni = row / (oh * ow);
+        let ohi = (row / ow) % oh;
+        let owi = row % ow;
+        let base = local * patch;
+        let ih0 = (ohi * cfg.stride) as isize - pad;
+        let iw0 = (owi * cfg.stride) as isize - pad;
+        let mut col = 0;
+        for ci in 0..c {
+            let chan_base = (ni * c + ci) * h * w;
+            for kh in 0..cfg.kernel_h {
+                let ih = ih0 + kh as isize;
+                for kw in 0..cfg.kernel_w {
+                    let iw = iw0 + kw as isize;
+                    if ih >= 0 && (ih as usize) < h && iw >= 0 && (iw as usize) < w {
+                        out[base + col] = x[chan_base + ih as usize * w + iw as usize];
+                    }
+                    col += 1;
+                }
+            }
+        }
+    }
+}
+
+/// [`im2col`] sharded over patch rows across `workers` pool workers.
+///
+/// Bit-identical to the serial transform for every worker count: each
+/// output row is pure data movement from the input, written exactly once.
+///
+/// # Errors
+///
+/// Same conditions as [`im2col`].
+pub fn im2col_sharded(input: &Tensor, cfg: &Conv2dConfig, workers: usize) -> Result<Tensor> {
     cfg.validate()?;
     let (n, c, h, w) = input.shape().as_nchw().ok_or(TensorError::RankMismatch {
         expected: 4,
@@ -148,30 +204,13 @@ pub fn im2col(input: &Tensor, cfg: &Conv2dConfig) -> Result<Tensor> {
     let rows = n * oh * ow;
     let mut out = vec![0.0f32; rows * patch];
     let x = input.data();
-    let pad = cfg.padding as isize;
-    for ni in 0..n {
-        for ohi in 0..oh {
-            for owi in 0..ow {
-                let row = ni * oh * ow + ohi * ow + owi;
-                let base = row * patch;
-                let ih0 = (ohi * cfg.stride) as isize - pad;
-                let iw0 = (owi * cfg.stride) as isize - pad;
-                let mut col = 0;
-                for ci in 0..c {
-                    let chan_base = (ni * c + ci) * h * w;
-                    for kh in 0..cfg.kernel_h {
-                        let ih = ih0 + kh as isize;
-                        for kw in 0..cfg.kernel_w {
-                            let iw = iw0 + kw as isize;
-                            if ih >= 0 && (ih as usize) < h && iw >= 0 && (iw as usize) < w {
-                                out[base + col] = x[chan_base + ih as usize * w + iw as usize];
-                            }
-                            col += 1;
-                        }
-                    }
-                }
-            }
-        }
+    if workers <= 1 || rows <= 1 {
+        im2col_rows(x, cfg, c, h, w, oh, ow, 0, &mut out);
+    } else {
+        let chunk_rows = rows.div_ceil(workers.min(rows));
+        ThreadPool::global().run_chunks_mut(&mut out, chunk_rows * patch, |ci, chunk| {
+            im2col_rows(x, cfg, c, h, w, oh, ow, ci * chunk_rows, chunk);
+        });
     }
     Tensor::from_vec(out, Shape::new(&[rows, patch]))
 }
@@ -248,24 +287,7 @@ pub fn conv2d(
     bias: Option<&Tensor>,
     cfg: &Conv2dConfig,
 ) -> Result<Tensor> {
-    let expected_w = Shape::new(&[
-        cfg.out_channels,
-        cfg.in_channels,
-        cfg.kernel_h,
-        cfg.kernel_w,
-    ]);
-    if weight.shape() != &expected_w {
-        return Err(TensorError::ShapeMismatch {
-            lhs: weight.shape().clone(),
-            rhs: expected_w,
-            op: "conv2d (weight)",
-        });
-    }
-    let (n, _c, h, w) = input.shape().as_nchw().ok_or(TensorError::RankMismatch {
-        expected: 4,
-        actual: input.shape().rank(),
-        op: "conv2d",
-    })?;
+    let (n, h, w) = validate_conv2d_inputs(input, weight, cfg)?;
     let (oh, ow) = cfg.output_hw(h, w);
     let patches = im2col(input, cfg)?; // [N*P, CKK]
     let wmat = weight
@@ -286,6 +308,47 @@ pub fn conv2d(
             }
         }
     }
+    add_channel_bias(&mut out, bias, n, m, p)?;
+    Tensor::from_vec(out, Shape::new(&[n, m, oh, ow]))
+}
+
+/// Shared argument validation for the serial and sharded convolutions:
+/// weight shape against `cfg`, input rank. Returns `(N, H, W)`.
+fn validate_conv2d_inputs(
+    input: &Tensor,
+    weight: &Tensor,
+    cfg: &Conv2dConfig,
+) -> Result<(usize, usize, usize)> {
+    let expected_w = Shape::new(&[
+        cfg.out_channels,
+        cfg.in_channels,
+        cfg.kernel_h,
+        cfg.kernel_w,
+    ]);
+    if weight.shape() != &expected_w {
+        return Err(TensorError::ShapeMismatch {
+            lhs: weight.shape().clone(),
+            rhs: expected_w,
+            op: "conv2d (weight)",
+        });
+    }
+    let (n, _c, h, w) = input.shape().as_nchw().ok_or(TensorError::RankMismatch {
+        expected: 4,
+        actual: input.shape().rank(),
+        op: "conv2d",
+    })?;
+    Ok((n, h, w))
+}
+
+/// Adds a per-channel bias to an `[N, M, P]`-layout buffer (shared by the
+/// serial and sharded convolutions — one copy, one accumulation order).
+fn add_channel_bias(
+    out: &mut [f32],
+    bias: Option<&Tensor>,
+    n: usize,
+    m: usize,
+    p: usize,
+) -> Result<()> {
     if let Some(b) = bias {
         if b.len() != m {
             return Err(TensorError::ShapeMismatch {
@@ -303,6 +366,67 @@ pub fn conv2d(
             }
         }
     }
+    Ok(())
+}
+
+/// [`conv2d`] sharded over output channels across `workers` pool workers.
+///
+/// Each worker computes the GEMM block for a contiguous range of output
+/// channels (the per-kernel unit DeepCAM maps onto CAM rows); the im2col
+/// expansion is sharded over patch rows. Per-element accumulation order
+/// is identical to the serial GEMM, so the result is **bit-identical** to
+/// [`conv2d`] for every worker count — enforced by the property suite in
+/// `tests/proptests.rs`.
+///
+/// # Errors
+///
+/// Same conditions as [`conv2d`].
+pub fn conv2d_sharded(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    cfg: &Conv2dConfig,
+    workers: usize,
+) -> Result<Tensor> {
+    if workers <= 1 {
+        return conv2d(input, weight, bias, cfg);
+    }
+    let (n, h, w) = validate_conv2d_inputs(input, weight, cfg)?;
+    let (oh, ow) = cfg.output_hw(h, w);
+    let patches = im2col_sharded(input, cfg, workers)?; // [N*P, CKK]
+    let m = cfg.out_channels;
+    let patch = cfg.patch_len();
+    let wdata = weight.data();
+    // One GEMM block per contiguous channel range. Every block row is an
+    // unchanged row of the weight matrix, so each output element runs the
+    // exact serial accumulation loop.
+    let ranges = split_ranges(m, workers);
+    let blocks: Vec<Result<Tensor>> = ThreadPool::global().run_indexed(ranges.len(), |bi| {
+        let r = &ranges[bi];
+        let sub = Tensor::from_vec(
+            wdata[r.start * patch..r.end * patch].to_vec(),
+            Shape::new(&[r.len(), patch]),
+        )?;
+        patches.matmul(&sub.transpose()?) // [N*P, r.len()]
+    });
+    // Deterministic (serial) scatter [N*P, m_block] -> [N, M, OH, OW],
+    // mirroring the serial permute + bias loops exactly.
+    let p = oh * ow;
+    let mut out = vec![0.0f32; n * m * p];
+    for (r, block) in ranges.iter().zip(blocks) {
+        let block = block?;
+        let src = block.data();
+        let mc = r.len();
+        for ni in 0..n {
+            for pi in 0..p {
+                let row = (ni * p + pi) * mc;
+                for (j, mi) in (r.start..r.end).enumerate() {
+                    out[(ni * m + mi) * p + pi] = src[row + j];
+                }
+            }
+        }
+    }
+    add_channel_bias(&mut out, bias, n, m, p)?;
     Tensor::from_vec(out, Shape::new(&[n, m, oh, ow]))
 }
 
@@ -557,5 +681,36 @@ mod tests {
         let cfg = Conv2dConfig::new(1, 1, 3);
         let w = Tensor::zeros(Shape::new(&[1, 1, 2, 2]));
         assert!(conv2d(&small_input(), &w, None, &cfg).is_err());
+        assert!(conv2d_sharded(&small_input(), &w, None, &cfg, 4).is_err());
+    }
+
+    #[test]
+    fn im2col_sharded_is_bit_identical() {
+        let mut rng = seeded_rng(21);
+        let cfg = Conv2dConfig::new(3, 4, 3).with_padding(1).with_stride(2);
+        let x = init::normal(&mut rng, Shape::new(&[2, 3, 7, 7]), 0.0, 1.0);
+        let serial = im2col(&x, &cfg).unwrap();
+        for workers in [2usize, 3, 8, 64] {
+            let sharded = im2col_sharded(&x, &cfg, workers).unwrap();
+            assert_eq!(serial.data(), sharded.data(), "workers {workers}");
+        }
+    }
+
+    #[test]
+    fn conv2d_sharded_is_bit_identical() {
+        let mut rng = seeded_rng(22);
+        let cfg = Conv2dConfig::new(2, 5, 3).with_padding(1);
+        let x = init::normal(&mut rng, Shape::new(&[2, 2, 6, 6]), 0.0, 1.0);
+        let w = init::normal(&mut rng, Shape::new(&[5, 2, 3, 3]), 0.0, 1.0);
+        let b = init::normal(&mut rng, Shape::new(&[5]), 0.0, 1.0);
+        let serial = conv2d(&x, &w, Some(&b), &cfg).unwrap();
+        for workers in [2usize, 3, 5, 16] {
+            let sharded = conv2d_sharded(&x, &w, Some(&b), &cfg, workers).unwrap();
+            assert_eq!(serial.data(), sharded.data(), "workers {workers}");
+        }
+        // More shards than channels must also work.
+        let no_bias_serial = conv2d(&x, &w, None, &cfg).unwrap();
+        let no_bias = conv2d_sharded(&x, &w, None, &cfg, 16).unwrap();
+        assert_eq!(no_bias_serial.data(), no_bias.data());
     }
 }

@@ -17,5 +17,6 @@ pub mod loss;
 pub mod norm;
 pub mod pool;
 
-pub use conv::{col2im, conv2d, im2col, Conv2dConfig};
+pub use conv::{col2im, conv2d, conv2d_sharded, im2col, im2col_sharded, Conv2dConfig};
+pub use linear::{linear, linear_sharded};
 pub use pool::{avg_pool2d, max_pool2d, PoolConfig};

@@ -1,0 +1,532 @@
+//! A small, dependency-free work-stealing thread pool.
+//!
+//! DeepCAM's speedup claim rests on massive parallelism across CAM
+//! sub-arrays and hash chunks; the software reproduction mirrors that by
+//! sharding its hot loops (im2col, GEMM channel blocks, patch hashing,
+//! CAM row ranges, image batches) across a shared pool of workers. The
+//! pool lives here — at the bottom of the crate graph — so every layer
+//! (`deepcam-cam`, `deepcam-core`, `deepcam-bench`) can reuse one set of
+//! threads instead of spawning per call.
+//!
+//! # Design
+//!
+//! * **Work stealing.** Each worker owns a deque; [`Scope::spawn`]
+//!   distributes tasks round-robin, a worker drains its own deque first
+//!   and then steals from its siblings. No external crates (`rayon`,
+//!   `crossbeam`) are used — the container builds fully offline.
+//! * **Scoped tasks.** [`ThreadPool::scope`] lets tasks borrow from the
+//!   caller's stack (like `std::thread::scope`): the call does not return
+//!   until every spawned task has finished, on every exit path.
+//! * **Nested-scope safe.** A thread that waits on a scope *helps*: it
+//!   pops queued tasks and runs them while waiting. An `infer_batch`
+//!   image task can therefore open its own `scope` for patch hashing on
+//!   a single-worker pool without deadlocking.
+//! * **Determinism.** The pool never changes *what* is computed, only
+//!   *where*: callers shard work into chunks whose outputs are disjoint,
+//!   so results are bit-identical for every worker count. The
+//!   differential suite in `tests/parallel_equivalence.rs` enforces this.
+//!
+//! # Example
+//!
+//! ```
+//! use deepcam_tensor::pool::ThreadPool;
+//!
+//! let pool = ThreadPool::new(4);
+//! let mut out = vec![0usize; 8];
+//! pool.scope(|s| {
+//!     for (i, slot) in out.iter_mut().enumerate() {
+//!         s.spawn(move || *slot = i * i);
+//!     }
+//! });
+//! assert_eq!(out[7], 49);
+//! ```
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// Environment variable overriding the default worker count
+/// ([`Parallelism::Auto`]): set `DEEPCAM_WORKERS=4` to pin four workers.
+pub const WORKERS_ENV: &str = "DEEPCAM_WORKERS";
+
+/// How much parallelism a component should use.
+///
+/// This is the single knob threaded through `EngineConfig`, the sharded
+/// tensor ops and the experiment binaries. Whatever it resolves to, the
+/// computed values are bit-identical — parallelism only changes wall
+/// clock, never results.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Parallelism {
+    /// Run strictly on the calling thread.
+    Serial,
+    /// Use exactly this many workers (values of 0 behave like 1).
+    Fixed(usize),
+    /// Use `DEEPCAM_WORKERS` if set (and a positive integer), otherwise
+    /// all available cores.
+    #[default]
+    Auto,
+}
+
+impl Parallelism {
+    /// Resolves to a concrete worker count (always ≥ 1).
+    pub fn resolve(self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Fixed(n) => n.max(1),
+            Parallelism::Auto => std::env::var(WORKERS_ENV)
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(|p| p.get())
+                        .unwrap_or(1)
+                }),
+        }
+    }
+}
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    /// Tasks pushed but not yet claimed by any thread.
+    queued: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    work_available: Condvar,
+    /// One deque per worker; [`Scope::spawn`] round-robins across them
+    /// and idle workers steal from their siblings.
+    queues: Vec<Mutex<VecDeque<Task>>>,
+    round_robin: AtomicUsize,
+}
+
+impl Shared {
+    fn push(&self, task: Task) {
+        let idx = self.round_robin.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+        self.queues[idx]
+            .lock()
+            .expect("pool queue lock")
+            .push_back(task);
+        // The counter is incremented only after the task is visible in a
+        // deque, so a claimer is always able to find *a* task (not
+        // necessarily this one — tasks are interchangeable).
+        self.state.lock().expect("pool state lock").queued += 1;
+        self.work_available.notify_one();
+    }
+
+    /// Claims one queued task if any exists, without blocking.
+    fn try_claim(&self, home: usize) -> Option<Task> {
+        {
+            let mut st = self.state.lock().expect("pool state lock");
+            if st.queued == 0 {
+                return None;
+            }
+            st.queued -= 1;
+        }
+        Some(self.take_claimed(home))
+    }
+
+    /// Pops a task after a successful claim. The claim guarantees at
+    /// least one task is in some deque, but a racing claimer may grab
+    /// the one we spotted first — hence the retry loop.
+    fn take_claimed(&self, home: usize) -> Task {
+        let n = self.queues.len();
+        loop {
+            for i in 0..n {
+                let q = &self.queues[(home + i) % n];
+                if let Some(t) = q.lock().expect("pool queue lock").pop_front() {
+                    return t;
+                }
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    fn worker_loop(self: &Arc<Self>, home: usize) {
+        loop {
+            {
+                let mut st = self.state.lock().expect("pool state lock");
+                loop {
+                    if st.queued > 0 {
+                        st.queued -= 1;
+                        break;
+                    }
+                    if st.shutdown {
+                        return;
+                    }
+                    st = self.work_available.wait(st).expect("pool state lock");
+                }
+            }
+            let task = self.take_claimed(home);
+            task();
+        }
+    }
+}
+
+/// Tracks the outstanding tasks of one [`ThreadPool::scope`] call.
+struct Completion {
+    state: Mutex<CompletionState>,
+    done: Condvar,
+}
+
+struct CompletionState {
+    pending: usize,
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+impl Completion {
+    fn new() -> Self {
+        Completion {
+            state: Mutex::new(CompletionState {
+                pending: 0,
+                panic: None,
+            }),
+            done: Condvar::new(),
+        }
+    }
+
+    fn add_task(&self) {
+        self.state.lock().expect("scope lock").pending += 1;
+    }
+
+    fn finish_task(&self, panic: Option<Box<dyn Any + Send>>) {
+        let mut st = self.state.lock().expect("scope lock");
+        st.pending -= 1;
+        if st.panic.is_none() {
+            st.panic = panic;
+        }
+        if st.pending == 0 {
+            drop(st);
+            self.done.notify_all();
+        }
+    }
+
+    /// Blocks until every task of this scope has finished, running other
+    /// queued pool tasks while waiting (this is what makes nested scopes
+    /// on a small pool deadlock-free).
+    fn wait_helping(&self, shared: &Shared) {
+        loop {
+            if self.state.lock().expect("scope lock").pending == 0 {
+                return;
+            }
+            if let Some(task) = shared.try_claim(0) {
+                task();
+                continue;
+            }
+            let st = self.state.lock().expect("scope lock");
+            if st.pending == 0 {
+                return;
+            }
+            // Short timeout: a task we could help with may be pushed by
+            // one of *our* running tasks, which signals `work_available`
+            // (a different condvar), so never sleep unboundedly here.
+            let _ = self
+                .done
+                .wait_timeout(st, Duration::from_millis(1))
+                .expect("scope lock");
+        }
+    }
+
+    fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        self.state.lock().expect("scope lock").panic.take()
+    }
+}
+
+/// A fixed-size work-stealing thread pool. See the [module docs](self).
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawns a pool with `workers` threads (at least one).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                queued: 0,
+                shutdown: false,
+            }),
+            work_available: Condvar::new(),
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            round_robin: AtomicUsize::new(0),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("deepcam-pool-{i}"))
+                    .spawn(move || shared.worker_loop(i))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool { shared, handles }
+    }
+
+    /// The process-wide shared pool.
+    ///
+    /// Sized on first use to `max(Parallelism::Auto.resolve(), 4)`: at
+    /// least four workers are kept even on small machines so that
+    /// explicit `Parallelism::Fixed(n ≤ 4)` requests exercise real
+    /// concurrency everywhere (results are identical either way).
+    pub fn global() -> &'static ThreadPool {
+        static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| ThreadPool::new(Parallelism::Auto.resolve().max(4)))
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.shared.queues.len()
+    }
+
+    /// Runs `f` with a [`Scope`] on which borrowing tasks can be
+    /// spawned; returns only after every spawned task has finished.
+    ///
+    /// If a task panics, the panic is re-raised here (the first one, when
+    /// several tasks panic). If `f` itself panics, all already-spawned
+    /// tasks still run to completion before the panic propagates, so no
+    /// task ever outlives the borrows it captured.
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        let completion = Arc::new(Completion::new());
+        let scope = Scope {
+            pool: self,
+            completion: Arc::clone(&completion),
+            _env: PhantomData,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        // Always drain before returning/unwinding: tasks borrow 'env.
+        completion.wait_helping(&self.shared);
+        match result {
+            Err(panic) => resume_unwind(panic),
+            Ok(value) => {
+                if let Some(panic) = completion.take_panic() {
+                    resume_unwind(panic);
+                }
+                value
+            }
+        }
+    }
+
+    /// Splits `data` into consecutive `chunk_len`-element chunks and runs
+    /// `f(chunk_index, chunk)` for each in parallel. The chunks are
+    /// disjoint `&mut` slices, so this cannot introduce write races —
+    /// it is the building block behind every sharded op in the crate.
+    pub fn run_chunks_mut<T, F>(&self, data: &mut [T], chunk_len: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        let chunk_len = chunk_len.max(1);
+        self.scope(|s| {
+            for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+                let f = &f;
+                s.spawn(move || f(i, chunk));
+            }
+        });
+    }
+
+    /// Runs `f(0), f(1), …, f(n-1)` in parallel and collects the results
+    /// in index order (a deterministic reduction regardless of which
+    /// worker finishes first).
+    pub fn run_indexed<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        self.scope(|s| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                let f = &f;
+                s.spawn(move || *slot = Some(f(i)));
+            }
+        });
+        out.into_iter()
+            .map(|slot| slot.expect("scope ran every task"))
+            .collect()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.state.lock().expect("pool state lock").shutdown = true;
+        self.shared.work_available.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Spawn handle passed to the closure of [`ThreadPool::scope`].
+pub struct Scope<'pool, 'env> {
+    pool: &'pool ThreadPool,
+    completion: Arc<Completion>,
+    /// Invariant over 'env, mirroring `std::thread::Scope`.
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env> Scope<'_, 'env> {
+    /// Spawns a task that may borrow from the enclosing scope ('env).
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        self.completion.add_task();
+        let completion = Arc::clone(&self.completion);
+        let task: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            let outcome = catch_unwind(AssertUnwindSafe(f));
+            completion.finish_task(outcome.err());
+        });
+        // SAFETY: `ThreadPool::scope` blocks (helping) until
+        // `completion.pending == 0` on every exit path — including when
+        // the scope closure panics — so this task finishes before any
+        // 'env borrow it captured goes out of scope. The lifetime is
+        // erased only to store the task in the pool's 'static deques.
+        let task: Task = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(task)
+        };
+        self.pool.shared.push(task);
+    }
+}
+
+/// Deterministic contiguous split of `n` items into at most `parts`
+/// non-empty ranges, as even as possible (the first `n % parts` ranges
+/// get one extra item). Every sharded component uses this single
+/// function, so chunk boundaries — and therefore behaviour under any
+/// future order-sensitive reduction — are identical across the codebase.
+pub fn split_ranges(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, n);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn parallelism_resolves() {
+        assert_eq!(Parallelism::Serial.resolve(), 1);
+        assert_eq!(Parallelism::Fixed(3).resolve(), 3);
+        assert_eq!(Parallelism::Fixed(0).resolve(), 1);
+        assert!(Parallelism::Auto.resolve() >= 1);
+    }
+
+    #[test]
+    fn scope_runs_all_tasks() {
+        let pool = ThreadPool::new(3);
+        let counter = AtomicU32::new(0);
+        pool.scope(|s| {
+            for _ in 0..64 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn tasks_can_borrow_mutably_via_chunks() {
+        let pool = ThreadPool::new(2);
+        let mut data = vec![0u64; 100];
+        pool.run_chunks_mut(&mut data, 7, |ci, chunk| {
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v = (ci * 7 + j) as u64;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i as u64);
+        }
+    }
+
+    #[test]
+    fn run_indexed_preserves_order() {
+        let pool = ThreadPool::new(4);
+        let out = pool.run_indexed(33, |i| i * 2);
+        assert_eq!(out, (0..33).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        // A 1-worker pool forces the outer task and the inner scope to
+        // share a single thread plus the helping waiter.
+        let pool = ThreadPool::new(1);
+        let total = AtomicU32::new(0);
+        pool.scope(|outer| {
+            for _ in 0..4 {
+                let total = &total;
+                outer.spawn(move || {
+                    ThreadPool::global().scope(|inner| {
+                        for _ in 0..4 {
+                            inner.spawn(move || {
+                                total.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn task_panic_propagates() {
+        let pool = ThreadPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|| panic!("boom"));
+            });
+        }));
+        assert!(result.is_err());
+        // The pool stays usable after a panic.
+        assert_eq!(pool.run_indexed(3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn split_ranges_covers_everything() {
+        for n in 0..40usize {
+            for parts in 1..10usize {
+                let ranges = split_ranges(n, parts);
+                let mut covered = 0usize;
+                for r in &ranges {
+                    assert_eq!(r.start, covered, "ranges must be contiguous");
+                    assert!(!r.is_empty());
+                    covered = r.end;
+                }
+                assert_eq!(covered, n);
+                if n > 0 {
+                    assert!(ranges.len() <= parts);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn global_pool_has_at_least_four_workers() {
+        assert!(ThreadPool::global().workers() >= 4);
+    }
+}

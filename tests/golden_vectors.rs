@@ -1,0 +1,92 @@
+//! Golden-vector regression test for the full CAM inference path.
+//!
+//! The differential and property suites prove *self-consistency* (every
+//! sharding equals serial), but a refactor that changed the conv, hash,
+//! or CAM semantics *everywhere at once* would slip through them. This
+//! test pins the actual numbers: a fixed-seed LeNet5 is compiled with
+//! the default engine (eq. 5 cosine, minifloat norms, k = 256) and its
+//! logits on a fixed-seed batch are compared bit-for-bit against vectors
+//! committed in `tests/data/golden_lenet5.hex`.
+//!
+//! If an **intentional** semantic change moves the numbers, regenerate
+//! with:
+//!
+//! ```sh
+//! DEEPCAM_REGEN_GOLDEN=1 cargo test --test golden_vectors
+//! ```
+//!
+//! and justify the diff of the `.hex` file in the PR. The file stores
+//! one little-endian `f32` bit pattern (8 hex digits) per line, so the
+//! comparison is exact — no tolerance hides drift.
+
+use deepcam::accel::{DeepCamEngine, EngineConfig, HashPlan};
+use deepcam::models::scaled::scaled_lenet5;
+use deepcam::tensor::pool::Parallelism;
+use deepcam::tensor::rng::seeded_rng;
+use deepcam::tensor::{init, Shape};
+
+const GOLDEN_PATH: &str = "tests/data/golden_lenet5.hex";
+const MODEL_SEED: u64 = 42;
+const DATA_SEED: u64 = 43;
+const BATCH: usize = 3;
+const CLASSES: usize = 10;
+
+fn golden_logits() -> Vec<f32> {
+    let mut rng = seeded_rng(MODEL_SEED);
+    let model = scaled_lenet5(&mut rng, CLASSES);
+    let engine = DeepCamEngine::compile(
+        &model,
+        EngineConfig {
+            plan: HashPlan::Uniform(256),
+            // Serial pins the reference; parallel_equivalence.rs proves
+            // every other Parallelism produces identical bits.
+            parallelism: Parallelism::Serial,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("engine compiles");
+    let mut data_rng = seeded_rng(DATA_SEED);
+    let x = init::normal(&mut data_rng, Shape::new(&[BATCH, 1, 28, 28]), 0.0, 1.0);
+    engine.infer(&x).expect("inference succeeds").into_vec()
+}
+
+#[test]
+fn lenet5_logits_match_committed_golden_vectors() {
+    let logits = golden_logits();
+    assert_eq!(logits.len(), BATCH * CLASSES);
+
+    if std::env::var("DEEPCAM_REGEN_GOLDEN").is_ok() {
+        let mut text = String::new();
+        for v in &logits {
+            text.push_str(&format!("{:08x}\n", v.to_bits()));
+        }
+        std::fs::write(GOLDEN_PATH, text).expect("write golden file");
+        eprintln!("regenerated {GOLDEN_PATH}; commit it with a justification");
+        return;
+    }
+
+    let text = std::fs::read_to_string(GOLDEN_PATH).unwrap_or_else(|e| {
+        panic!("{GOLDEN_PATH} missing ({e}); run with DEEPCAM_REGEN_GOLDEN=1 to create it")
+    });
+    let expected: Vec<f32> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .map(|l| f32::from_bits(u32::from_str_radix(l, 16).expect("golden line is 8 hex digits")))
+        .collect();
+    assert_eq!(
+        expected.len(),
+        logits.len(),
+        "golden file has wrong vector count"
+    );
+    for (i, (&want, &got)) in expected.iter().zip(logits.iter()).enumerate() {
+        assert_eq!(
+            want.to_bits(),
+            got.to_bits(),
+            "logit {i} drifted: golden {want} vs computed {got} \
+             (image {}, class {})",
+            i / CLASSES,
+            i % CLASSES
+        );
+    }
+}

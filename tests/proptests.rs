@@ -1,10 +1,15 @@
 //! Cross-crate property-based tests (proptest) on the reproduction's
 //! core invariants.
 
+use deepcam::accel::{DeepCamEngine, EngineConfig, HashPlan};
 use deepcam::cam::{CamArray, CamConfig, SenseModel};
 use deepcam::hash::geometric::{CosineMode, NormMode};
 use deepcam::hash::{context::approx_dot, BitVec, ContextGenerator, Minifloat8};
-use deepcam::tensor::ops::conv::{col2im, im2col, Conv2dConfig};
+use deepcam::models::{Block, Cnn};
+use deepcam::tensor::layer::{Conv2d, Flatten, Linear, ReLU};
+use deepcam::tensor::ops::conv::{col2im, conv2d, conv2d_sharded, im2col, Conv2dConfig};
+use deepcam::tensor::ops::linear::{linear, linear_sharded};
+use deepcam::tensor::pool::Parallelism;
 use deepcam::tensor::{Shape, Tensor};
 use proptest::prelude::*;
 
@@ -125,6 +130,49 @@ proptest! {
     }
 
     #[test]
+    fn sharded_conv_bit_identical_for_random_geometry(
+        h in 3usize..9,
+        w in 3usize..9,
+        c in 1usize..4,
+        m in 1usize..6,
+        kernel in 1usize..4,
+        pad in 0usize..3,
+        stride in 1usize..4,
+        n in 1usize..3,
+        workers in 1usize..9,
+        seed in 0u64..200,
+    ) {
+        prop_assume!(h + 2 * pad >= kernel && w + 2 * pad >= kernel);
+        let cfg = Conv2dConfig::new(c, m, kernel).with_padding(pad).with_stride(stride);
+        let mut rng = deepcam::tensor::rng::seeded_rng(seed);
+        let x = deepcam::tensor::init::normal(&mut rng, Shape::new(&[n, c, h, w]), 0.0, 1.0);
+        let wt = deepcam::tensor::init::normal(
+            &mut rng, Shape::new(&[m, c, kernel, kernel]), 0.0, 1.0);
+        let b = deepcam::tensor::init::normal(&mut rng, Shape::new(&[m]), 0.0, 1.0);
+        let serial = conv2d(&x, &wt, Some(&b), &cfg).unwrap();
+        let sharded = conv2d_sharded(&x, &wt, Some(&b), &cfg, workers).unwrap();
+        // Exact f32 equality: sharding must not reorder any accumulation.
+        prop_assert_eq!(serial.data(), sharded.data());
+    }
+
+    #[test]
+    fn sharded_linear_bit_identical_for_random_shapes(
+        n in 1usize..6,
+        f_in in 1usize..12,
+        f_out in 1usize..10,
+        workers in 1usize..9,
+        seed in 0u64..200,
+    ) {
+        let mut rng = deepcam::tensor::rng::seeded_rng(seed);
+        let x = deepcam::tensor::init::normal(&mut rng, Shape::new(&[n, f_in]), 0.0, 1.0);
+        let wt = deepcam::tensor::init::normal(&mut rng, Shape::new(&[f_out, f_in]), 0.0, 1.0);
+        let b = deepcam::tensor::init::normal(&mut rng, Shape::new(&[f_out]), 0.0, 1.0);
+        let serial = linear(&x, &wt, Some(&b)).unwrap();
+        let sharded = linear_sharded(&x, &wt, Some(&b), workers).unwrap();
+        prop_assert_eq!(serial.data(), sharded.data());
+    }
+
+    #[test]
     fn matmul_distributes_over_addition(
         a in proptest::collection::vec(-2.0f32..2.0, 6),
         b in proptest::collection::vec(-2.0f32..2.0, 6),
@@ -153,5 +201,60 @@ proptest! {
         let s = generator.context_for(&scaled).unwrap();
         prop_assert_eq!(base.bits, s.bits); // direction unchanged
         prop_assert!((s.norm - base.norm * scale).abs() <= base.norm * scale * 1e-3 + 1e-5);
+    }
+}
+
+/// A minimal two-dot-layer CNN (8×8 mono input, 4 classes) — big enough
+/// to exercise both the conv and linear engine paths, small enough to
+/// compile and evaluate inside a property test case.
+fn tiny_cnn(seed: u64) -> Cnn {
+    let mut rng = deepcam::tensor::rng::seeded_rng(seed);
+    let blocks = vec![
+        Block::Conv(Conv2d::new(
+            &mut rng,
+            Conv2dConfig::new(1, 2, 3).with_padding(1),
+        )),
+        Block::Relu(ReLU::new()),
+        Block::Flatten(Flatten::new()),
+        Block::Linear(Linear::new(&mut rng, 2 * 8 * 8, 4)),
+    ];
+    Cnn::new("TinyCnn", blocks, 4)
+}
+
+proptest! {
+    // Each case compiles and evaluates an engine; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn worker_count_never_changes_evaluate_accuracy(
+        workers in 1usize..9,
+        batch_size in 1usize..8,
+        n_images in 1usize..9,
+        model_seed in 0u64..20,
+        data_seed in 0u64..50,
+        noise in prop_oneof![Just(0.0f32), Just(0.4f32)],
+    ) {
+        let model = tiny_cnn(model_seed);
+        let engine = DeepCamEngine::compile(
+            &model,
+            EngineConfig {
+                plan: HashPlan::Uniform(256),
+                crossbar_noise: noise,
+                parallelism: Parallelism::Serial,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        let mut rng = deepcam::tensor::rng::seeded_rng(data_seed);
+        let x = deepcam::tensor::init::normal(
+            &mut rng, Shape::new(&[n_images, 1, 8, 8]), 0.0, 1.0);
+        let labels: Vec<usize> = (0..n_images).map(|i| (i * 7 + data_seed as usize) % 4).collect();
+        let reference = engine.evaluate(&x, &labels, batch_size).unwrap();
+        let parallel = engine
+            .evaluate_parallel_with(&x, &labels, batch_size, Parallelism::Fixed(workers))
+            .unwrap();
+        // Exact equality — thread count must never move accuracy, even
+        // with device noise and remainder mini-batches.
+        prop_assert_eq!(reference, parallel);
     }
 }
