@@ -4,7 +4,11 @@
 //! result in `BENCH_parallel.json`.
 //!
 //! Usage: `cargo run --release -p deepcam-bench --bin parallel_speedup
-//! [--out PATH] [--images N] [--repeats R]`
+//! [--out PATH] [--images N] [--repeats R] [--force]`
+//!
+//! Refuses to overwrite a committed JSON that was measured on a host
+//! with more cores than this one unless `--force` is passed (guards the
+//! ROADMAP multi-core re-measure item).
 //!
 //! The run first asserts the determinism contract — every worker count
 //! must produce bit-identical logits — and only then times the sweep,
@@ -14,6 +18,7 @@
 
 use std::time::Instant;
 
+use deepcam_bench::guard::{self, median_millis};
 use deepcam_core::{DeepCamEngine, EngineConfig, HashPlan};
 use deepcam_models::scaled::scaled_vgg11;
 use deepcam_tensor::rng::seeded_rng;
@@ -22,11 +27,6 @@ use deepcam_tensor::{init, Parallelism, Shape};
 struct Measurement {
     workers: usize,
     millis: f64,
-}
-
-fn median_millis(mut runs: Vec<f64>) -> f64 {
-    runs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
-    runs[runs.len() / 2]
 }
 
 fn main() {
@@ -44,11 +44,11 @@ fn main() {
         .unwrap_or_else(|| "BENCH_parallel.json".to_string());
     let images = arg("--images").unwrap_or(32);
     let repeats = arg("--repeats").unwrap_or(3).max(1);
+    let force = args.iter().any(|a| a == "--force");
     let worker_counts = [1usize, 2, 4];
 
-    let host_cores = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1);
+    let host_cores = guard::host_cores();
+    guard::check_overwrite(&out_path, host_cores, force);
     println!("== Parallel sharded inference runtime: before/after ==");
     println!("host cores: {host_cores}, images: {images}, repeats: {repeats}");
 

@@ -1,0 +1,80 @@
+//! Overwrite guard for committed `BENCH_*.json` artifacts.
+//!
+//! The repo commits benchmark JSONs (`BENCH_parallel.json`,
+//! `BENCH_hotpath.json`) whose numbers are only meaningful together
+//! with the `host_cores` they were measured on. ROADMAP keeps an open
+//! item to re-measure the parallel numbers on a many-core host; this
+//! guard stops a casual re-run on a *smaller* machine from silently
+//! replacing a better measurement. Pass `--force` to overwrite anyway.
+
+/// Number of logical cores on this host (1 when undetectable).
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Median of a set of wall-clock samples in milliseconds (shared by the
+/// speedup bins so their statistics can never drift apart).
+///
+/// # Panics
+///
+/// Panics on an empty or non-finite sample set.
+pub fn median_millis(mut runs: Vec<f64>) -> f64 {
+    runs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    runs[runs.len() / 2]
+}
+
+/// Extracts the `"host_cores": N` field from a committed bench JSON.
+///
+/// The vendored serde shim has no deserializer, so this is a plain
+/// string scan; it returns `None` when the file or field is absent (in
+/// which case there is nothing to guard).
+pub fn recorded_host_cores(json: &str) -> Option<usize> {
+    let key = "\"host_cores\"";
+    let start = json.find(key)? + key.len();
+    let rest = json[start..].trim_start_matches([':', ' ']);
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// Refuses (process exit 2) to overwrite `path` when it records a run
+/// from a host with **more** cores than this one, unless `force`.
+///
+/// Called by `parallel_speedup` and `hotpath_speedup` before timing
+/// anything, so a refused run costs nothing.
+pub fn check_overwrite(path: &str, current_cores: usize, force: bool) {
+    let Ok(existing) = std::fs::read_to_string(path) else {
+        return; // nothing committed yet
+    };
+    let Some(recorded) = recorded_host_cores(&existing) else {
+        return;
+    };
+    if recorded > current_cores && !force {
+        eprintln!(
+            "refusing to overwrite {path}: it records a run on {recorded} cores, \
+             this host has only {current_cores}. A smaller machine cannot \
+             reproduce multi-core speedups (see the ROADMAP re-measure item). \
+             Pass --force to overwrite anyway."
+        );
+        std::process::exit(2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_host_cores_field() {
+        let json = "{\n  \"experiment\": \"x\",\n  \"host_cores\": 16,\n  \"images\": 4\n}";
+        assert_eq!(recorded_host_cores(json), Some(16));
+        assert_eq!(recorded_host_cores("{}"), None);
+        assert_eq!(recorded_host_cores("{\"host_cores\": \"oops\"}"), None);
+    }
+
+    #[test]
+    fn host_cores_is_positive() {
+        assert!(host_cores() >= 1);
+    }
+}

@@ -17,6 +17,7 @@
 //! | Table II (PIM comparison) | [`experiments::table2`] | `table2_pim_comparison` |
 
 pub mod experiments;
+pub mod guard;
 pub mod table;
 
 pub use table::TableWriter;

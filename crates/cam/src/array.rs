@@ -1,6 +1,13 @@
 //! Functional CAM array simulator.
+//!
+//! Storage is a [`PackedHashes`] slab plus an occupancy bitmap rather
+//! than a `Vec<Option<BitVec>>`: every stored word lives in one
+//! contiguous row-major allocation, so a search is a single linear
+//! XOR+popcount pass (the same microkernel the inference engine's weight
+//! tiles use) instead of a pointer chase through per-row heap vectors.
+//! The [`BitVec`] API is kept for construction and tests.
 
-use deepcam_hash::BitVec;
+use deepcam_hash::{BitVec, PackedHashes};
 use deepcam_tensor::pool::{split_ranges, ThreadPool};
 use serde::{Deserialize, Serialize};
 
@@ -46,14 +53,23 @@ pub struct SearchHit {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CamArray {
     config: CamConfig,
-    rows: Vec<Option<BitVec>>,
+    /// All row words in one contiguous slab (stale garbage may remain in
+    /// unoccupied rows; `occupied` is the source of truth).
+    packed: PackedHashes,
+    /// Occupancy bitmap, one bit per row (bit set = row holds a word).
+    occupied: Vec<u64>,
 }
 
 impl CamArray {
     /// Creates an empty array.
     pub fn new(config: CamConfig) -> Self {
-        let rows = vec![None; config.rows];
-        CamArray { config, rows }
+        let packed = PackedHashes::zeroed(config.word_bits(), config.rows);
+        let occupied = vec![0u64; config.rows.div_ceil(64)];
+        CamArray {
+            config,
+            packed,
+            occupied,
+        }
     }
 
     /// The array configuration.
@@ -63,7 +79,12 @@ impl CamArray {
 
     /// Number of rows currently holding a word.
     pub fn occupied_rows(&self) -> usize {
-        self.rows.iter().filter(|r| r.is_some()).count()
+        self.occupied.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether row `row` currently holds a word.
+    fn is_occupied(&self, row: usize) -> bool {
+        (self.occupied[row / 64] >> (row % 64)) & 1 == 1
     }
 
     /// Row utilization in `[0, 1]` — the quantity plotted in Fig. 9.
@@ -91,14 +112,20 @@ impl CamArray {
                 actual: word.len(),
             });
         }
-        self.rows[row] = Some(word);
+        self.packed
+            .set_row(row, &word)
+            .expect("row and width validated above");
+        self.occupied[row / 64] |= 1 << (row % 64);
         Ok(())
     }
 
     /// Clears every row (a new tile is about to be loaded).
+    ///
+    /// Only the occupancy bitmap is reset; stale slab words are never
+    /// read because searches filter on occupancy.
     pub fn clear(&mut self) {
-        for r in &mut self.rows {
-            *r = None;
+        for w in &mut self.occupied {
+            *w = 0;
         }
     }
 
@@ -131,6 +158,8 @@ impl CamArray {
     /// Same conditions as [`CamConfig::set_word_bits`].
     pub fn set_word_bits(&mut self, word_bits: usize) -> Result<()> {
         self.config.set_word_bits(word_bits)?;
+        // The slab stride depends on the word width — reallocate it.
+        self.packed = PackedHashes::zeroed(word_bits, self.config.rows);
         self.clear();
         Ok(())
     }
@@ -149,7 +178,7 @@ impl CamArray {
                 actual: key.len(),
             });
         }
-        Ok(self.search_rows(key, 0, self.rows.len()))
+        Ok(self.search_rows(key, 0, self.config.rows))
     }
 
     /// [`CamArray::search`] sharded over contiguous row ranges across
@@ -170,10 +199,10 @@ impl CamArray {
                 actual: key.len(),
             });
         }
-        if shards <= 1 || self.rows.len() <= 1 {
-            return Ok(self.search_rows(key, 0, self.rows.len()));
+        if shards <= 1 || self.config.rows <= 1 {
+            return Ok(self.search_rows(key, 0, self.config.rows));
         }
-        let ranges = split_ranges(self.rows.len(), shards);
+        let ranges = split_ranges(self.config.rows, shards);
         let per_shard: Vec<Vec<SearchHit>> = ThreadPool::global().run_indexed(ranges.len(), |si| {
             let r = &ranges[si];
             self.search_rows(key, r.start, r.end)
@@ -183,20 +212,30 @@ impl CamArray {
 
     /// Match-line evaluation for rows `lo..hi` (key width already
     /// validated). Row order within the range is preserved.
+    ///
+    /// The whole range goes through the packed XOR+popcount microkernel
+    /// — one linear [`PackedHashes::hamming_range_into`] pass over the
+    /// slab, mirroring how every match line evaluates simultaneously in
+    /// the real array — then only occupied rows emit hits (empty rows
+    /// keep their match lines silent; distances computed for stale slab
+    /// rows are discarded).
     fn search_rows(&self, key: &BitVec, lo: usize, hi: usize) -> Vec<SearchHit> {
         let word_bits = self.config.word_bits();
+        let mut dists = vec![0u32; hi - lo];
+        self.packed
+            .hamming_range_into(key.words(), lo, hi, &mut dists);
         let mut hits = Vec::with_capacity(hi - lo);
-        for (offset, stored) in self.rows[lo..hi].iter().enumerate() {
-            if let Some(word) = stored {
-                let hamming = word
-                    .hamming(key)
-                    .expect("stored word width is validated on write");
-                hits.push(SearchHit {
-                    row: lo + offset,
-                    hamming,
-                    sensed: self.config.sense.read(hamming, word_bits),
-                });
+        for (offset, &d) in dists.iter().enumerate() {
+            let row = lo + offset;
+            if !self.is_occupied(row) {
+                continue;
             }
+            let hamming = d as usize;
+            hits.push(SearchHit {
+                row,
+                hamming,
+                sensed: self.config.sense.read(hamming, word_bits),
+            });
         }
         hits
     }

@@ -16,15 +16,17 @@
 //! The result is the "DC" accuracy of the paper's Fig. 5, directly
 //! comparable to the float model's "BL" accuracy.
 
+use deepcam_hash::bitvec::pack_signs_into;
 use deepcam_hash::context::ContextSet;
 use deepcam_hash::geometric::{CosineMode, GeometricDot, NormMode};
-use deepcam_hash::{BitVec, ContextGenerator, Minifloat8};
+use deepcam_hash::{ContextGenerator, Minifloat8, PackedHashes};
 use deepcam_models::{Block, Cnn, ResBlock};
 use deepcam_tensor::ops::conv::{im2col_sharded, Conv2dConfig};
 use deepcam_tensor::ops::norm::BN_EPS;
 use deepcam_tensor::ops::pool::{avg_pool2d, max_pool2d, PoolConfig};
 use deepcam_tensor::pool::{split_ranges, Parallelism, ThreadPool};
 use deepcam_tensor::rng::{seeded_rng, standard_normal};
+use deepcam_tensor::tensor::matmul_dense_into;
 use deepcam_tensor::{Shape, Tensor};
 use serde::{Deserialize, Serialize};
 
@@ -70,22 +72,97 @@ impl Default for EngineConfig {
     }
 }
 
+/// One dot-product layer compiled for the packed hot path.
+///
+/// Everything the inner loop needs is precomputed here at `compile()`
+/// time, so the per-patch work is: project, pack signs, one XOR+popcount
+/// pass over the packed weight tile, then `a_norm * w_norm * cos_lut[hd]`
+/// per kernel — the identical float expression (and multiplication
+/// order) the scalar path evaluated, now with every transcendental and
+/// heap allocation hoisted out of the loop.
+struct DotTile {
+    /// Layer projection `[n, k]` (the on-chip crossbar weights).
+    proj: Tensor,
+    /// Original per-kernel contexts. Kept for the frozen
+    /// [`reference`](crate::reference) datapath and for tests; the fast
+    /// path reads only the packed fields below. (This duplicates the
+    /// weight hashes — a few KB per layer at zoo scales — a deliberate
+    /// trade to keep the differential oracle byte-for-byte verbatim
+    /// rather than reconstructing its inputs.)
+    weights: ContextSet,
+    /// All M kernel hashes in one contiguous row-major slab.
+    packed: PackedHashes,
+    /// Per-kernel norms with the engine's `NormMode` already applied.
+    w_norms: Vec<f32>,
+    /// `cos_lut[hd] = cosine.eval((π/k)·hd)` for `hd ∈ 0..=k`: the only
+    /// k+1 values the angle/cosine pipeline can ever produce at this
+    /// layer width.
+    cos_lut: Vec<f32>,
+    /// Hash width.
+    k: usize,
+    /// Dot-layer index in traversal order (noise seeding).
+    layer_idx: usize,
+}
+
+impl DotTile {
+    fn compile(
+        proj: Tensor,
+        weights: ContextSet,
+        k: usize,
+        layer_idx: usize,
+        cfg: &EngineConfig,
+    ) -> Self {
+        let mut packed = PackedHashes::new(k);
+        let mut w_norms = Vec::with_capacity(weights.len());
+        for wctx in weights.iter() {
+            packed
+                .push(&wctx.bits)
+                .expect("weight hashes share the layer width by construction");
+            w_norms.push(match cfg.norm {
+                NormMode::Minifloat8 => wctx.quantized_norm(),
+                NormMode::Fp32 => wctx.norm,
+            });
+        }
+        let cos_lut = (0..=k)
+            .map(|hd| cfg.cosine.eval(GeometricDot::angle_from_hamming(hd, k)))
+            .collect();
+        DotTile {
+            proj,
+            weights,
+            packed,
+            w_norms,
+            cos_lut,
+            k,
+            layer_idx,
+        }
+    }
+
+    /// Number of kernel contexts (output channels / features).
+    fn m(&self) -> usize {
+        self.weights.len()
+    }
+}
+
+/// Which dot-product datapath a pipeline walk uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DotPath {
+    /// The packed-tile + cosine-LUT kernels (production).
+    Fast,
+    /// The frozen pre-optimization scalar path
+    /// ([`crate::reference`]) — differential oracle and bench baseline.
+    Reference,
+}
+
 /// One compiled pipeline step.
 enum Step {
     Conv {
         cfg: Conv2dConfig,
-        proj: Tensor, // [n, k]
-        weights: ContextSet,
+        tile: DotTile,
         bias: Vec<f32>,
-        k: usize,
-        layer_idx: usize,
     },
     Linear {
-        proj: Tensor, // [n, k]
-        weights: ContextSet,
+        tile: DotTile,
         bias: Vec<f32>,
-        k: usize,
-        layer_idx: usize,
     },
     Bn {
         gamma: Vec<f32>,
@@ -160,7 +237,25 @@ impl DeepCamEngine {
     ///
     /// Propagates tensor shape errors (batch/model mismatch).
     pub fn infer(&self, batch: &Tensor) -> Result<Tensor> {
-        self.infer_at_offset(batch, 0, self.cfg.parallelism.resolve())
+        self.infer_at_offset(batch, 0, self.cfg.parallelism.resolve(), DotPath::Fast)
+    }
+
+    /// Runs inference through the **frozen pre-optimization datapath**
+    /// ([`crate::reference`]): per-pair angle/cosine evaluation over
+    /// heap-allocated hashes, exactly as the engine computed before the
+    /// packed-tile rewrite.
+    ///
+    /// Logits are guaranteed bit-identical to [`DeepCamEngine::infer`]
+    /// — `tests/hotpath_reference.rs` enforces it across models, modes
+    /// and noise levels. This exists as a differential oracle and as the
+    /// "before" side of the `hotpath_speedup` benchmark; never use it
+    /// for production inference.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DeepCamEngine::infer`].
+    pub fn infer_reference(&self, batch: &Tensor) -> Result<Tensor> {
+        self.infer_at_offset(batch, 0, self.cfg.parallelism.resolve(), DotPath::Reference)
     }
 
     /// Runs inference with the batch logically positioned at image index
@@ -174,10 +269,11 @@ impl DeepCamEngine {
         batch: &Tensor,
         img_offset: usize,
         dot_workers: usize,
+        path: DotPath,
     ) -> Result<Tensor> {
         let mut cur = batch.clone();
         for step in &self.steps {
-            cur = run_step(step, &cur, &self.cfg, img_offset, dot_workers)?;
+            cur = run_step(step, &cur, &self.cfg, img_offset, dot_workers, path)?;
         }
         Ok(cur)
     }
@@ -209,7 +305,7 @@ impl DeepCamEngine {
         let n = batch.shape().dim(0);
         let workers = parallelism.resolve().min(n.max(1));
         if workers <= 1 {
-            return self.infer_at_offset(batch, 0, parallelism.resolve());
+            return self.infer_at_offset(batch, 0, parallelism.resolve(), DotPath::Fast);
         }
         let ranges = split_ranges(n, workers);
         // Image-level fan-out is the outer parallel loop; the worker
@@ -220,7 +316,7 @@ impl DeepCamEngine {
         let chunks: Vec<Result<Tensor>> = ThreadPool::global().run_indexed(ranges.len(), |ci| {
             let r = &ranges[ci];
             let chunk = self.image_chunk(batch, r.start, r.end)?;
-            self.infer_at_offset(&chunk, r.start, inner_workers)
+            self.infer_at_offset(&chunk, r.start, inner_workers, DotPath::Fast)
         });
         let mut logits: Vec<f32> = Vec::new();
         let mut classes = 0usize;
@@ -293,20 +389,21 @@ impl DeepCamEngine {
     /// ties, matching `Tensor::argmax`).
     fn count_correct(logits: &Tensor, labels: &[usize]) -> usize {
         let classes = logits.shape().dim(1);
-        let mut correct = 0usize;
-        for (row, &label) in labels.iter().enumerate() {
-            let slice = &logits.data()[row * classes..(row + 1) * classes];
-            let mut best = 0usize;
-            for (j, &v) in slice.iter().enumerate() {
-                if v > slice[best] {
-                    best = j;
-                }
-            }
-            if best == label {
-                correct += 1;
-            }
-        }
-        correct
+        labels
+            .iter()
+            .enumerate()
+            .filter(|&(row, &label)| {
+                let slice = &logits.data()[row * classes..(row + 1) * classes];
+                // Single-pass fold carrying (index, value): no re-slicing
+                // per comparison, and strict `>` keeps the first maximum
+                // on ties.
+                let (best, _) = slice.iter().enumerate().skip(1).fold(
+                    (0usize, slice[0]),
+                    |(bi, bv), (j, &v)| if v > bv { (j, v) } else { (bi, bv) },
+                );
+                best == label
+            })
+            .count()
     }
 
     /// Top-1 accuracy over a labelled set, processed in mini-batches.
@@ -347,7 +444,7 @@ impl DeepCamEngine {
         while start < n {
             let end = (start + batch_size).min(n);
             let chunk = self.image_chunk(images, start, end)?;
-            let logits = self.infer_at_offset(&chunk, start, dot_workers)?;
+            let logits = self.infer_at_offset(&chunk, start, dot_workers, DotPath::Fast)?;
             correct += Self::count_correct(&logits, &labels[start..end]);
             start = end;
         }
@@ -402,7 +499,7 @@ impl DeepCamEngine {
             let start = bi * batch_size;
             let end = (start + batch_size).min(n);
             let chunk = self.image_chunk(images, start, end)?;
-            let logits = self.infer_at_offset(&chunk, start, inner_workers)?;
+            let logits = self.infer_at_offset(&chunk, start, inner_workers, DotPath::Fast)?;
             Ok(Self::count_correct(&logits, &labels[start..end]))
         });
         let mut correct = 0usize;
@@ -424,16 +521,14 @@ fn run_step(
     cfg: &EngineConfig,
     img_offset: usize,
     dot_workers: usize,
+    path: DotPath,
 ) -> Result<Tensor> {
     {
         match step {
             Step::Conv {
                 cfg: conv_cfg,
-                proj,
-                weights,
+                tile,
                 bias,
-                k,
-                layer_idx,
             } => {
                 let (n_batch, _c, h, w) = x
                     .shape()
@@ -446,19 +541,10 @@ fn run_step(
                                                                          // Every image contributes OH*OW patch rows, so the global
                                                                          // patch-row offset of this chunk is img_offset * P.
                 let row_offset = img_offset * (oh * ow);
-                let out2d = dot_rows(
-                    &patches,
-                    proj,
-                    weights,
-                    *k,
-                    *layer_idx,
-                    cfg,
-                    row_offset,
-                    dot_workers,
-                )?;
+                let out2d = dot_rows(&patches, tile, cfg, row_offset, dot_workers, path)?;
                 // Permute [N*P, M] -> [N, M, OH, OW] and add bias.
                 let p = oh * ow;
-                let m = weights.len();
+                let m = tile.m();
                 let mut out = vec![0.0f32; n_batch * m * p];
                 for ni in 0..n_batch {
                     for pi in 0..p {
@@ -470,26 +556,11 @@ fn run_step(
                 }
                 Ok(Tensor::from_vec(out, Shape::new(&[n_batch, m, oh, ow]))?)
             }
-            Step::Linear {
-                proj,
-                weights,
-                bias,
-                k,
-                layer_idx,
-            } => {
+            Step::Linear { tile, bias } => {
                 // One patch row per image: the row offset is img_offset.
-                let out2d = dot_rows(
-                    x,
-                    proj,
-                    weights,
-                    *k,
-                    *layer_idx,
-                    cfg,
-                    img_offset,
-                    dot_workers,
-                )?;
+                let out2d = dot_rows(x, tile, cfg, img_offset, dot_workers, path)?;
                 let n_batch = x.shape().dim(0);
-                let m = weights.len();
+                let m = tile.m();
                 let mut out = out2d;
                 for ni in 0..n_batch {
                     for (mi, &b) in bias.iter().enumerate() {
@@ -530,13 +601,13 @@ fn run_step(
             Step::Residual { body, shortcut } => {
                 let mut main = x.clone();
                 for s in body {
-                    main = run_step(s, &main, cfg, img_offset, dot_workers)?;
+                    main = run_step(s, &main, cfg, img_offset, dot_workers, path)?;
                 }
                 let skip = match shortcut {
                     Some(sc) => {
                         let mut t = x.clone();
                         for s in sc {
-                            t = run_step(s, &t, cfg, img_offset, dot_workers)?;
+                            t = run_step(s, &t, cfg, img_offset, dot_workers, path)?;
                         }
                         t
                     }
@@ -588,7 +659,7 @@ fn calibrate_steps(steps: &mut [Step], x: Tensor, cfg: &EngineConfig) -> Result<
                 }
                 *mean = new_mean;
                 *var = new_var;
-                run_step(step, &cur, cfg, 0, dot_workers)?
+                run_step(step, &cur, cfg, 0, dot_workers, DotPath::Fast)?
             }
             Step::Residual { body, shortcut } => {
                 let main = calibrate_steps(body, cur.clone(), cfg)?;
@@ -598,7 +669,7 @@ fn calibrate_steps(steps: &mut [Step], x: Tensor, cfg: &EngineConfig) -> Result<
                 };
                 main.add(&skip)?.map(|v| v.max(0.0))
             }
-            other => run_step(other, &cur, cfg, 0, dot_workers)?,
+            other => run_step(other, &cur, cfg, 0, dot_workers, DotPath::Fast)?,
         };
     }
     Ok(cur)
@@ -613,43 +684,59 @@ fn calibrate_steps(steps: &mut [Step], x: Tensor, cfg: &EngineConfig) -> Result<
 /// function of the patch's position in the full set); `workers` shards
 /// the row range across the pool. Every output element is computed by
 /// the identical scalar pipeline regardless of sharding, so results are
-/// bit-identical for every worker count.
-#[allow(clippy::too_many_arguments)]
+/// bit-identical for every worker count — and the `Reference` path is
+/// bit-identical to the `Fast` one (`tests/hotpath_reference.rs`).
 fn dot_rows(
     rows: &Tensor,
-    proj: &Tensor,
-    weights: &ContextSet,
-    k: usize,
-    layer_idx: usize,
+    tile: &DotTile,
     engine_cfg: &EngineConfig,
     row_offset: usize,
     workers: usize,
+    path: DotPath,
 ) -> Result<Vec<f32>> {
     let r = rows.shape().dim(0);
     let n = rows.shape().dim(1);
-    let m = weights.len();
+    let m = tile.m();
     let mut out = vec![0.0f32; r * m];
     let row_data = rows.data();
     let workers = workers.clamp(1, r.max(1));
+    let timer = if crate::profile::enabled() {
+        Some(std::time::Instant::now())
+    } else {
+        None
+    };
+    let range = |row_start: usize, chunk: &mut [f32]| match path {
+        DotPath::Fast => {
+            dot_rows_range(row_data, n, tile, engine_cfg, row_offset, row_start, chunk)
+        }
+        DotPath::Reference => crate::reference::dot_rows_range(
+            row_data,
+            n,
+            &tile.proj,
+            &tile.weights,
+            tile.k,
+            tile.layer_idx,
+            engine_cfg,
+            row_offset,
+            row_start,
+            chunk,
+        ),
+    };
     if workers <= 1 {
-        dot_rows_range(
-            row_data, n, proj, weights, k, layer_idx, engine_cfg, row_offset, 0, &mut out,
-        );
+        range(0, &mut out);
     } else {
         let chunk_rows = r.div_ceil(workers);
         ThreadPool::global().run_chunks_mut(&mut out, chunk_rows * m, |ci, chunk| {
-            dot_rows_range(
-                row_data,
-                n,
-                proj,
-                weights,
-                k,
-                layer_idx,
-                engine_cfg,
-                row_offset,
-                ci * chunk_rows,
-                chunk,
-            );
+            range(ci * chunk_rows, chunk);
+        });
+    }
+    if let Some(start) = timer {
+        crate::profile::record(crate::profile::DotSample {
+            layer_idx: tile.layer_idx,
+            rows: r,
+            m,
+            k: tile.k,
+            seconds: start.elapsed().as_secs_f64(),
         });
     }
     Ok(out)
@@ -658,68 +745,94 @@ fn dot_rows(
 /// Hashes patch rows `row_start..row_start + out.len() / M` and fills
 /// their output slice. This single function serves both the serial and
 /// every sharded configuration of [`dot_rows`].
-#[allow(clippy::too_many_arguments)]
+///
+/// The loop is allocation-free per patch: the chunk is projected
+/// straight out of `row_data` into one per-worker scratch buffer
+/// (`matmul_into` — same kernel, same per-element accumulation order as
+/// the historical `Tensor::matmul` path), noise is applied in place,
+/// signs are packed into a reusable word buffer, and one XOR+popcount
+/// pass over the packed weight tile yields every Hamming distance. The
+/// final `a_norm * w_norm * cos_lut[hd]` is the identical expression
+/// (and multiplication order) the per-pair path evaluated, with the
+/// angle/cosine collapsed into the k+1-entry LUT computed at compile
+/// time.
 fn dot_rows_range(
     row_data: &[f32],
     n: usize,
-    proj: &Tensor,
-    weights: &ContextSet,
-    k: usize,
-    layer_idx: usize,
+    tile: &DotTile,
     engine_cfg: &EngineConfig,
     row_offset: usize,
     row_start: usize,
     out: &mut [f32],
 ) {
-    let m = weights.len();
+    let m = tile.m();
+    let k = tile.k;
     let rows_here = out.len() / m;
     let noise = engine_cfg.crossbar_noise;
-    let cosine = engine_cfg.cosine;
     let norm_mode = engine_cfg.norm;
     let seed = engine_cfg.seed;
-    // Batched projection of this chunk: [rows_here, n] x [n, k]. Each
-    // projected element is a fixed-order dot over n, so chunk boundaries
-    // never change its value.
-    let chunk = Tensor::from_vec(
-        row_data[row_start * n..(row_start + rows_here) * n].to_vec(),
-        Shape::new(&[rows_here, n]),
-    )
-    .expect("chunk volume is consistent");
-    let projected = chunk
-        .matmul(proj)
-        .expect("projection dims match by construction");
-    for local in 0..rows_here {
-        let patch = &row_data[(row_start + local) * n..(row_start + local + 1) * n];
-        let norm = patch.iter().map(|&v| v * v).sum::<f32>().sqrt();
-        let mut pre = projected.data()[local * k..(local + 1) * k].to_vec();
-        if noise > 0.0 {
-            // Per-patch deterministic RNG keyed by the *global* patch
-            // index: disturbances are reproducible across runs, thread
-            // counts and batch splits.
-            let global_row = (row_offset + row_start + local) as u64;
-            let mut rng = seeded_rng(
-                seed ^ ((layer_idx as u64) << 40) ^ global_row.wrapping_mul(0x9E3779B97F4A7C15),
-            );
-            for v in &mut pre {
-                *v += noise * norm * standard_normal(&mut rng) as f32;
+    // Patch rows are processed in sub-blocks sized so the projected
+    // activations stay cache-resident between the GEMM that produces
+    // them and the sign/Hamming stage that consumes them (64 rows × k
+    // floats ≈ 64 KB at k = 256, vs streaming a whole layer's
+    // projection through memory).
+    const SUB_ROWS: usize = 64;
+    // Per-worker scratch, allocated once per chunk (not per patch).
+    let mut projected = vec![0.0f32; SUB_ROWS.min(rows_here.max(1)) * k];
+    let mut query = vec![0u64; tile.packed.words_per_row()];
+    let mut dists = vec![0u32; m];
+    let mut sub_start = 0usize;
+    while sub_start < rows_here {
+        let sub_rows = SUB_ROWS.min(rows_here - sub_start);
+        // Batched projection of this sub-block: [sub_rows, n] x [n, k],
+        // read directly from the shared patch buffer through the
+        // register-tiled dense kernel (projection matrices are finite by
+        // construction, so it is bit-identical to the zero-skip kernel —
+        // see its docs). Each projected element is a fixed-order dot
+        // over n, so block boundaries never change its value.
+        let abs0 = row_start + sub_start;
+        matmul_dense_into(
+            &row_data[abs0 * n..(abs0 + sub_rows) * n],
+            sub_rows,
+            n,
+            tile.proj.data(),
+            k,
+            &mut projected[..sub_rows * k],
+        );
+        for sub_local in 0..sub_rows {
+            let local = sub_start + sub_local;
+            let patch = &row_data[(abs0 + sub_local) * n..(abs0 + sub_local + 1) * n];
+            let norm = patch.iter().map(|&v| v * v).sum::<f32>().sqrt();
+            let pre = &mut projected[sub_local * k..(sub_local + 1) * k];
+            if noise > 0.0 {
+                // Per-patch deterministic RNG keyed by the *global*
+                // patch index: disturbances are reproducible across
+                // runs, thread counts and batch splits.
+                let global_row = (row_offset + row_start + local) as u64;
+                let mut rng = seeded_rng(
+                    seed ^ ((tile.layer_idx as u64) << 40)
+                        ^ global_row.wrapping_mul(0x9E3779B97F4A7C15),
+                );
+                for v in pre.iter_mut() {
+                    *v += noise * norm * standard_normal(&mut rng) as f32;
+                }
+            }
+            pack_signs_into(pre, &mut query);
+            let a_norm = match norm_mode {
+                NormMode::Minifloat8 => Minifloat8::quantize(norm),
+                NormMode::Fp32 => norm,
+            };
+            tile.packed.hamming_into(&query, &mut dists);
+            let out_row = &mut out[local * m..(local + 1) * m];
+            for ((o, &hd), &w_norm) in out_row
+                .iter_mut()
+                .zip(dists.iter())
+                .zip(tile.w_norms.iter())
+            {
+                *o = a_norm * w_norm * tile.cos_lut[hd as usize];
             }
         }
-        let bits = BitVec::from_signs(&pre);
-        let a_norm = match norm_mode {
-            NormMode::Minifloat8 => Minifloat8::quantize(norm),
-            NormMode::Fp32 => norm,
-        };
-        for (mi, wctx) in weights.iter().enumerate() {
-            let hd = bits
-                .hamming(&wctx.bits)
-                .expect("weight and activation hashes share k");
-            let theta = GeometricDot::angle_from_hamming(hd, k);
-            let w_norm = match norm_mode {
-                NormMode::Minifloat8 => wctx.quantized_norm(),
-                NormMode::Fp32 => wctx.norm,
-            };
-            out[local * m + mi] = a_norm * w_norm * cosine.eval(theta);
-        }
+        sub_start += sub_rows;
     }
 }
 
@@ -732,13 +845,11 @@ fn compile_blocks(blocks: &[Block], cfg: &EngineConfig, idx: &mut usize) -> Resu
                 let n = conv.cfg.patch_len();
                 let gen = ContextGenerator::new(n, k, cfg.seed.wrapping_add(*idx as u64))?;
                 let weights = gen.weight_contexts(&conv.weight.value)?;
+                let tile = DotTile::compile(gen.projection().to_tensor(), weights, k, *idx, cfg);
                 steps.push(Step::Conv {
                     cfg: conv.cfg,
-                    proj: gen.projection().to_tensor(),
-                    weights,
+                    tile,
                     bias: conv.bias.value.data().to_vec(),
-                    k,
-                    layer_idx: *idx,
                 });
                 *idx += 1;
             }
@@ -747,12 +858,10 @@ fn compile_blocks(blocks: &[Block], cfg: &EngineConfig, idx: &mut usize) -> Resu
                 let n = lin.weight.value.shape().dim(1);
                 let gen = ContextGenerator::new(n, k, cfg.seed.wrapping_add(*idx as u64))?;
                 let weights = gen.weight_contexts(&lin.weight.value)?;
+                let tile = DotTile::compile(gen.projection().to_tensor(), weights, k, *idx, cfg);
                 steps.push(Step::Linear {
-                    proj: gen.projection().to_tensor(),
-                    weights,
+                    tile,
                     bias: lin.bias.value.data().to_vec(),
-                    k,
-                    layer_idx: *idx,
                 });
                 *idx += 1;
             }
@@ -923,6 +1032,57 @@ mod tests {
         // Calibration must actually change the BN statistics (and hence
         // the logits) for a model whose float stats are untrained.
         assert_ne!(before.data(), after.data());
+    }
+
+    #[test]
+    fn count_correct_tie_breaks_to_first_max() {
+        // Two tied maxima: the *first* index wins, matching
+        // `Tensor::argmax`. Labels hitting the first tie count as
+        // correct; labels hitting the second do not.
+        let logits = Tensor::from_vec(
+            vec![
+                1.0, 5.0, 5.0, 2.0, // argmax = 1 (not 2)
+                7.0, 7.0, 7.0, 7.0, // argmax = 0
+                0.0, -1.0, 3.0, 3.0, // argmax = 2 (not 3)
+            ],
+            Shape::new(&[3, 4]),
+        )
+        .unwrap();
+        assert_eq!(DeepCamEngine::count_correct(&logits, &[1, 0, 2]), 3);
+        assert_eq!(DeepCamEngine::count_correct(&logits, &[2, 1, 3]), 0);
+        // Mixed: only the middle row's label is the winning index.
+        assert_eq!(DeepCamEngine::count_correct(&logits, &[2, 0, 3]), 1);
+    }
+
+    #[test]
+    fn count_correct_matches_tensor_argmax_convention() {
+        let mut rng = seeded_rng(77);
+        let logits = deepcam_tensor::init::normal(&mut rng, Shape::new(&[8, 5]), 0.0, 1.0);
+        for row in 0..8 {
+            let expected = Tensor::from_slice(&logits.data()[row * 5..(row + 1) * 5])
+                .argmax()
+                .unwrap()
+                .0;
+            let labels: Vec<usize> = (0..8).map(|_| expected).collect();
+            // Row `row` must be counted under its argmax label.
+            let hits = DeepCamEngine::count_correct(&logits, &labels);
+            assert!(hits >= 1, "row {row}");
+        }
+    }
+
+    #[test]
+    fn infer_reference_matches_fast_path_bitwise() {
+        let mut rng = seeded_rng(21);
+        let model = scaled_lenet5(&mut rng, 10);
+        let cfg = EngineConfig {
+            plan: HashPlan::Uniform(256),
+            ..EngineConfig::default()
+        };
+        let engine = DeepCamEngine::compile(&model, cfg).unwrap();
+        let x = tiny_batch(2);
+        let fast = engine.infer(&x).unwrap();
+        let reference = engine.infer_reference(&x).unwrap();
+        assert_eq!(fast.data(), reference.data());
     }
 
     #[test]

@@ -40,6 +40,8 @@ pub mod error;
 pub mod hashplan;
 pub mod perf;
 pub mod postproc;
+pub mod profile;
+mod reference;
 pub mod sched;
 
 pub use dataflow::Dataflow;

@@ -1,0 +1,125 @@
+//! The **frozen pre-optimization dot-product datapath**.
+//!
+//! This module preserves, verbatim, the hot path as it existed before
+//! the packed-tile/LUT rewrite: a scalar ikj projection GEMM over a
+//! copied chunk, a per-bit `BitVec` sign build with one bounds-checked
+//! `set()` per bit, and a per-(patch, kernel) loop that re-evaluates the
+//! angle and cosine transcendental for every pair through heap-allocated
+//! per-row hashes.
+//!
+//! It exists for two reasons:
+//!
+//! 1. **Differential oracle.** The optimized engine must produce
+//!    bit-identical logits to this path for every model, cosine mode,
+//!    norm mode and noise level (`tests/hotpath_reference.rs`). Any
+//!    semantic drift in the fast kernels fails loudly against code that
+//!    provably computed the paper's equations.
+//! 2. **Benchmark baseline.** `hotpath_speedup` times
+//!    [`DeepCamEngine::infer_reference`](crate::DeepCamEngine::infer_reference)
+//!    against the fast path to report the rewrite's true before/after on
+//!    the same binary and host.
+//!
+//! Nothing here is reachable from production inference; do not "fix" or
+//! optimize this code — its value is that it never changes.
+
+use deepcam_hash::context::ContextSet;
+use deepcam_hash::geometric::{GeometricDot, NormMode};
+use deepcam_hash::{BitVec, Minifloat8};
+use deepcam_tensor::rng::{seeded_rng, standard_normal};
+
+use crate::engine::EngineConfig;
+
+/// The historical scalar ikj GEMM (`Tensor::matmul` before k-blocking),
+/// kept so the baseline's projection cost is measured as it was.
+fn naive_matmul(a: &[f32], m: usize, k: usize, b: &[f32], n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (kk, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// The historical per-bit sign builder (`BitVec::from_signs` before
+/// word-wise packing).
+fn bitwise_from_signs(values: &[f32]) -> BitVec {
+    let mut v = BitVec::zeros(values.len());
+    for (i, &x) in values.iter().enumerate() {
+        if x >= 0.0 {
+            v.set(i, true);
+        }
+    }
+    v
+}
+
+/// Hashes patch rows `row_start..row_start + out.len() / M` and fills
+/// their output slice — the pre-rewrite body of the engine's
+/// `dot_rows_range`, character-for-character up to the two helpers
+/// above.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn dot_rows_range(
+    row_data: &[f32],
+    n: usize,
+    proj: &deepcam_tensor::Tensor,
+    weights: &ContextSet,
+    k: usize,
+    layer_idx: usize,
+    engine_cfg: &EngineConfig,
+    row_offset: usize,
+    row_start: usize,
+    out: &mut [f32],
+) {
+    let m = weights.len();
+    let rows_here = out.len() / m;
+    let noise = engine_cfg.crossbar_noise;
+    let cosine = engine_cfg.cosine;
+    let norm_mode = engine_cfg.norm;
+    let seed = engine_cfg.seed;
+    // Batched projection of this chunk: [rows_here, n] x [n, k]. Each
+    // projected element is a fixed-order dot over n, so chunk boundaries
+    // never change its value.
+    let chunk = row_data[row_start * n..(row_start + rows_here) * n].to_vec();
+    let projected = naive_matmul(&chunk, rows_here, n, proj.data(), k);
+    for local in 0..rows_here {
+        let patch = &row_data[(row_start + local) * n..(row_start + local + 1) * n];
+        let norm = patch.iter().map(|&v| v * v).sum::<f32>().sqrt();
+        let mut pre = projected[local * k..(local + 1) * k].to_vec();
+        if noise > 0.0 {
+            // Per-patch deterministic RNG keyed by the *global* patch
+            // index: disturbances are reproducible across runs, thread
+            // counts and batch splits.
+            let global_row = (row_offset + row_start + local) as u64;
+            let mut rng = seeded_rng(
+                seed ^ ((layer_idx as u64) << 40) ^ global_row.wrapping_mul(0x9E3779B97F4A7C15),
+            );
+            for v in &mut pre {
+                *v += noise * norm * standard_normal(&mut rng) as f32;
+            }
+        }
+        let bits = bitwise_from_signs(&pre);
+        let a_norm = match norm_mode {
+            NormMode::Minifloat8 => Minifloat8::quantize(norm),
+            NormMode::Fp32 => norm,
+        };
+        for (mi, wctx) in weights.iter().enumerate() {
+            let hd = bits
+                .hamming(&wctx.bits)
+                .expect("weight and activation hashes share k");
+            let theta = GeometricDot::angle_from_hamming(hd, k);
+            let w_norm = match norm_mode {
+                NormMode::Minifloat8 => wctx.quantized_norm(),
+                NormMode::Fp32 => wctx.norm,
+            };
+            out[local * m + mi] = a_norm * w_norm * cosine.eval(theta);
+        }
+    }
+}

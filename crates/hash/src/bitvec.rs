@@ -39,14 +39,19 @@ impl BitVec {
     }
 
     /// Builds a bit vector from booleans.
+    ///
+    /// Whole 64-bit words are assembled at a time — no per-bit bounds
+    /// checks — because this sits on the context-generation path for
+    /// every stored hash. A proptest pins word-wise packing against the
+    /// per-bit [`BitVec::set`] reference.
     pub fn from_bools(bits: &[bool]) -> Self {
-        let mut v = BitVec::zeros(bits.len());
-        for (i, &b) in bits.iter().enumerate() {
-            if b {
-                v.set(i, true);
+        Self::pack_words(bits, |chunk| {
+            let mut word = 0u64;
+            for (b, &bit) in chunk.iter().enumerate() {
+                word |= u64::from(bit) << b;
             }
-        }
-        v
+            word
+        })
     }
 
     /// Builds a bit vector from the signs of `values`: bit `i` is 1 when
@@ -54,14 +59,22 @@ impl BitVec {
     ///
     /// This is the `sign(·)` step of the paper's `hash(x) = sign(xC)`;
     /// zero maps to 1, the convention used throughout the reproduction.
+    /// Like [`BitVec::from_bools`], it packs whole words at a time.
     pub fn from_signs(values: &[f32]) -> Self {
-        let mut v = BitVec::zeros(values.len());
-        for (i, &x) in values.iter().enumerate() {
-            if x >= 0.0 {
-                v.set(i, true);
-            }
+        Self::pack_words(values, sign_word)
+    }
+
+    /// Builds a bit vector by mapping each ≤64-element input chunk to one
+    /// packed word (low bits first; the final chunk may be short and its
+    /// word must leave the unused high bits zero — every builder upholds
+    /// the trailing-zero invariant [`PackedHashes`](crate::PackedHashes)
+    /// and `hamming` rely on).
+    fn pack_words<T>(items: &[T], word_of: impl Fn(&[T]) -> u64) -> Self {
+        let words = items.chunks(WORD_BITS).map(word_of).collect();
+        BitVec {
+            len: items.len(),
+            words,
         }
-        v
     }
 
     /// Length in bits.
@@ -204,6 +217,63 @@ impl BitVec {
     }
 }
 
+/// Packs one ≤64-element chunk of floats into a sign word (bit `b` set
+/// when `chunk[b] >= 0.0`, matching [`BitVec::from_signs`]).
+///
+/// Full 64-element chunks take a two-stage path built for the
+/// vectorizer: the comparisons are materialized as 0/1 bytes (a SIMD
+/// compare), then each 8-byte group is collapsed to 8 bits with one
+/// multiply — `M = 0x0102_0408_1020_4080` places byte `j`'s LSB at bit
+/// `56 + j`, and since `8j − 7i = c` has at most one solution per `c`
+/// over `0..8`², every product bit position receives at most one
+/// contribution, so no carries can corrupt the top byte. The serial
+/// shift-or loop (kept for tails) has a 64-deep OR dependency chain;
+/// this path replaces it with ~5 ops per 8 elements.
+fn sign_word(chunk: &[f32]) -> u64 {
+    const WORD: usize = 64;
+    const MAGIC: u64 = 0x0102_0408_1020_4080;
+    if chunk.len() == WORD {
+        let mut bytes = [0u8; WORD];
+        for (d, &x) in bytes.iter_mut().zip(chunk.iter()) {
+            *d = u8::from(x >= 0.0);
+        }
+        let mut word = 0u64;
+        for (g, group) in bytes.chunks_exact(8).enumerate() {
+            let lanes = u64::from_le_bytes(group.try_into().expect("8-byte group"));
+            word |= (lanes.wrapping_mul(MAGIC) >> 56) << (8 * g);
+        }
+        return word;
+    }
+    let mut word = 0u64;
+    for (b, &x) in chunk.iter().enumerate() {
+        word |= u64::from(x >= 0.0) << b;
+    }
+    word
+}
+
+/// Packs the signs of `values` directly into a caller-provided word
+/// buffer — the allocation-free twin of [`BitVec::from_signs`] used by
+/// the inference hot loop to build query hashes in reusable scratch.
+///
+/// `out` must hold exactly `values.len().div_ceil(64)` words; unused high
+/// bits of the final word are written zero, so the buffer satisfies the
+/// same trailing-zero invariant as a [`BitVec`] and can be compared
+/// against packed storage without tail masking.
+///
+/// # Panics
+///
+/// Panics when `out` has the wrong length.
+pub fn pack_signs_into(values: &[f32], out: &mut [u64]) {
+    assert_eq!(
+        out.len(),
+        values.len().div_ceil(WORD_BITS),
+        "sign word buffer must match the value count"
+    );
+    for (w, chunk) in out.iter_mut().zip(values.chunks(WORD_BITS)) {
+        *w = sign_word(chunk);
+    }
+}
+
 impl FromIterator<bool> for BitVec {
     fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
         let bits: Vec<bool> = iter.into_iter().collect();
@@ -318,5 +388,66 @@ mod tests {
     fn from_iterator() {
         let v: BitVec = (0..10).map(|i| i % 2 == 0).collect();
         assert_eq!(v.count_ones(), 5);
+    }
+
+    /// Per-bit reference builder: what `from_bools` did before word-wise
+    /// packing. The fast builders must agree with it exactly.
+    fn from_bools_bitwise(bits: &[bool]) -> BitVec {
+        let mut v = BitVec::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn wordwise_builders_match_bitwise_at_word_boundaries() {
+        for len in [0usize, 1, 63, 64, 65, 127, 128, 129, 256] {
+            let bools: Vec<bool> = (0..len).map(|i| (i * 7 + 3) % 5 < 2).collect();
+            assert_eq!(
+                BitVec::from_bools(&bools),
+                from_bools_bitwise(&bools),
+                "len {len}"
+            );
+            let vals: Vec<f32> = (0..len)
+                .map(|i| (i as f32 - len as f32 / 2.0) * 0.3)
+                .collect();
+            let signs: Vec<bool> = vals.iter().map(|&x| x >= 0.0).collect();
+            assert_eq!(
+                BitVec::from_signs(&vals),
+                from_bools_bitwise(&signs),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn pack_signs_into_matches_from_signs() {
+        for len in [1usize, 5, 64, 100, 192, 200] {
+            let vals: Vec<f32> = (0..len).map(|i| ((i * 13) % 7) as f32 - 3.0).collect();
+            let reference = BitVec::from_signs(&vals);
+            let mut words = vec![0xFFFF_FFFF_FFFF_FFFFu64; len.div_ceil(WORD_BITS)];
+            pack_signs_into(&vals, &mut words);
+            assert_eq!(words.as_slice(), reference.words(), "len {len}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sign word buffer")]
+    fn pack_signs_into_rejects_wrong_buffer() {
+        let mut words = vec![0u64; 1];
+        pack_signs_into(&[1.0; 65], &mut words);
+    }
+
+    #[test]
+    fn builders_leave_trailing_bits_zero() {
+        // The trailing-zero invariant is what lets hamming and the packed
+        // microkernels skip tail masking.
+        let v = BitVec::from_bools(&[true; 70]);
+        assert_eq!(v.words()[1] >> 6, 0);
+        let s = BitVec::from_signs(&[1.0f32; 70]);
+        assert_eq!(s.words()[1] >> 6, 0);
     }
 }

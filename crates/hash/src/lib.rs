@@ -39,6 +39,7 @@ pub mod cosine;
 pub mod error;
 pub mod geometric;
 pub mod minifloat;
+pub mod packed;
 pub mod projection;
 pub mod stats;
 
@@ -47,6 +48,7 @@ pub use context::{Context, ContextGenerator, ContextSet};
 pub use error::HashError;
 pub use geometric::GeometricDot;
 pub use minifloat::Minifloat8;
+pub use packed::PackedHashes;
 pub use projection::ProjectionMatrix;
 
 /// Result alias used across the crate.

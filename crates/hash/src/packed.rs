@@ -1,0 +1,379 @@
+//! Packed hash tiles — the contiguous storage layout of the hot path.
+//!
+//! A [`PackedHashes`] tile holds every hash of one CAM tile (all M kernel
+//! contexts of a layer, or all rows of a [`CamArray`]) in **one**
+//! row-major `Vec<u64>` slab with a fixed words-per-row stride:
+//!
+//! ```text
+//! row 0: | w0 | w1 | w2 | w3 |      ← k bits in ⌈k/64⌉ words,
+//! row 1: | w0 | w1 | w2 | w3 |        trailing bits of the last
+//! ...                                  word always zero
+//! row M: | w0 | w1 | w2 | w3 |
+//! ```
+//!
+//! Compared to a `Vec<BitVec>` (one heap allocation per row, a length
+//! field re-checked per comparison), the slab gives the Hamming
+//! microkernel [`PackedHashes::hamming_into`] a single linear pass over
+//! contiguous memory: XOR + popcount, 4×-unrolled over the word stride,
+//! with no per-row `Option`, no per-call length `Result`, and no tail
+//! masking in the loop — the *masked tail word is handled once at build
+//! time* by the trailing-zero invariant every [`BitVec`] builder upholds.
+//!
+//! This is the software twin of the data-layout argument in
+//! "Full-Stack Optimization for CAM-Only DNN Inference": packing and
+//! placement, not the match primitive, decide throughput.
+//!
+//! [`CamArray`]: https://docs.rs/deepcam-cam
+
+use serde::{Deserialize, Serialize};
+
+use crate::bitvec::BitVec;
+use crate::error::HashError;
+use crate::Result;
+
+const WORD_BITS: usize = 64;
+
+/// A dense tile of equal-width hashes in one contiguous row-major slab.
+///
+/// # Example
+///
+/// ```
+/// use deepcam_hash::{BitVec, PackedHashes};
+///
+/// let rows = vec![
+///     BitVec::from_bools(&[true; 100]),
+///     BitVec::from_bools(&[false; 100]),
+/// ];
+/// let tile = PackedHashes::from_bitvecs(100, &rows)?;
+/// let query = BitVec::from_bools(&[true; 100]);
+/// let mut dists = vec![0u32; tile.rows()];
+/// tile.hamming_into(query.words(), &mut dists);
+/// assert_eq!(dists, [0, 100]);
+/// # Ok::<(), deepcam_hash::HashError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PackedHashes {
+    bits: usize,
+    words_per_row: usize,
+    rows: usize,
+    /// Row-major `[rows * words_per_row]`; trailing bits of each row's
+    /// last word are zero (the build-time tail mask).
+    slab: Vec<u64>,
+}
+
+impl PackedHashes {
+    /// Creates an empty tile for `bits`-wide hashes.
+    pub fn new(bits: usize) -> Self {
+        PackedHashes {
+            bits,
+            words_per_row: bits.div_ceil(WORD_BITS),
+            rows: 0,
+            slab: Vec::new(),
+        }
+    }
+
+    /// Creates an all-zero tile with `rows` pre-allocated rows (used by
+    /// fixed-geometry consumers like the CAM array, which overwrite rows
+    /// in place).
+    pub fn zeroed(bits: usize, rows: usize) -> Self {
+        let words_per_row = bits.div_ceil(WORD_BITS);
+        PackedHashes {
+            bits,
+            words_per_row,
+            rows,
+            slab: vec![0; rows * words_per_row],
+        }
+    }
+
+    /// Packs a slice of equal-width [`BitVec`]s into one tile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HashError::LengthMismatch`] when any row's width differs
+    /// from `bits` — the single up-front check that replaces the
+    /// per-comparison length `Result` of the `BitVec` path.
+    pub fn from_bitvecs(bits: usize, rows: &[BitVec]) -> Result<Self> {
+        let mut tile = PackedHashes::new(bits);
+        tile.slab.reserve(rows.len() * tile.words_per_row);
+        for row in rows {
+            tile.push(row)?;
+        }
+        Ok(tile)
+    }
+
+    /// Appends one hash row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HashError::LengthMismatch`] when the row width differs
+    /// from the tile width.
+    pub fn push(&mut self, row: &BitVec) -> Result<()> {
+        if row.len() != self.bits {
+            return Err(HashError::LengthMismatch {
+                lhs: self.bits,
+                rhs: row.len(),
+            });
+        }
+        self.slab.extend_from_slice(row.words());
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Overwrites row `row` in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HashError::LengthMismatch`] on a width mismatch, or
+    /// [`HashError::InvalidConfig`] when `row` is out of range.
+    pub fn set_row(&mut self, row: usize, word: &BitVec) -> Result<()> {
+        if word.len() != self.bits {
+            return Err(HashError::LengthMismatch {
+                lhs: self.bits,
+                rhs: word.len(),
+            });
+        }
+        if row >= self.rows {
+            return Err(HashError::InvalidConfig(format!(
+                "row {row} out of range {}",
+                self.rows
+            )));
+        }
+        let start = row * self.words_per_row;
+        self.slab[start..start + self.words_per_row].copy_from_slice(word.words());
+        Ok(())
+    }
+
+    /// Hash width in bits.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Words per row (the fixed stride of the slab).
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Returns `true` when the tile holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// The packed words of row `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row` is out of range.
+    pub fn row_words(&self, row: usize) -> &[u64] {
+        assert!(row < self.rows, "row {row} out of range {}", self.rows);
+        &self.slab[row * self.words_per_row..(row + 1) * self.words_per_row]
+    }
+
+    /// Reconstructs row `row` as a [`BitVec`] (construction/test API; the
+    /// hot path never calls this).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row` is out of range.
+    pub fn row_bitvec(&self, row: usize) -> BitVec {
+        let words = self.row_words(row);
+        let mut v = BitVec::zeros(self.bits);
+        for (i, &w) in words.iter().enumerate() {
+            for b in 0..WORD_BITS {
+                let bit = i * WORD_BITS + b;
+                if bit >= self.bits {
+                    break;
+                }
+                if (w >> b) & 1 == 1 {
+                    v.set(bit, true);
+                }
+            }
+        }
+        v
+    }
+
+    /// The Hamming microkernel: fills `out[i]` with the distance between
+    /// `query_words` and row `i`, for every row, in one pass over the
+    /// contiguous slab.
+    ///
+    /// `query_words` must obey the [`BitVec`] trailing-zero invariant
+    /// (every builder in this crate does), so no tail mask is applied in
+    /// the loop. The word loop is 4×-unrolled; widths that are a
+    /// multiple of 256 bits (the paper's chunk granularity) take only
+    /// the unrolled path.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `query_words` is not exactly `words_per_row` long or
+    /// `out` is not exactly `rows` long.
+    #[inline]
+    pub fn hamming_into(&self, query_words: &[u64], out: &mut [u32]) {
+        self.hamming_range_into(query_words, 0, self.rows, out);
+    }
+
+    /// [`PackedHashes::hamming_into`] over rows `lo..hi` only (the
+    /// building block of sharded CAM search: each shard scans a disjoint
+    /// contiguous row range of the same slab).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is out of bounds or descending, when
+    /// `query_words` is not exactly `words_per_row` long, or when `out`
+    /// is not exactly `hi - lo` long.
+    pub fn hamming_range_into(&self, query_words: &[u64], lo: usize, hi: usize, out: &mut [u32]) {
+        assert!(lo <= hi && hi <= self.rows, "row range {lo}..{hi} invalid");
+        assert_eq!(
+            query_words.len(),
+            self.words_per_row,
+            "query width must match the tile stride"
+        );
+        assert_eq!(out.len(), hi - lo, "output slot per row in range");
+        let wpr = self.words_per_row;
+        let slab = &self.slab[lo * wpr..hi * wpr];
+        for (row_words, o) in slab.chunks_exact(wpr).zip(out.iter_mut()) {
+            *o = hamming_words(row_words, query_words);
+        }
+    }
+}
+
+/// XOR + popcount over two equal-length word slices, 4×-unrolled.
+///
+/// Shared by the tile microkernel and any caller that already holds
+/// packed words (e.g. scratch query buffers built by
+/// [`pack_signs_into`](crate::bitvec::pack_signs_into)).
+#[inline]
+pub fn hamming_words(a: &[u64], b: &[u64]) -> u32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0u32;
+    let mut chunks_a = a.chunks_exact(4);
+    let mut chunks_b = b.chunks_exact(4);
+    for (ca, cb) in chunks_a.by_ref().zip(chunks_b.by_ref()) {
+        acc += (ca[0] ^ cb[0]).count_ones()
+            + (ca[1] ^ cb[1]).count_ones()
+            + (ca[2] ^ cb[2]).count_ones()
+            + (ca[3] ^ cb[3]).count_ones();
+    }
+    for (&wa, &wb) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+        acc += (wa ^ wb).count_ones();
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn patterned(bits: usize, step: usize) -> BitVec {
+        let bools: Vec<bool> = (0..bits).map(|i| i % step == 0).collect();
+        BitVec::from_bools(&bools)
+    }
+
+    #[test]
+    fn layout_is_row_major_with_fixed_stride() {
+        let rows = vec![patterned(100, 3), patterned(100, 5), patterned(100, 7)];
+        let tile = PackedHashes::from_bitvecs(100, &rows).unwrap();
+        assert_eq!(tile.rows(), 3);
+        assert_eq!(tile.bits(), 100);
+        assert_eq!(tile.words_per_row(), 2);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(tile.row_words(i), row.words());
+            assert_eq!(tile.row_bitvec(i), *row);
+        }
+    }
+
+    #[test]
+    fn hamming_into_matches_bitvec_reference() {
+        for bits in [1usize, 63, 64, 65, 100, 256, 300, 512, 1024] {
+            let rows: Vec<BitVec> = (2..9).map(|s| patterned(bits, s)).collect();
+            let tile = PackedHashes::from_bitvecs(bits, &rows).unwrap();
+            let query = patterned(bits, 4);
+            let mut dists = vec![0u32; tile.rows()];
+            tile.hamming_into(query.words(), &mut dists);
+            for (row, &d) in rows.iter().zip(dists.iter()) {
+                assert_eq!(d as usize, row.hamming(&query).unwrap(), "bits {bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn hamming_range_matches_full_pass() {
+        let bits = 192;
+        let rows: Vec<BitVec> = (2..12).map(|s| patterned(bits, s)).collect();
+        let tile = PackedHashes::from_bitvecs(bits, &rows).unwrap();
+        let query = patterned(bits, 3);
+        let mut full = vec![0u32; tile.rows()];
+        tile.hamming_into(query.words(), &mut full);
+        for lo in 0..tile.rows() {
+            for hi in lo..=tile.rows() {
+                let mut part = vec![0u32; hi - lo];
+                tile.hamming_range_into(query.words(), lo, hi, &mut part);
+                assert_eq!(part.as_slice(), &full[lo..hi], "range {lo}..{hi}");
+            }
+        }
+    }
+
+    #[test]
+    fn push_rejects_width_mismatch() {
+        let mut tile = PackedHashes::new(128);
+        assert!(tile.push(&BitVec::zeros(127)).is_err());
+        assert!(tile.push(&BitVec::zeros(128)).is_ok());
+        assert_eq!(tile.rows(), 1);
+    }
+
+    #[test]
+    fn set_row_overwrites_in_place() {
+        let mut tile = PackedHashes::zeroed(70, 4);
+        assert_eq!(tile.rows(), 4);
+        let word = patterned(70, 2);
+        tile.set_row(2, &word).unwrap();
+        assert_eq!(tile.row_bitvec(2), word);
+        assert_eq!(tile.row_bitvec(1), BitVec::zeros(70));
+        assert!(tile.set_row(4, &word).is_err());
+        assert!(tile.set_row(0, &BitVec::zeros(71)).is_err());
+    }
+
+    #[test]
+    fn scratch_query_needs_no_tail_mask() {
+        // A query packed by pack_signs_into compares equal to the BitVec
+        // path even at non-word-multiple widths, because both uphold the
+        // trailing-zero invariant.
+        let bits = 70usize;
+        let vals: Vec<f32> = (0..bits).map(|i| (i as f32) - 35.5).collect();
+        let mut scratch = vec![u64::MAX; bits.div_ceil(64)];
+        crate::bitvec::pack_signs_into(&vals, &mut scratch);
+        let rows = vec![patterned(bits, 3), patterned(bits, 2)];
+        let tile = PackedHashes::from_bitvecs(bits, &rows).unwrap();
+        let mut dists = vec![0u32; 2];
+        tile.hamming_into(&scratch, &mut dists);
+        let query = BitVec::from_signs(&vals);
+        for (row, &d) in rows.iter().zip(dists.iter()) {
+            assert_eq!(d as usize, row.hamming(&query).unwrap());
+        }
+    }
+
+    #[test]
+    fn hamming_words_unrolled_equals_scalar() {
+        for len in [0usize, 1, 3, 4, 5, 7, 8, 16, 17] {
+            let a: Vec<u64> = (0..len as u64)
+                .map(|i| i.wrapping_mul(0x9E37_79B9))
+                .collect();
+            let b: Vec<u64> = (0..len as u64)
+                .map(|i| i.wrapping_mul(0x85EB_CA6B))
+                .collect();
+            let scalar: u32 = a.iter().zip(&b).map(|(x, y)| (x ^ y).count_ones()).sum();
+            assert_eq!(hamming_words(&a, &b), scalar, "len {len}");
+        }
+    }
+
+    #[test]
+    fn empty_tile() {
+        let tile = PackedHashes::new(256);
+        assert!(tile.is_empty());
+        let mut out = vec![];
+        tile.hamming_into(&[0u64; 4], &mut out);
+    }
+}

@@ -90,6 +90,36 @@ proptest! {
     }
 
     #[test]
+    fn wordwise_builders_equal_bitwise_reference(
+        bools in proptest::collection::vec(any::<bool>(), 0..200),
+        vals in proptest::collection::vec(-4.0f32..4.0, 0..200),
+    ) {
+        // Bit-wise reference: one set() per true bit, the pre-packing
+        // implementation of the builders.
+        let mut ref_bools = BitVec::zeros(bools.len());
+        for (i, &b) in bools.iter().enumerate() {
+            if b {
+                ref_bools.set(i, true);
+            }
+        }
+        prop_assert_eq!(BitVec::from_bools(&bools), ref_bools);
+
+        let mut ref_signs = BitVec::zeros(vals.len());
+        for (i, &x) in vals.iter().enumerate() {
+            if x >= 0.0 {
+                ref_signs.set(i, true);
+            }
+        }
+        let fast = BitVec::from_signs(&vals);
+        prop_assert_eq!(&fast, &ref_signs);
+
+        // And the scratch-buffer packer writes the identical words.
+        let mut words = vec![u64::MAX; vals.len().div_ceil(64)];
+        deepcam_hash::bitvec::pack_signs_into(&vals, &mut words);
+        prop_assert_eq!(words.as_slice(), fast.words());
+    }
+
+    #[test]
     fn count_ones_consistent_with_self_complement(
         bools in proptest::collection::vec(any::<bool>(), 100),
     ) {

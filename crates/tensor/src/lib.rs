@@ -42,7 +42,7 @@ pub use error::TensorError;
 pub use layer::{Layer, Sequential};
 pub use pool::{Parallelism, ThreadPool};
 pub use shape::Shape;
-pub use tensor::Tensor;
+pub use tensor::{matmul_dense_into, matmul_into, Tensor};
 
 /// Result alias used across the crate.
 pub type Result<T> = std::result::Result<T, TensorError>;

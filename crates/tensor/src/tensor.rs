@@ -300,21 +300,7 @@ impl Tensor {
             });
         }
         let mut out = vec![0.0f32; m * n];
-        // ikj loop order keeps the innermost accesses contiguous for both
-        // the rhs row and the output row.
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (kk, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &rhs.data[kk * n..(kk + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
+        matmul_into(&self.data, m, k, &rhs.data, n, &mut out);
         Tensor::from_vec(out, Shape::new(&[m, n]))
     }
 
@@ -384,6 +370,186 @@ impl Tensor {
                 .map(|(&a, &b)| f(a, b))
                 .collect(),
         })
+    }
+}
+
+/// The shared GEMM kernel behind [`Tensor::matmul`]: `out = a · b` for
+/// row-major `a [m, k]`, `b [k, n]`, `out [m, n]`.
+///
+/// Exposed as a slice-level free function so the inference engine can
+/// project im2col patch chunks straight out of a larger buffer into
+/// per-worker scratch — no intermediate `Tensor` clone of the chunk.
+///
+/// # Layout and bit-exactness
+///
+/// The loop order is ikj with the **i-loop blocked four wide**: four
+/// lhs rows walk the k dimension together, so every rhs row is loaded
+/// once per block instead of once per row (4× less rhs traffic) and the
+/// inner j-loop updates four independent output rows per rhs element —
+/// a form the auto-vectorizer turns into wide SIMD with several
+/// accumulator chains in flight. Each output element still accumulates
+/// its `k` products **in ascending k order with sequential adds,
+/// skipping terms whose `a` element is exactly zero** — the identical
+/// float expression the historical scalar kernel evaluated, so results
+/// are bit-exact with it (the parallel-equivalence, golden-vector and
+/// hot-path differential suites pin this). Blocking only changes how
+/// often rhs rows are re-read, never the per-element math.
+///
+/// (A k-blocked + j-unrolled variant was measured first and rejected:
+/// the hand-unrolled dependent-add chains defeated the vectorizer and
+/// lost to the plain axpy loop on every layer shape.)
+///
+/// # Panics
+///
+/// Panics when a slice length disagrees with its stated dimensions.
+pub fn matmul_into(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "lhs buffer must be m*k");
+    assert_eq!(b.len(), k * n, "rhs buffer must be k*n");
+    assert_eq!(out.len(), m * n, "out buffer must be m*n");
+    out.fill(0.0);
+    let blocks = m / 4;
+    for ib in 0..blocks {
+        let i = ib * 4;
+        let (r0, rest) = out[i * n..(i + 4) * n].split_at_mut(n);
+        let (r1, rest) = rest.split_at_mut(n);
+        let (r2, r3) = rest.split_at_mut(n);
+        let a0_row = &a[i * k..(i + 1) * k];
+        let a1_row = &a[(i + 1) * k..(i + 2) * k];
+        let a2_row = &a[(i + 2) * k..(i + 3) * k];
+        let a3_row = &a[(i + 3) * k..(i + 4) * k];
+        for kk in 0..k {
+            let (a0, a1, a2, a3) = (a0_row[kk], a1_row[kk], a2_row[kk], a3_row[kk]);
+            let b_row = &b[kk * n..(kk + 1) * n];
+            if a0 != 0.0 && a1 != 0.0 && a2 != 0.0 && a3 != 0.0 {
+                // Dense fast path: one pass over the rhs row feeds all
+                // four output rows (each `r*[j]` chain is independent —
+                // this is what vectorizes).
+                for (j, &bv) in b_row.iter().enumerate() {
+                    r0[j] += a0 * bv;
+                    r1[j] += a1 * bv;
+                    r2[j] += a2 * bv;
+                    r3[j] += a3 * bv;
+                }
+            } else {
+                // A zero among the four: per-row zero-skip axpy keeps
+                // the skipped terms identical to the historical kernel
+                // (the rhs row is L1-hot for the up-to-3 passes).
+                axpy_row(r0, a0, b_row);
+                axpy_row(r1, a1, b_row);
+                axpy_row(r2, a2, b_row);
+                axpy_row(r3, a3, b_row);
+            }
+        }
+    }
+    // Remainder rows (m % 4): the historical scalar ikj row kernel.
+    for i in blocks * 4..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (kk, &av) in a_row.iter().enumerate() {
+            axpy_row(out_row, av, &b[kk * n..(kk + 1) * n]);
+        }
+    }
+}
+
+/// One scalar k-step of the ikj kernel: `out += a * b_row`, skipped
+/// entirely when `a` is exactly zero (the historical sparsity shortcut —
+/// preserved because `0.0 * b` is not a bitwise no-op for every `b`).
+#[inline]
+fn axpy_row(out: &mut [f32], a: f32, b_row: &[f32]) {
+    if a == 0.0 {
+        return;
+    }
+    for (o, &b) in out.iter_mut().zip(b_row.iter()) {
+        *o += a * b;
+    }
+}
+
+/// Register-tiled dense GEMM: like [`matmul_into`] but **without** the
+/// zero-skip shortcut, which lets a 4-row × 32-column accumulator tile
+/// live in registers across the whole k walk (the skip's per-`(i,k)`
+/// branch would force accumulators back to memory).
+///
+/// # Bit-exactness contract
+///
+/// Requires every element of `b` to be finite. Under that premise the
+/// result is **bit-identical** to [`matmul_into`] and the historical
+/// zero-skip kernel: the extra `0.0 * b` terms are `±0.0`, and an IEEE
+/// accumulator that starts at `+0.0` can never become `-0.0` (exact
+/// cancellation rounds to `+0.0`, and `+0.0 + ±0.0 = +0.0`), so adding
+/// them never changes a single bit. With a non-finite `b` element the
+/// skipped `0 · ∞ = NaN` terms would differ — hence the dedicated entry
+/// point instead of replacing [`matmul_into`]. The inference engine
+/// uses this for its projection GEMM (projection matrices are finite by
+/// construction); `tests/hotpath_reference.rs` pins the equivalence
+/// against the historical kernel on real pipelines.
+///
+/// # Panics
+///
+/// Panics when a slice length disagrees with its stated dimensions.
+pub fn matmul_dense_into(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "lhs buffer must be m*k");
+    assert_eq!(b.len(), k * n, "rhs buffer must be k*n");
+    assert_eq!(out.len(), m * n, "out buffer must be m*n");
+    const JT: usize = 32;
+    let blocks = m / 4;
+    for ib in 0..blocks {
+        let i = ib * 4;
+        let a0_row = &a[i * k..(i + 1) * k];
+        let a1_row = &a[(i + 1) * k..(i + 2) * k];
+        let a2_row = &a[(i + 2) * k..(i + 3) * k];
+        let a3_row = &a[(i + 3) * k..(i + 4) * k];
+        let mut jt = 0usize;
+        while jt + JT <= n {
+            // 4×32 accumulator tile: eight 16-lane vectors, each an
+            // independent add chain (hides FP-add latency), all kept in
+            // registers for the entire k walk. Per element the adds are
+            // ascending in k — the historical order.
+            let mut acc0 = [0.0f32; JT];
+            let mut acc1 = [0.0f32; JT];
+            let mut acc2 = [0.0f32; JT];
+            let mut acc3 = [0.0f32; JT];
+            for kk in 0..k {
+                let bv = &b[kk * n + jt..kk * n + jt + JT];
+                let (x0, x1, x2, x3) = (a0_row[kk], a1_row[kk], a2_row[kk], a3_row[kk]);
+                for l in 0..JT {
+                    acc0[l] += x0 * bv[l];
+                    acc1[l] += x1 * bv[l];
+                    acc2[l] += x2 * bv[l];
+                    acc3[l] += x3 * bv[l];
+                }
+            }
+            out[i * n + jt..i * n + jt + JT].copy_from_slice(&acc0);
+            out[(i + 1) * n + jt..(i + 1) * n + jt + JT].copy_from_slice(&acc1);
+            out[(i + 2) * n + jt..(i + 2) * n + jt + JT].copy_from_slice(&acc2);
+            out[(i + 3) * n + jt..(i + 3) * n + jt + JT].copy_from_slice(&acc3);
+            jt += JT;
+        }
+        for j in jt..n {
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for kk in 0..k {
+                let bv = b[kk * n + j];
+                s0 += a0_row[kk] * bv;
+                s1 += a1_row[kk] * bv;
+                s2 += a2_row[kk] * bv;
+                s3 += a3_row[kk] * bv;
+            }
+            out[i * n + j] = s0;
+            out[(i + 1) * n + j] = s1;
+            out[(i + 2) * n + j] = s2;
+            out[(i + 3) * n + j] = s3;
+        }
+    }
+    // Remainder rows (m % 4): one dense row at a time.
+    for i in blocks * 4..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        out_row.fill(0.0);
+        for (kk, &av) in a_row.iter().enumerate() {
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += av * bv;
+            }
+        }
     }
 }
 
@@ -502,6 +668,117 @@ mod tests {
         assert!(a.matmul(&b).is_err());
         let v = t(&[1.0; 3], &[3]);
         assert!(v.matmul(&a).is_err());
+    }
+
+    /// The historical scalar ikj kernel, kept verbatim as the bit-exact
+    /// reference for the blocked/unrolled `matmul_into`.
+    fn matmul_reference(a: &[f32], m: usize, k: usize, b: &[f32], n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (kk, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = &b[kk * n..(kk + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn blocked_matmul_bit_exact_with_scalar_reference() {
+        // Shapes straddling every block/unroll boundary (k % 4, n % 4),
+        // with values whose accumulation order is observable in f32 and
+        // exact zeros to exercise the sparsity fallback.
+        let mut state = 0x12345678u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = ((state >> 33) as i32 % 1000) as f32 / 7.0 - 70.0;
+            if v.rem_euclid(11.0) < 1.0 {
+                0.0
+            } else {
+                v
+            }
+        };
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (2, 3, 5),
+            (3, 4, 4),
+            (4, 5, 7),
+            (2, 8, 12),
+            (5, 17, 9),
+            (1, 100, 3),
+            (3, 7, 33),
+        ] {
+            let a: Vec<f32> = (0..m * k).map(|_| next()).collect();
+            let b: Vec<f32> = (0..k * n).map(|_| next()).collect();
+            let mut fast = vec![f32::NAN; m * n]; // kernel must overwrite scratch
+            matmul_into(&a, m, k, &b, n, &mut fast);
+            let reference = matmul_reference(&a, m, k, &b, n);
+            for (x, y) in fast.iter().zip(reference.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "m={m} k={k} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_matmul_bit_exact_with_skip_kernel_on_finite_data() {
+        // The dense register-tiled kernel must agree bit-for-bit with
+        // the zero-skip kernels whenever the rhs is finite — including
+        // lhs buffers full of exact zeros (the ±0.0-term proof in the
+        // doc comment). Shapes cross the 4-row and 32-column tile
+        // boundaries.
+        let mut state = 0xDEADBEEFu64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = ((state >> 33) as i32 % 1000) as f32 / 9.0 - 50.0;
+            if v.rem_euclid(7.0) < 2.0 {
+                0.0
+            } else {
+                v
+            }
+        };
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (4, 3, 32),
+            (5, 8, 33),
+            (7, 16, 40),
+            (8, 27, 64),
+            (3, 5, 100),
+            (9, 72, 31),
+        ] {
+            let a: Vec<f32> = (0..m * k).map(|_| next()).collect();
+            let b: Vec<f32> = (0..k * n).map(|_| next()).collect();
+            let mut skip = vec![0.0f32; m * n];
+            matmul_into(&a, m, k, &b, n, &mut skip);
+            let mut dense = vec![f32::NAN; m * n];
+            matmul_dense_into(&a, m, k, &b, n, &mut dense);
+            for (x, y) in dense.iter().zip(skip.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "m={m} k={k} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_into_validates_lengths() {
+        let mut out = vec![0.0f32; 4];
+        let a = vec![0.0f32; 4];
+        let b = vec![0.0f32; 4];
+        matmul_into(&a, 2, 2, &b, 2, &mut out); // consistent: fine
+        let result = std::panic::catch_unwind(move || {
+            let mut out = vec![0.0f32; 3];
+            matmul_into(&a, 2, 2, &b, 2, &mut out);
+        });
+        assert!(result.is_err());
     }
 
     #[test]

@@ -1,12 +1,21 @@
-//! Golden-vector regression test for the full CAM inference path.
+//! Golden-vector regression tests for the full CAM inference path.
 //!
 //! The differential and property suites prove *self-consistency* (every
 //! sharding equals serial), but a refactor that changed the conv, hash,
-//! or CAM semantics *everywhere at once* would slip through them. This
-//! test pins the actual numbers: a fixed-seed LeNet5 is compiled with
-//! the default engine (eq. 5 cosine, minifloat norms, k = 256) and its
-//! logits on a fixed-seed batch are compared bit-for-bit against vectors
-//! committed in `tests/data/golden_lenet5.hex`.
+//! or CAM semantics *everywhere at once* would slip through them. These
+//! tests pin the actual numbers for two zoo families: fixed-seed models
+//! are compiled with the default engine (eq. 5 cosine, minifloat norms,
+//! k = 256) and their logits on fixed-seed batches are compared
+//! bit-for-bit against vectors committed under `tests/data/`.
+//!
+//! Two families are pinned so the hot-path kernels are exercised across
+//! genuinely different geometries:
+//!
+//! * `golden_lenet5.hex` — LeNet5 (1×28×28 input; small conv kernels,
+//!   large linear layers),
+//! * `golden_vgg11.hex` — scaled VGG11 width 4 (3×32×32 input; deep
+//!   conv stack with batch norm, exercising many distinct patch/kernel
+//!   tile shapes).
 //!
 //! If an **intentional** semantic change moves the numbers, regenerate
 //! with:
@@ -15,27 +24,22 @@
 //! DEEPCAM_REGEN_GOLDEN=1 cargo test --test golden_vectors
 //! ```
 //!
-//! and justify the diff of the `.hex` file in the PR. The file stores
+//! and justify the diff of the `.hex` files in the PR. Each file stores
 //! one little-endian `f32` bit pattern (8 hex digits) per line, so the
 //! comparison is exact — no tolerance hides drift.
 
 use deepcam::accel::{DeepCamEngine, EngineConfig, HashPlan};
-use deepcam::models::scaled::scaled_lenet5;
+use deepcam::models::scaled::{scaled_lenet5, scaled_vgg11};
+use deepcam::models::Cnn;
 use deepcam::tensor::pool::Parallelism;
 use deepcam::tensor::rng::seeded_rng;
 use deepcam::tensor::{init, Shape};
 
-const GOLDEN_PATH: &str = "tests/data/golden_lenet5.hex";
-const MODEL_SEED: u64 = 42;
-const DATA_SEED: u64 = 43;
-const BATCH: usize = 3;
 const CLASSES: usize = 10;
 
-fn golden_logits() -> Vec<f32> {
-    let mut rng = seeded_rng(MODEL_SEED);
-    let model = scaled_lenet5(&mut rng, CLASSES);
+fn compute_logits(model: &Cnn, data_seed: u64, batch_dims: &[usize]) -> Vec<f32> {
     let engine = DeepCamEngine::compile(
-        &model,
+        model,
         EngineConfig {
             plan: HashPlan::Uniform(256),
             // Serial pins the reference; parallel_equivalence.rs proves
@@ -45,28 +49,24 @@ fn golden_logits() -> Vec<f32> {
         },
     )
     .expect("engine compiles");
-    let mut data_rng = seeded_rng(DATA_SEED);
-    let x = init::normal(&mut data_rng, Shape::new(&[BATCH, 1, 28, 28]), 0.0, 1.0);
+    let mut data_rng = seeded_rng(data_seed);
+    let x = init::normal(&mut data_rng, Shape::new(batch_dims), 0.0, 1.0);
     engine.infer(&x).expect("inference succeeds").into_vec()
 }
 
-#[test]
-fn lenet5_logits_match_committed_golden_vectors() {
-    let logits = golden_logits();
-    assert_eq!(logits.len(), BATCH * CLASSES);
-
+fn check_against_golden(path: &str, logits: &[f32]) {
     if std::env::var("DEEPCAM_REGEN_GOLDEN").is_ok() {
         let mut text = String::new();
-        for v in &logits {
+        for v in logits {
             text.push_str(&format!("{:08x}\n", v.to_bits()));
         }
-        std::fs::write(GOLDEN_PATH, text).expect("write golden file");
-        eprintln!("regenerated {GOLDEN_PATH}; commit it with a justification");
+        std::fs::write(path, text).expect("write golden file");
+        eprintln!("regenerated {path}; commit it with a justification");
         return;
     }
 
-    let text = std::fs::read_to_string(GOLDEN_PATH).unwrap_or_else(|e| {
-        panic!("{GOLDEN_PATH} missing ({e}); run with DEEPCAM_REGEN_GOLDEN=1 to create it")
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!("{path} missing ({e}); run with DEEPCAM_REGEN_GOLDEN=1 to create it")
     });
     let expected: Vec<f32> = text
         .lines()
@@ -77,16 +77,36 @@ fn lenet5_logits_match_committed_golden_vectors() {
     assert_eq!(
         expected.len(),
         logits.len(),
-        "golden file has wrong vector count"
+        "golden file {path} has wrong vector count"
     );
     for (i, (&want, &got)) in expected.iter().zip(logits.iter()).enumerate() {
         assert_eq!(
             want.to_bits(),
             got.to_bits(),
-            "logit {i} drifted: golden {want} vs computed {got} \
+            "logit {i} drifted vs {path}: golden {want} vs computed {got} \
              (image {}, class {})",
             i / CLASSES,
             i % CLASSES
         );
     }
+}
+
+#[test]
+fn lenet5_logits_match_committed_golden_vectors() {
+    const BATCH: usize = 3;
+    let mut rng = seeded_rng(42);
+    let model = scaled_lenet5(&mut rng, CLASSES);
+    let logits = compute_logits(&model, 43, &[BATCH, 1, 28, 28]);
+    assert_eq!(logits.len(), BATCH * CLASSES);
+    check_against_golden("tests/data/golden_lenet5.hex", &logits);
+}
+
+#[test]
+fn vgg11_logits_match_committed_golden_vectors() {
+    const BATCH: usize = 2;
+    let mut rng = seeded_rng(44);
+    let model = scaled_vgg11(&mut rng, 4, CLASSES);
+    let logits = compute_logits(&model, 45, &[BATCH, 3, 32, 32]);
+    assert_eq!(logits.len(), BATCH * CLASSES);
+    check_against_golden("tests/data/golden_vgg11.hex", &logits);
 }

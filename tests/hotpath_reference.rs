@@ -1,0 +1,146 @@
+//! Differential suite: the packed-tile + cosine-LUT hot path vs the
+//! frozen pre-optimization reference datapath.
+//!
+//! `DeepCamEngine::infer_reference` preserves the engine's original
+//! per-(patch, kernel) scalar pipeline verbatim (naive GEMM, per-bit
+//! sign build, heap hashes, per-pair angle/cosine). The optimized path
+//! must reproduce it **bit for bit** for every model family, cosine
+//! mode, norm mode and noise level — this is the contract that let the
+//! hot path be rebuilt for throughput without moving a single output
+//! bit.
+
+use deepcam::accel::{DeepCamEngine, EngineConfig, HashPlan};
+use deepcam::hash::geometric::{CosineMode, NormMode};
+use deepcam::models::scaled::{scaled_lenet5, scaled_resnet18, scaled_vgg11};
+use deepcam::models::Cnn;
+use deepcam::tensor::pool::Parallelism;
+use deepcam::tensor::rng::seeded_rng;
+use deepcam::tensor::{init, Shape, Tensor};
+
+fn assert_paths_identical(model: &Cnn, x: &Tensor, cfg: EngineConfig, label: &str) {
+    let engine = DeepCamEngine::compile(model, cfg).expect("engine compiles");
+    let fast = engine.infer(x).expect("fast inference succeeds");
+    let reference = engine
+        .infer_reference(x)
+        .expect("reference inference succeeds");
+    assert_eq!(fast.shape(), reference.shape(), "{label}: shape");
+    for (i, (a, b)) in fast.data().iter().zip(reference.data().iter()).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{label}: logit {i} diverged (fast {a} vs reference {b})"
+        );
+    }
+}
+
+#[test]
+fn lenet5_all_mode_combinations_match_reference() {
+    let mut rng = seeded_rng(300);
+    let model = scaled_lenet5(&mut rng, 10);
+    let mut data_rng = seeded_rng(301);
+    let x = init::normal(&mut data_rng, Shape::new(&[3, 1, 28, 28]), 0.0, 1.0);
+    for cosine in [CosineMode::PiecewiseEq5, CosineMode::Exact] {
+        for norm in [NormMode::Minifloat8, NormMode::Fp32] {
+            let cfg = EngineConfig {
+                plan: HashPlan::Uniform(256),
+                cosine,
+                norm,
+                parallelism: Parallelism::Serial,
+                ..EngineConfig::default()
+            };
+            assert_paths_identical(&model, &x, cfg, &format!("lenet5 {cosine:?}/{norm:?}"));
+        }
+    }
+}
+
+#[test]
+fn vgg11_matches_reference_including_bn_layers() {
+    let mut rng = seeded_rng(302);
+    let model = scaled_vgg11(&mut rng, 4, 10);
+    let mut data_rng = seeded_rng(303);
+    let x = init::normal(&mut data_rng, Shape::new(&[2, 3, 32, 32]), 0.0, 1.0);
+    let cfg = EngineConfig {
+        plan: HashPlan::Uniform(256),
+        parallelism: Parallelism::Serial,
+        ..EngineConfig::default()
+    };
+    assert_paths_identical(&model, &x, cfg, "vgg11");
+}
+
+#[test]
+fn resnet18_residual_wiring_matches_reference() {
+    let mut rng = seeded_rng(304);
+    let model = scaled_resnet18(&mut rng, 4, 10);
+    let mut data_rng = seeded_rng(305);
+    let x = init::normal(&mut data_rng, Shape::new(&[1, 3, 32, 32]), 0.0, 1.0);
+    let cfg = EngineConfig {
+        plan: HashPlan::Uniform(256),
+        parallelism: Parallelism::Serial,
+        ..EngineConfig::default()
+    };
+    assert_paths_identical(&model, &x, cfg, "resnet18");
+}
+
+#[test]
+fn noisy_crossbar_matches_reference() {
+    // Device noise mutates the projected values before the sign — the
+    // packed path must consume noise in the exact same RNG order.
+    let mut rng = seeded_rng(306);
+    let model = scaled_lenet5(&mut rng, 10);
+    let mut data_rng = seeded_rng(307);
+    let x = init::normal(&mut data_rng, Shape::new(&[2, 1, 28, 28]), 0.0, 1.0);
+    for noise in [0.1f32, 0.5, 2.0] {
+        let cfg = EngineConfig {
+            plan: HashPlan::Uniform(256),
+            crossbar_noise: noise,
+            parallelism: Parallelism::Serial,
+            ..EngineConfig::default()
+        };
+        assert_paths_identical(&model, &x, cfg, &format!("lenet5 noise {noise}"));
+    }
+}
+
+#[test]
+fn variable_hash_plan_matches_reference() {
+    // Per-layer hash widths exercise distinct LUT sizes and packed tile
+    // strides in one pipeline.
+    let mut rng = seeded_rng(308);
+    let model = scaled_lenet5(&mut rng, 10);
+    let mut data_rng = seeded_rng(309);
+    let x = init::normal(&mut data_rng, Shape::new(&[2, 1, 28, 28]), 0.0, 1.0);
+    let cfg = EngineConfig {
+        plan: HashPlan::PerLayer(vec![256, 512, 768, 1024, 256]),
+        parallelism: Parallelism::Serial,
+        ..EngineConfig::default()
+    };
+    assert_paths_identical(&model, &x, cfg, "lenet5 variable plan");
+}
+
+#[test]
+fn sharded_fast_path_matches_serial_reference() {
+    // Both axes at once: the reference (serial) pins the values, the
+    // fast path must hit them at every worker count.
+    let mut rng = seeded_rng(310);
+    let model = scaled_lenet5(&mut rng, 10);
+    let mut data_rng = seeded_rng(311);
+    let x = init::normal(&mut data_rng, Shape::new(&[3, 1, 28, 28]), 0.0, 1.0);
+    let reference = {
+        let cfg = EngineConfig {
+            plan: HashPlan::Uniform(256),
+            parallelism: Parallelism::Serial,
+            ..EngineConfig::default()
+        };
+        let engine = DeepCamEngine::compile(&model, cfg).expect("engine compiles");
+        engine.infer_reference(&x).expect("reference succeeds")
+    };
+    for workers in [1usize, 2, 5] {
+        let cfg = EngineConfig {
+            plan: HashPlan::Uniform(256),
+            parallelism: Parallelism::Fixed(workers),
+            ..EngineConfig::default()
+        };
+        let engine = DeepCamEngine::compile(&model, cfg).expect("engine compiles");
+        let fast = engine.infer(&x).expect("fast succeeds");
+        assert_eq!(fast.data(), reference.data(), "workers {workers}");
+    }
+}
