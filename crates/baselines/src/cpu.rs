@@ -8,6 +8,7 @@
 //! by a single efficiency factor, plus a fixed per-layer software
 //! overhead (loop setup, im2col, cache warmup).
 
+use deepcam_core::LayerIr;
 use deepcam_models::{DotLayer, ModelSpec};
 use serde::{Deserialize, Serialize};
 
@@ -55,14 +56,16 @@ impl SkylakeCpu {
         }
     }
 
-    /// Runs a whole model.
+    /// Runs a whole model spec (lowered through the shared pipeline IR).
     pub fn run(&self, model: &ModelSpec) -> BaselineReport {
-        let layers = model
-            .dot_layers()
-            .iter()
-            .map(|l| self.layer_cost(l))
-            .collect();
-        BaselineReport::from_layers("Skylake AVX-512", model.workload(), layers)
+        self.run_ir(&LayerIr::from_spec(model))
+    }
+
+    /// Runs a lowered model — the same [`LayerIr`] the DeepCAM engine,
+    /// scheduler and auto-tuner consume.
+    pub fn run_ir(&self, ir: &LayerIr) -> BaselineReport {
+        let layers = ir.dots.iter().map(|d| self.layer_cost(&d.shape)).collect();
+        BaselineReport::from_layers("Skylake AVX-512", ir.workload.clone(), layers)
     }
 }
 

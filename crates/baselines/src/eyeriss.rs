@@ -18,6 +18,7 @@
 //! an RF access and its share of NoC traffic; SRAM is touched once per
 //! operand use distance; DRAM once per unique operand byte.
 
+use deepcam_core::LayerIr;
 use deepcam_models::{DotLayer, ModelSpec};
 use serde::{Deserialize, Serialize};
 
@@ -133,14 +134,16 @@ impl Eyeriss {
         }
     }
 
-    /// Runs a whole model.
+    /// Runs a whole model spec (lowered through the shared pipeline IR).
     pub fn run(&self, model: &ModelSpec) -> BaselineReport {
-        let layers = model
-            .dot_layers()
-            .iter()
-            .map(|l| self.layer_cost(l))
-            .collect();
-        BaselineReport::from_layers("Eyeriss 14x12 INT8", model.workload(), layers)
+        self.run_ir(&LayerIr::from_spec(model))
+    }
+
+    /// Runs a lowered model — the same [`LayerIr`] the DeepCAM engine,
+    /// scheduler and auto-tuner consume.
+    pub fn run_ir(&self, ir: &LayerIr) -> BaselineReport {
+        let layers = ir.dots.iter().map(|d| self.layer_cost(&d.shape)).collect();
+        BaselineReport::from_layers("Eyeriss 14x12 INT8", ir.workload.clone(), layers)
     }
 }
 

@@ -17,6 +17,7 @@
 //! linearly in MACs, which is how analog-macro papers scale their own
 //! projections.
 
+use deepcam_core::LayerIr;
 use deepcam_models::{DotLayer, ModelSpec};
 use serde::{Deserialize, Serialize};
 
@@ -91,14 +92,16 @@ impl AnalogPim {
         }
     }
 
-    /// Runs a whole model.
+    /// Runs a whole model spec (lowered through the shared pipeline IR).
     pub fn run(&self, model: &ModelSpec) -> BaselineReport {
-        let layers = model
-            .dot_layers()
-            .iter()
-            .map(|l| self.layer_cost(l))
-            .collect();
-        BaselineReport::from_layers(self.technology.name(), model.workload(), layers)
+        self.run_ir(&LayerIr::from_spec(model))
+    }
+
+    /// Runs a lowered model — the same [`LayerIr`] the DeepCAM engine,
+    /// scheduler and auto-tuner consume.
+    pub fn run_ir(&self, ir: &LayerIr) -> BaselineReport {
+        let layers = ir.dots.iter().map(|d| self.layer_cost(&d.shape)).collect();
+        BaselineReport::from_layers(self.technology.name(), ir.workload.clone(), layers)
     }
 }
 

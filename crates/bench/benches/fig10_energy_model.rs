@@ -5,13 +5,13 @@ use std::hint::black_box;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use deepcam_core::sched::CamScheduler;
-use deepcam_core::{Dataflow, HashPlan};
+use deepcam_core::{Dataflow, HashPlan, LayerIr};
 use deepcam_models::zoo;
 
 fn bench_energy_assembly(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig10/energy");
     let vgg = zoo::vgg11();
-    let dims: Vec<usize> = vgg.dot_layers().iter().map(|d| d.n).collect();
+    let dims = LayerIr::from_spec(&vgg).patch_lens();
     let sched = CamScheduler::new(64, Dataflow::ActivationStationary).expect("supported");
     for (label, plan) in [
         ("uniform256", HashPlan::uniform_min()),

@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use deepcam_baselines::{Eyeriss, SkylakeCpu};
 use deepcam_cam::{CamArray, CamConfig};
 use deepcam_core::sched::CamScheduler;
-use deepcam_core::{Dataflow, HashPlan};
+use deepcam_core::{Dataflow, HashPlan, LayerIr};
 use deepcam_hash::BitVec;
 use deepcam_models::zoo;
 use deepcam_tensor::rng::seeded_rng;
@@ -16,7 +16,7 @@ use rand::RngExt;
 fn bench_deepcam_scheduler(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig9/deepcam_sched");
     let resnet = zoo::resnet18();
-    let dims: Vec<usize> = resnet.dot_layers().iter().map(|d| d.n).collect();
+    let dims = LayerIr::from_spec(&resnet).patch_lens();
     let plan = HashPlan::variable_for_dims(&dims);
     for dataflow in Dataflow::both() {
         let sched = CamScheduler::new(64, dataflow).expect("supported rows");

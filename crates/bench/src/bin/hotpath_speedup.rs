@@ -120,7 +120,9 @@ fn main() {
     let force = args.iter().any(|a| a == "--force");
 
     let host_cores = guard::host_cores();
-    guard::check_overwrite(&out_path, host_cores, force);
+    if !guard::check_overwrite(&out_path, host_cores, force).proceed() {
+        return; // verdict printed; keeping the bigger-host JSON is success
+    }
 
     println!("== Hot-path rewrite: packed CAM tiles + cosine LUTs, before/after ==");
     println!("host cores: {host_cores}, images: {images}, repeats: {repeats} (single-thread)");

@@ -48,7 +48,9 @@ fn main() {
     let worker_counts = [1usize, 2, 4];
 
     let host_cores = guard::host_cores();
-    guard::check_overwrite(&out_path, host_cores, force);
+    if !guard::check_overwrite(&out_path, host_cores, force).proceed() {
+        return; // verdict printed; keeping the bigger-host JSON is success
+    }
     println!("== Parallel sharded inference runtime: before/after ==");
     println!("host cores: {host_cores}, images: {images}, repeats: {repeats}");
 

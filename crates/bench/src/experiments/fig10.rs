@@ -8,7 +8,7 @@
 
 use deepcam_baselines::Eyeriss;
 use deepcam_core::sched::CamScheduler;
-use deepcam_core::{Dataflow, HashPlan};
+use deepcam_core::{Dataflow, HashPlan, LayerIr};
 use deepcam_models::{zoo, ModelSpec};
 
 /// One configuration's energy for a workload.
@@ -53,30 +53,28 @@ pub const ROW_SIZES: [usize; 2] = [64, 512];
 
 /// Runs Fig. 10 for one workload.
 pub fn run_workload(spec: &ModelSpec) -> Fig10Row {
-    let eyeriss = Eyeriss::paper_config().run(spec);
+    let ir = LayerIr::from_spec(spec);
+    let eyeriss = Eyeriss::paper_config().run_ir(&ir);
     let onchip_model = Eyeriss {
         dram_energy_per_byte: 0.0,
         ..Eyeriss::paper_config()
     };
-    let eyeriss_onchip = onchip_model.run(spec);
-    let dims: Vec<usize> = spec.dot_layers().iter().map(|d| d.n).collect();
-    let vhl_plan = HashPlan::variable_for_dims(&dims);
+    let eyeriss_onchip = onchip_model.run_ir(&ir);
+    let vhl_plan = HashPlan::variable_for_dims(&ir.patch_lens());
     let mut points = Vec::new();
     for dataflow in Dataflow::both() {
         for &rows in &ROW_SIZES {
             let sched = CamScheduler::new(rows, dataflow).expect("supported rows");
-            let base = sched
-                .run(spec, &HashPlan::uniform_min())
-                .expect("plan matches spec")
-                .total_energy_j;
-            let vhl = sched
-                .run(spec, &vhl_plan)
-                .expect("plan matches spec")
-                .total_energy_j;
-            let max = sched
-                .run(spec, &HashPlan::uniform_max())
-                .expect("plan matches spec")
-                .total_energy_j;
+            let energy_of = |plan: &HashPlan| {
+                let binding = plan.bind(&ir).expect("plan matches spec");
+                sched
+                    .run_ir(&ir, &binding, plan.label())
+                    .expect("plan matches spec")
+                    .total_energy_j
+            };
+            let base = energy_of(&HashPlan::uniform_min());
+            let vhl = energy_of(&vhl_plan);
+            let max = energy_of(&HashPlan::uniform_max());
             points.push(Fig10Point {
                 dataflow: dataflow.label().to_string(),
                 rows,

@@ -4,7 +4,7 @@
 
 use deepcam_baselines::{Eyeriss, SkylakeCpu};
 use deepcam_core::sched::{CamScheduler, CycleModel};
-use deepcam_core::{Dataflow, HashPlan};
+use deepcam_core::{Dataflow, HashPlan, LayerIr};
 use deepcam_models::{zoo, ModelSpec};
 
 /// One DeepCAM configuration's result for a workload.
@@ -48,25 +48,25 @@ pub struct Fig9Row {
 /// Row sizes swept (matching the paper).
 pub const ROW_SIZES: [usize; 4] = [64, 128, 256, 512];
 
-fn plan_for(spec: &ModelSpec) -> HashPlan {
-    let dims: Vec<usize> = spec.dot_layers().iter().map(|d| d.n).collect();
-    HashPlan::variable_for_dims(&dims)
-}
-
-/// Runs Fig. 9 for one model spec.
+/// Runs Fig. 9 for one model spec. The spec is lowered once through the
+/// shared pipeline IR; every simulator consumes the same [`LayerIr`].
 pub fn run_workload(spec: &ModelSpec) -> Fig9Row {
-    let eyeriss = Eyeriss::paper_config().run(spec);
-    let cpu = SkylakeCpu::paper_config().run(spec);
-    let plan = plan_for(spec);
+    let ir = LayerIr::from_spec(spec);
+    let eyeriss = Eyeriss::paper_config().run_ir(&ir);
+    let cpu = SkylakeCpu::paper_config().run_ir(&ir);
+    let plan = HashPlan::variable_for_dims(&ir.patch_lens());
+    let binding = plan.bind(&ir).expect("plan matches spec");
     let mut points = Vec::new();
     for dataflow in Dataflow::both() {
         for &rows in &ROW_SIZES {
             let sched = CamScheduler::new(rows, dataflow).expect("supported rows");
-            let perf = sched.run(spec, &plan).expect("plan matches spec");
+            let perf = sched
+                .run_ir(&ir, &binding, plan.label())
+                .expect("plan matches spec");
             let search_only = sched
                 .clone()
                 .with_cycle_model(CycleModel::SearchOnly)
-                .run(spec, &plan)
+                .run_ir(&ir, &binding, plan.label())
                 .expect("plan matches spec");
             points.push(DeepCamPoint {
                 dataflow: dataflow.label().to_string(),

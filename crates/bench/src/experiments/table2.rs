@@ -3,7 +3,7 @@
 
 use deepcam_baselines::{AnalogPim, PimTechnology};
 use deepcam_core::sched::CamScheduler;
-use deepcam_core::{Dataflow, HashPlan};
+use deepcam_core::{Dataflow, HashPlan, LayerIr};
 use deepcam_models::zoo;
 
 /// One row of Table II.
@@ -35,9 +35,10 @@ pub const PAPER_VALUES: [(&str, f64, f64); 3] = [
 /// configuration the paper reports its per-inference numbers at).
 pub fn run() -> Vec<Table2Row> {
     let vgg = zoo::vgg11();
+    let ir = LayerIr::from_spec(&vgg);
     let mut rows = Vec::new();
     for tech in [PimTechnology::NeuroSimRram, PimTechnology::ValaviSram] {
-        let report = AnalogPim::new(tech).run(&vgg);
+        let report = AnalogPim::new(tech).run_ir(&ir);
         rows.push(Table2Row {
             work: tech.name().to_string(),
             device: match tech {
@@ -49,10 +50,11 @@ pub fn run() -> Vec<Table2Row> {
             cycles_1e5: report.total_cycles as f64 / 1e5,
         });
     }
-    let dims: Vec<usize> = vgg.dot_layers().iter().map(|d| d.n).collect();
+    let plan = HashPlan::variable_for_dims(&ir.patch_lens());
+    let binding = plan.bind(&ir).expect("plan matches VGG11");
     let sched = CamScheduler::new(64, Dataflow::ActivationStationary).expect("64 rows supported");
     let perf = sched
-        .run(&vgg, &HashPlan::variable_for_dims(&dims))
+        .run_ir(&ir, &binding, plan.label())
         .expect("plan matches VGG11");
     rows.push(Table2Row {
         work: "DeepCAM (ours, VHL)".into(),

@@ -38,27 +38,62 @@ pub fn recorded_host_cores(json: &str) -> Option<usize> {
     digits.parse().ok()
 }
 
-/// Refuses (process exit 2) to overwrite `path` when it records a run
-/// from a host with **more** cores than this one, unless `force`.
-///
-/// Called by `parallel_speedup` and `hotpath_speedup` before timing
-/// anything, so a refused run costs nothing.
-pub fn check_overwrite(path: &str, current_cores: usize, force: bool) {
-    let Ok(existing) = std::fs::read_to_string(path) else {
-        return; // nothing committed yet
-    };
-    let Some(recorded) = recorded_host_cores(&existing) else {
-        return;
-    };
-    if recorded > current_cores && !force {
-        eprintln!(
-            "refusing to overwrite {path}: it records a run on {recorded} cores, \
-             this host has only {current_cores}. A smaller machine cannot \
-             reproduce multi-core speedups (see the ROADMAP re-measure item). \
-             Pass --force to overwrite anyway."
-        );
-        std::process::exit(2);
+/// The host-core guard's decision for one committed JSON.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuardVerdict {
+    /// Overwriting is fine: nothing committed, no recorded host, the
+    /// current host is at least as big, or `--force` was passed.
+    Proceed,
+    /// The committed JSON was recorded on a bigger host (`recorded` >
+    /// `current` cores): keep it.
+    KeepExisting {
+        /// Cores of the host the committed JSON was measured on.
+        recorded: usize,
+        /// Cores of this host.
+        current: usize,
+    },
+}
+
+impl GuardVerdict {
+    /// Whether the caller should run and overwrite.
+    pub fn proceed(&self) -> bool {
+        matches!(self, GuardVerdict::Proceed)
     }
+}
+
+/// Decides whether `path` may be overwritten by a run on a
+/// `current_cores`-core host, **printing the verdict either way**, and
+/// returns it. A refusal is a successful outcome (the guard worked), so
+/// callers exit 0 after a `KeepExisting` — they just skip the
+/// measurement, which costs nothing because this runs before any timing.
+pub fn check_overwrite(path: &str, current_cores: usize, force: bool) -> GuardVerdict {
+    let recorded = std::fs::read_to_string(path)
+        .ok()
+        .as_deref()
+        .and_then(recorded_host_cores);
+    let verdict = match recorded {
+        Some(recorded) if recorded > current_cores && !force => GuardVerdict::KeepExisting {
+            recorded,
+            current: current_cores,
+        },
+        _ => GuardVerdict::Proceed,
+    };
+    match verdict {
+        GuardVerdict::Proceed => match recorded {
+            Some(recorded) => println!(
+                "guard: overwriting {path} (recorded on {recorded} cores, this host has \
+                 {current_cores}{})",
+                if force { ", --force" } else { "" }
+            ),
+            None => println!("guard: no committed run at {path}; writing a fresh one"),
+        },
+        GuardVerdict::KeepExisting { recorded, current } => println!(
+            "guard: keeping {path} — it records a run on {recorded} cores and this host has \
+             only {current}. A smaller machine cannot reproduce multi-core speedups (see the \
+             ROADMAP re-measure item); pass --force to overwrite anyway. Exiting 0."
+        ),
+    }
+    verdict
 }
 
 #[cfg(test)]
@@ -76,5 +111,35 @@ mod tests {
     #[test]
     fn host_cores_is_positive() {
         assert!(host_cores() >= 1);
+    }
+
+    #[test]
+    fn guard_verdicts() {
+        let dir = std::env::temp_dir().join("deepcam_guard_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        let path_str = path.to_str().unwrap();
+
+        // Nothing committed → proceed.
+        let _ = std::fs::remove_file(&path);
+        assert!(check_overwrite(path_str, 1, false).proceed());
+
+        // Recorded on a bigger host → keep, but it is a *returned*
+        // verdict, not a process exit.
+        std::fs::write(&path, "{\"host_cores\": 64}").unwrap();
+        assert_eq!(
+            check_overwrite(path_str, 1, false),
+            GuardVerdict::KeepExisting {
+                recorded: 64,
+                current: 1
+            }
+        );
+        // --force overrides.
+        assert!(check_overwrite(path_str, 1, true).proceed());
+        // Equal or bigger host → proceed.
+        assert!(check_overwrite(path_str, 64, false).proceed());
+        assert!(check_overwrite(path_str, 128, false).proceed());
+
+        std::fs::remove_file(&path).unwrap();
     }
 }

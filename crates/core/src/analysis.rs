@@ -10,13 +10,21 @@
 //! keep their choices). Greedy-in-execution-order matches how the paper
 //! reports per-layer optima and costs `O(layers × |candidates|)`
 //! evaluations.
+//!
+//! Since the compilation-pipeline refactor this is a thin wrapper over
+//! [`crate::tune`]'s shared candidate factory: the evaluation sequence
+//! (and therefore the selected plan and count) is unchanged, but every
+//! candidate engine is assembled from the per-(layer, width) tile cache
+//! instead of re-hashing all weights per candidate. For the modern
+//! interface — held-out split, binary search, energy reporting — use
+//! [`crate::tune::tune`] directly.
 
-use deepcam_hash::SUPPORTED_HASH_LENGTHS;
 use deepcam_models::Cnn;
 use deepcam_tensor::Tensor;
 
-use crate::engine::{DeepCamEngine, EngineConfig};
+use crate::engine::EngineConfig;
 use crate::hashplan::HashPlan;
+use crate::tune;
 use crate::Result;
 
 /// Result of a variable-hash-length search.
@@ -39,11 +47,6 @@ pub struct VhlSearchResult {
 /// # Errors
 ///
 /// Propagates engine compilation/inference errors.
-///
-/// # Panics
-///
-/// Panics if `images` and `labels` disagree in length (the underlying
-/// evaluation asserts this).
 pub fn search_variable_plan(
     model: &Cnn,
     images: &Tensor,
@@ -56,7 +59,8 @@ pub fn search_variable_plan(
 }
 
 /// [`search_variable_plan`] with an optional BN-calibration set applied to
-/// every candidate engine (see [`DeepCamEngine::calibrate_bn`]).
+/// every candidate engine (see
+/// [`DeepCamEngine::calibrate_bn`](crate::DeepCamEngine::calibrate_bn)).
 ///
 /// # Errors
 ///
@@ -71,51 +75,27 @@ pub fn search_variable_plan_calibrated(
     batch_size: usize,
     calibration: Option<&Tensor>,
 ) -> Result<VhlSearchResult> {
-    let layers = model.dot_layer_count();
-    let max_k = *SUPPORTED_HASH_LENGTHS.last().expect("non-empty");
-    let mut ks = vec![max_k; layers];
-    let mut evaluations = 0usize;
-
-    let eval = |plan: HashPlan, evals: &mut usize| -> Result<f32> {
-        let cfg = EngineConfig {
-            plan,
-            ..base.clone()
-        };
-        let mut engine = DeepCamEngine::compile(model, cfg)?;
-        if let Some(calib) = calibration {
-            engine.calibrate_bn(calib)?;
-        }
-        *evals += 1;
-        engine.evaluate(images, labels, batch_size)
-    };
-
-    let reference = eval(HashPlan::PerLayer(ks.clone()), &mut evaluations)?;
-    for layer in 0..layers {
-        for &candidate in SUPPORTED_HASH_LENGTHS.iter() {
-            if candidate >= ks[layer] {
-                break; // candidates are ascending; nothing smaller left
-            }
-            let mut trial = ks.clone();
-            trial[layer] = candidate;
-            let acc = eval(HashPlan::PerLayer(trial.clone()), &mut evaluations)?;
-            if acc + tolerance >= reference {
-                ks = trial;
-                break; // smallest acceptable found (ascending order)
-            }
-        }
-    }
-    let final_accuracy = eval(HashPlan::PerLayer(ks.clone()), &mut evaluations)?;
+    let outcome = tune::greedy_search(
+        model,
+        images,
+        labels,
+        base,
+        tolerance,
+        batch_size,
+        calibration,
+    )?;
     Ok(VhlSearchResult {
-        plan: HashPlan::PerLayer(ks),
-        reference_accuracy: reference,
-        final_accuracy,
-        evaluations,
+        plan: HashPlan::PerLayer(outcome.ks),
+        reference_accuracy: outcome.reference,
+        final_accuracy: outcome.final_accuracy,
+        evaluations: outcome.evaluations,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use deepcam_hash::SUPPORTED_HASH_LENGTHS;
     use deepcam_models::scaled::scaled_lenet5;
     use deepcam_tensor::rng::{fill_normal, seeded_rng};
     use deepcam_tensor::Shape;

@@ -1,9 +1,13 @@
-//! The functional DeepCAM inference engine.
+//! The functional DeepCAM inference engine — the runtime stage of the
+//! compilation pipeline (see [`crate::ir`]).
 //!
-//! [`DeepCamEngine::compile`] turns a trained [`Cnn`] into the deployment
-//! artifact the paper describes: per-layer projection matrices, weight
-//! contexts (norm + hash per kernel), and a pipeline of digital
-//! peripheral steps. [`DeepCamEngine::infer`] then runs real inference:
+//! [`DeepCamEngine::compile`] lowers a trained [`Cnn`] through the shared
+//! pipeline (`Cnn → LayerIr → PlanBinding → CompiledModel`) and builds
+//! the runtime view on top; [`DeepCamEngine::from_compiled`] builds the
+//! same runtime from a deserialized artifact, so a model compiled once
+//! and [`CompiledModel::save`]d can be served without recompiling — with
+//! **bit-identical** logits. [`DeepCamEngine::infer`] then runs real
+//! inference:
 //!
 //! 1. im2col the layer input and hash every patch with the layer's
 //!    projection (the on-chip crossbar; optional device noise),
@@ -15,15 +19,21 @@
 //!
 //! The result is the "DC" accuracy of the paper's Fig. 5, directly
 //! comparable to the float model's "BL" accuracy.
+//!
+//! The artifact stores only seeds, packed hashes and raw norms; the
+//! projection matrices, cosine LUTs and mode-quantized norms the inner
+//! loops read are *derived* here, deterministically, in
+//! `RuntimeTile`-building — the same derivation whether the artifact
+//! came from an in-memory compile or from disk.
 
 use deepcam_hash::bitvec::pack_signs_into;
-use deepcam_hash::context::ContextSet;
+use deepcam_hash::context::{Context, ContextSet};
 use deepcam_hash::geometric::{CosineMode, GeometricDot, NormMode};
-use deepcam_hash::{ContextGenerator, Minifloat8, PackedHashes};
-use deepcam_models::{Block, Cnn, ResBlock};
-use deepcam_tensor::ops::conv::{im2col_sharded, Conv2dConfig};
+use deepcam_hash::{Minifloat8, ProjectionMatrix};
+use deepcam_models::Cnn;
+use deepcam_tensor::ops::conv::im2col_sharded;
 use deepcam_tensor::ops::norm::BN_EPS;
-use deepcam_tensor::ops::pool::{avg_pool2d, max_pool2d, PoolConfig};
+use deepcam_tensor::ops::pool::{avg_pool2d, max_pool2d};
 use deepcam_tensor::pool::{split_ranges, Parallelism, ThreadPool};
 use deepcam_tensor::rng::{seeded_rng, standard_normal};
 use deepcam_tensor::tensor::matmul_dense_into;
@@ -32,6 +42,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::CoreError;
 use crate::hashplan::HashPlan;
+use crate::ir::{CompiledModel, CompiledStep, CompiledTile};
 use crate::Result;
 
 /// Functional engine configuration.
@@ -72,74 +83,100 @@ impl Default for EngineConfig {
     }
 }
 
-/// One dot-product layer compiled for the packed hot path.
-///
-/// Everything the inner loop needs is precomputed here at `compile()`
-/// time, so the per-patch work is: project, pack signs, one XOR+popcount
-/// pass over the packed weight tile, then `a_norm * w_norm * cos_lut[hd]`
-/// per kernel — the identical float expression (and multiplication
-/// order) the scalar path evaluated, now with every transcendental and
-/// heap allocation hoisted out of the loop.
-struct DotTile {
-    /// Layer projection `[n, k]` (the on-chip crossbar weights).
-    proj: Tensor,
-    /// Original per-kernel contexts. Kept for the frozen
-    /// [`reference`](crate::reference) datapath and for tests; the fast
-    /// path reads only the packed fields below. (This duplicates the
-    /// weight hashes — a few KB per layer at zoo scales — a deliberate
-    /// trade to keep the differential oracle byte-for-byte verbatim
-    /// rather than reconstructing its inputs.)
-    weights: ContextSet,
-    /// All M kernel hashes in one contiguous row-major slab.
-    packed: PackedHashes,
+impl serde::bin::BinCodec for EngineConfig {
+    fn encode(&self, w: &mut serde::bin::Writer) {
+        self.plan.encode(w);
+        w.put_u64(self.seed);
+        self.cosine.encode(w);
+        self.norm.encode(w);
+        w.put_f32(self.crossbar_noise);
+        self.parallelism.encode(w);
+    }
+
+    fn decode(r: &mut serde::bin::Reader<'_>) -> serde::bin::BinResult<Self> {
+        Ok(EngineConfig {
+            plan: serde::bin::BinCodec::decode(r)?,
+            seed: r.get_u64()?,
+            cosine: serde::bin::BinCodec::decode(r)?,
+            norm: serde::bin::BinCodec::decode(r)?,
+            crossbar_noise: r.get_f32()?,
+            parallelism: serde::bin::BinCodec::decode(r)?,
+        })
+    }
+}
+
+/// Per-dot-layer state *derived* from a [`CompiledTile`] + config at
+/// engine-build time: everything the artifact deliberately does not
+/// store because it is a deterministic function of what it does store.
+pub(crate) struct RuntimeTile {
+    /// Layer projection `[n, k]` (the on-chip crossbar weights),
+    /// regenerated from the tile's seed.
+    pub(crate) proj: Tensor,
+    /// Per-kernel contexts rebuilt from the packed tile + raw norms —
+    /// read only by the frozen [`reference`](`crate::reference`)
+    /// datapath and tests, so they are derived lazily on first use (the
+    /// fast path reads the packed tile directly and never pays the
+    /// per-bit reconstruction).
+    weights: std::sync::OnceLock<ContextSet>,
     /// Per-kernel norms with the engine's `NormMode` already applied.
-    w_norms: Vec<f32>,
+    pub(crate) w_norms: Vec<f32>,
     /// `cos_lut[hd] = cosine.eval((π/k)·hd)` for `hd ∈ 0..=k`: the only
     /// k+1 values the angle/cosine pipeline can ever produce at this
     /// layer width.
-    cos_lut: Vec<f32>,
-    /// Hash width.
-    k: usize,
-    /// Dot-layer index in traversal order (noise seeding).
-    layer_idx: usize,
+    pub(crate) cos_lut: Vec<f32>,
 }
 
-impl DotTile {
-    fn compile(
-        proj: Tensor,
-        weights: ContextSet,
-        k: usize,
-        layer_idx: usize,
-        cfg: &EngineConfig,
-    ) -> Self {
-        let mut packed = PackedHashes::new(k);
-        let mut w_norms = Vec::with_capacity(weights.len());
-        for wctx in weights.iter() {
-            packed
-                .push(&wctx.bits)
-                .expect("weight hashes share the layer width by construction");
-            w_norms.push(match cfg.norm {
-                NormMode::Minifloat8 => wctx.quantized_norm(),
-                NormMode::Fp32 => wctx.norm,
-            });
-        }
-        let cos_lut = (0..=k)
-            .map(|hd| cfg.cosine.eval(GeometricDot::angle_from_hamming(hd, k)))
+impl RuntimeTile {
+    /// The single derivation both construction paths share — in-memory
+    /// compile and artifact load build *identical* runtime state, which
+    /// is what makes save→load→infer bit-exact.
+    fn derive(tile: &CompiledTile, cfg: &EngineConfig) -> Self {
+        let proj = ProjectionMatrix::generate(tile.n, tile.k, tile.seed).to_tensor();
+        let w_norms = tile
+            .norms
+            .iter()
+            .map(|&norm| match cfg.norm {
+                // Identical to `Context::quantized_norm` on the lazily
+                // rebuilt contexts below: both round-trip through
+                // `Minifloat8::from_f32`.
+                NormMode::Minifloat8 => Minifloat8::from_f32(norm).to_f32(),
+                NormMode::Fp32 => norm,
+            })
             .collect();
-        DotTile {
+        let cos_lut = (0..=tile.k)
+            .map(|hd| {
+                cfg.cosine
+                    .eval(GeometricDot::angle_from_hamming(hd, tile.k))
+            })
+            .collect();
+        RuntimeTile {
             proj,
-            weights,
-            packed,
+            weights: std::sync::OnceLock::new(),
             w_norms,
             cos_lut,
-            k,
-            layer_idx,
         }
     }
 
-    /// Number of kernel contexts (output channels / features).
-    fn m(&self) -> usize {
-        self.weights.len()
+    /// The layer's kernel contexts, rebuilt from the packed tile on
+    /// first request (thread-safe; the reference datapath runs sharded).
+    fn weights(&self, tile: &CompiledTile) -> &ContextSet {
+        self.weights.get_or_init(|| {
+            let contexts: Vec<Context> = (0..tile.packed.rows())
+                .map(|row| {
+                    let norm = tile.norms[row];
+                    Context {
+                        norm,
+                        norm_q: Minifloat8::from_f32(norm),
+                        bits: tile.packed.row_bitvec(row),
+                    }
+                })
+                .collect();
+            ContextSet {
+                contexts,
+                hash_len: tile.k,
+                source_dim: tile.n,
+            }
+        })
     }
 }
 
@@ -153,43 +190,16 @@ enum DotPath {
     Reference,
 }
 
-/// One compiled pipeline step.
-enum Step {
-    Conv {
-        cfg: Conv2dConfig,
-        tile: DotTile,
-        bias: Vec<f32>,
-    },
-    Linear {
-        tile: DotTile,
-        bias: Vec<f32>,
-    },
-    Bn {
-        gamma: Vec<f32>,
-        beta: Vec<f32>,
-        mean: Vec<f32>,
-        var: Vec<f32>,
-    },
-    Relu,
-    MaxPool(PoolConfig),
-    AvgPool(PoolConfig),
-    Flatten,
-    Residual {
-        body: Vec<Step>,
-        shortcut: Option<Vec<Step>>,
-    },
-}
-
-/// A trained CNN compiled for CAM-based inference.
+/// A compiled model plus its derived runtime state, ready to serve.
 pub struct DeepCamEngine {
-    steps: Vec<Step>,
-    cfg: EngineConfig,
-    dot_layers: usize,
-    model_name: String,
+    compiled: CompiledModel,
+    /// One derived tile per dot layer, indexed by traversal index.
+    tiles: Vec<RuntimeTile>,
 }
 
 impl DeepCamEngine {
-    /// Compiles a trained model under a configuration.
+    /// Compiles a trained model under a configuration — shorthand for
+    /// [`CompiledModel::compile`] + [`DeepCamEngine::from_compiled`].
     ///
     /// Dot layers are numbered in traversal order (residual bodies before
     /// their shortcuts), matching
@@ -197,35 +207,67 @@ impl DeepCamEngine {
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::InvalidPlan`] when the plan does not cover
-    /// the model, or hashing errors when a layer's geometry is invalid.
+    /// Returns [`CoreError::InvalidPlan`] (naming the offending layer)
+    /// when the plan does not cover the model, or hashing errors when a
+    /// layer's geometry is invalid.
     pub fn compile(model: &Cnn, cfg: EngineConfig) -> Result<Self> {
-        let total = model.dot_layer_count();
-        cfg.plan.validate(total)?;
-        let mut idx = 0usize;
-        let steps = compile_blocks(&model.blocks, &cfg, &mut idx)?;
-        debug_assert_eq!(idx, total);
-        Ok(DeepCamEngine {
-            steps,
-            cfg,
-            dot_layers: total,
-            model_name: model.name.clone(),
-        })
+        Self::from_compiled(CompiledModel::compile(model, cfg)?)
+    }
+
+    /// Builds the runtime for a compiled artifact (fresh from
+    /// [`CompiledModel::compile`] or reloaded via
+    /// [`CompiledModel::load`]). Logits are bit-identical either way —
+    /// `tests/compiled_model_roundtrip.rs` enforces it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Artifact`] when the artifact is structurally
+    /// inconsistent.
+    pub fn from_compiled(compiled: CompiledModel) -> Result<Self> {
+        compiled.validate()?;
+        let tiles = compiled
+            .tiles()
+            .into_iter()
+            .map(|t| RuntimeTile::derive(t, &compiled.config))
+            .collect();
+        Ok(DeepCamEngine { compiled, tiles })
+    }
+
+    /// Loads an artifact from disk and builds its runtime — the serving
+    /// path for models compiled in a previous process.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CompiledModel::load`] and
+    /// [`DeepCamEngine::from_compiled`].
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self> {
+        Self::from_compiled(CompiledModel::load(path)?)
+    }
+
+    /// The underlying compiled artifact (serialize it with
+    /// [`CompiledModel::save`]).
+    pub fn compiled(&self) -> &CompiledModel {
+        &self.compiled
+    }
+
+    /// Consumes the engine, returning the compiled artifact.
+    pub fn into_compiled(self) -> CompiledModel {
+        self.compiled
     }
 
     /// Number of dot-product layers compiled to CAM form.
     pub fn dot_layers(&self) -> usize {
-        self.dot_layers
+        self.compiled.dot_layers()
     }
 
     /// Name of the source model.
     pub fn model_name(&self) -> &str {
-        &self.model_name
+        self.compiled.model_name()
     }
 
     /// The engine configuration.
     pub fn config(&self) -> &EngineConfig {
-        &self.cfg
+        &self.compiled.config
     }
 
     /// Runs inference on an NCHW batch, returning logits `[N, classes]`.
@@ -237,11 +279,16 @@ impl DeepCamEngine {
     ///
     /// Propagates tensor shape errors (batch/model mismatch).
     pub fn infer(&self, batch: &Tensor) -> Result<Tensor> {
-        self.infer_at_offset(batch, 0, self.cfg.parallelism.resolve(), DotPath::Fast)
+        self.infer_at_offset(
+            batch,
+            0,
+            self.compiled.config.parallelism.resolve(),
+            DotPath::Fast,
+        )
     }
 
     /// Runs inference through the **frozen pre-optimization datapath**
-    /// ([`crate::reference`]): per-pair angle/cosine evaluation over
+    /// (`crate::reference`): per-pair angle/cosine evaluation over
     /// heap-allocated hashes, exactly as the engine computed before the
     /// packed-tile rewrite.
     ///
@@ -255,7 +302,12 @@ impl DeepCamEngine {
     ///
     /// Same conditions as [`DeepCamEngine::infer`].
     pub fn infer_reference(&self, batch: &Tensor) -> Result<Tensor> {
-        self.infer_at_offset(batch, 0, self.cfg.parallelism.resolve(), DotPath::Reference)
+        self.infer_at_offset(
+            batch,
+            0,
+            self.compiled.config.parallelism.resolve(),
+            DotPath::Reference,
+        )
     }
 
     /// Runs inference with the batch logically positioned at image index
@@ -272,8 +324,16 @@ impl DeepCamEngine {
         path: DotPath,
     ) -> Result<Tensor> {
         let mut cur = batch.clone();
-        for step in &self.steps {
-            cur = run_step(step, &cur, &self.cfg, img_offset, dot_workers, path)?;
+        for step in &self.compiled.steps {
+            cur = run_step(
+                step,
+                &cur,
+                &self.compiled.config,
+                &self.tiles,
+                img_offset,
+                dot_workers,
+                path,
+            )?;
         }
         Ok(cur)
     }
@@ -292,7 +352,7 @@ impl DeepCamEngine {
     ///
     /// Propagates tensor shape errors (batch/model mismatch).
     pub fn infer_batch(&self, batch: &Tensor) -> Result<Tensor> {
-        self.infer_batch_with(batch, self.cfg.parallelism)
+        self.infer_batch_with(batch, self.compiled.config.parallelism)
     }
 
     /// [`DeepCamEngine::infer_batch`] with an explicit parallelism
@@ -340,14 +400,18 @@ impl DeepCamEngine {
     /// calibration step and substantially recovers deep-model accuracy
     /// (see EXPERIMENTS.md, Fig. 5).
     ///
+    /// Calibration mutates the compiled artifact's BN steps, so an
+    /// engine calibrated here and then [`CompiledModel::save`]d serves
+    /// the calibrated statistics after reload.
+    ///
     /// # Errors
     ///
     /// Propagates inference errors.
     pub fn calibrate_bn(&mut self, images: &Tensor) -> Result<()> {
-        let cfg = self.cfg.clone();
-        let mut steps = std::mem::take(&mut self.steps);
-        let result = calibrate_steps(&mut steps, images.clone(), &cfg);
-        self.steps = steps;
+        let cfg = self.compiled.config.clone();
+        let mut steps = std::mem::take(&mut self.compiled.steps);
+        let result = calibrate_steps(&mut steps, images.clone(), &cfg, &self.tiles);
+        self.compiled.steps = steps;
         result.map(|_| ())
     }
 
@@ -425,7 +489,7 @@ impl DeepCamEngine {
             labels,
             batch_size,
             n,
-            self.cfg.parallelism.resolve(),
+            self.compiled.config.parallelism.resolve(),
         )
     }
 
@@ -466,7 +530,7 @@ impl DeepCamEngine {
         labels: &[usize],
         batch_size: usize,
     ) -> Result<f32> {
-        self.evaluate_parallel_with(images, labels, batch_size, self.cfg.parallelism)
+        self.evaluate_parallel_with(images, labels, batch_size, self.compiled.config.parallelism)
     }
 
     /// [`DeepCamEngine::evaluate_parallel`] with an explicit parallelism
@@ -514,107 +578,110 @@ impl DeepCamEngine {
 ///
 /// `img_offset` is the global index of `x`'s first image within the set
 /// being inferred (keeps crossbar noise batch-invariant); `dot_workers`
-/// is the worker count for patch hashing inside the step.
+/// is the worker count for patch hashing inside the step. Dot steps pair
+/// their stored [`CompiledTile`] with the derived [`RuntimeTile`] at the
+/// same traversal index.
 fn run_step(
-    step: &Step,
+    step: &CompiledStep,
     x: &Tensor,
     cfg: &EngineConfig,
+    tiles: &[RuntimeTile],
     img_offset: usize,
     dot_workers: usize,
     path: DotPath,
 ) -> Result<Tensor> {
-    {
-        match step {
-            Step::Conv {
-                cfg: conv_cfg,
-                tile,
-                bias,
-            } => {
-                let (n_batch, _c, h, w) = x
-                    .shape()
-                    .as_nchw()
-                    .ok_or_else(|| CoreError::Unsupported("conv input must be NCHW".to_string()))?;
-                let (oh, ow) = conv_cfg.output_hw(h, w);
-                // Patch extraction shards over the same worker budget as
-                // the hashing below (bit-identical at any count).
-                let patches = im2col_sharded(x, conv_cfg, dot_workers)?; // [N*P, n]
-                                                                         // Every image contributes OH*OW patch rows, so the global
-                                                                         // patch-row offset of this chunk is img_offset * P.
-                let row_offset = img_offset * (oh * ow);
-                let out2d = dot_rows(&patches, tile, cfg, row_offset, dot_workers, path)?;
-                // Permute [N*P, M] -> [N, M, OH, OW] and add bias.
-                let p = oh * ow;
-                let m = tile.m();
-                let mut out = vec![0.0f32; n_batch * m * p];
-                for ni in 0..n_batch {
-                    for pi in 0..p {
-                        let row = (ni * p + pi) * m;
-                        for (mi, &b) in bias.iter().enumerate() {
-                            out[(ni * m + mi) * p + pi] = out2d[row + mi] + b;
-                        }
-                    }
-                }
-                Ok(Tensor::from_vec(out, Shape::new(&[n_batch, m, oh, ow]))?)
-            }
-            Step::Linear { tile, bias } => {
-                // One patch row per image: the row offset is img_offset.
-                let out2d = dot_rows(x, tile, cfg, img_offset, dot_workers, path)?;
-                let n_batch = x.shape().dim(0);
-                let m = tile.m();
-                let mut out = out2d;
-                for ni in 0..n_batch {
+    match step {
+        CompiledStep::Conv {
+            cfg: conv_cfg,
+            tile,
+            bias,
+        } => {
+            let (n_batch, _c, h, w) = x
+                .shape()
+                .as_nchw()
+                .ok_or_else(|| CoreError::Unsupported("conv input must be NCHW".to_string()))?;
+            let (oh, ow) = conv_cfg.output_hw(h, w);
+            // Patch extraction shards over the same worker budget as
+            // the hashing below (bit-identical at any count).
+            let patches = im2col_sharded(x, conv_cfg, dot_workers)?; // [N*P, n]
+                                                                     // Every image contributes OH*OW patch rows, so the global
+                                                                     // patch-row offset of this chunk is img_offset * P.
+            let row_offset = img_offset * (oh * ow);
+            let rt = &tiles[tile.layer_idx];
+            let out2d = dot_rows(&patches, tile, rt, cfg, row_offset, dot_workers, path)?;
+            // Permute [N*P, M] -> [N, M, OH, OW] and add bias.
+            let p = oh * ow;
+            let m = tile.kernels();
+            let mut out = vec![0.0f32; n_batch * m * p];
+            for ni in 0..n_batch {
+                for pi in 0..p {
+                    let row = (ni * p + pi) * m;
                     for (mi, &b) in bias.iter().enumerate() {
-                        out[ni * m + mi] += b;
+                        out[(ni * m + mi) * p + pi] = out2d[row + mi] + b;
                     }
                 }
-                Ok(Tensor::from_vec(out, Shape::new(&[n_batch, m]))?)
             }
-            Step::Bn {
-                gamma,
-                beta,
-                mean,
-                var,
-            } => {
-                let (n, c, h, w) = x.shape().as_nchw().ok_or_else(|| {
-                    CoreError::Unsupported("batch norm input must be NCHW".to_string())
-                })?;
-                let mut out = x.clone();
-                for ni in 0..n {
-                    for ci in 0..c {
-                        let inv = 1.0 / (var[ci] + BN_EPS).sqrt();
-                        let base = (ni * c + ci) * h * w;
-                        for v in &mut out.data_mut()[base..base + h * w] {
-                            *v = gamma[ci] * (*v - mean[ci]) * inv + beta[ci];
-                        }
+            Ok(Tensor::from_vec(out, Shape::new(&[n_batch, m, oh, ow]))?)
+        }
+        CompiledStep::Linear { tile, bias } => {
+            // One patch row per image: the row offset is img_offset.
+            let rt = &tiles[tile.layer_idx];
+            let out2d = dot_rows(x, tile, rt, cfg, img_offset, dot_workers, path)?;
+            let n_batch = x.shape().dim(0);
+            let m = tile.kernels();
+            let mut out = out2d;
+            for ni in 0..n_batch {
+                for (mi, &b) in bias.iter().enumerate() {
+                    out[ni * m + mi] += b;
+                }
+            }
+            Ok(Tensor::from_vec(out, Shape::new(&[n_batch, m]))?)
+        }
+        CompiledStep::Bn {
+            gamma,
+            beta,
+            mean,
+            var,
+        } => {
+            let (n, c, h, w) = x.shape().as_nchw().ok_or_else(|| {
+                CoreError::Unsupported("batch norm input must be NCHW".to_string())
+            })?;
+            let mut out = x.clone();
+            for ni in 0..n {
+                for ci in 0..c {
+                    let inv = 1.0 / (var[ci] + BN_EPS).sqrt();
+                    let base = (ni * c + ci) * h * w;
+                    for v in &mut out.data_mut()[base..base + h * w] {
+                        *v = gamma[ci] * (*v - mean[ci]) * inv + beta[ci];
                     }
                 }
-                Ok(out)
             }
-            Step::Relu => Ok(x.map(|v| v.max(0.0))),
-            Step::MaxPool(p) => Ok(max_pool2d(x, p)?.0),
-            Step::AvgPool(p) => Ok(avg_pool2d(x, p)?),
-            Step::Flatten => {
-                let n = x.shape().dim(0);
-                let rest = x.len() / n.max(1);
-                Ok(x.clone().reshape(Shape::new(&[n, rest]))?)
+            Ok(out)
+        }
+        CompiledStep::Relu => Ok(x.map(|v| v.max(0.0))),
+        CompiledStep::MaxPool(p) => Ok(max_pool2d(x, p)?.0),
+        CompiledStep::AvgPool(p) => Ok(avg_pool2d(x, p)?),
+        CompiledStep::Flatten => {
+            let n = x.shape().dim(0);
+            let rest = x.len() / n.max(1);
+            Ok(x.clone().reshape(Shape::new(&[n, rest]))?)
+        }
+        CompiledStep::Residual { body, shortcut } => {
+            let mut main = x.clone();
+            for s in body {
+                main = run_step(s, &main, cfg, tiles, img_offset, dot_workers, path)?;
             }
-            Step::Residual { body, shortcut } => {
-                let mut main = x.clone();
-                for s in body {
-                    main = run_step(s, &main, cfg, img_offset, dot_workers, path)?;
-                }
-                let skip = match shortcut {
-                    Some(sc) => {
-                        let mut t = x.clone();
-                        for s in sc {
-                            t = run_step(s, &t, cfg, img_offset, dot_workers, path)?;
-                        }
-                        t
+            let skip = match shortcut {
+                Some(sc) => {
+                    let mut t = x.clone();
+                    for s in sc {
+                        t = run_step(s, &t, cfg, tiles, img_offset, dot_workers, path)?;
                     }
-                    None => x.clone(),
-                };
-                Ok(main.add(&skip)?.map(|v| v.max(0.0)))
-            }
+                    t
+                }
+                None => x.clone(),
+            };
+            Ok(main.add(&skip)?.map(|v| v.max(0.0)))
         }
     }
 }
@@ -622,12 +689,17 @@ fn run_step(
 /// Walks the pipeline forwarding `x`, replacing every batch-norm stage's
 /// statistics with the batch statistics of its *approximate-datapath*
 /// input.
-fn calibrate_steps(steps: &mut [Step], x: Tensor, cfg: &EngineConfig) -> Result<Tensor> {
+fn calibrate_steps(
+    steps: &mut [CompiledStep],
+    x: Tensor,
+    cfg: &EngineConfig,
+    tiles: &[RuntimeTile],
+) -> Result<Tensor> {
     let dot_workers = cfg.parallelism.resolve();
     let mut cur = x;
     for step in steps.iter_mut() {
         cur = match step {
-            Step::Bn { mean, var, .. } => {
+            CompiledStep::Bn { mean, var, .. } => {
                 let (n, c, h, w) = cur.shape().as_nchw().ok_or_else(|| {
                     CoreError::Unsupported("batch norm input must be NCHW".to_string())
                 })?;
@@ -659,17 +731,17 @@ fn calibrate_steps(steps: &mut [Step], x: Tensor, cfg: &EngineConfig) -> Result<
                 }
                 *mean = new_mean;
                 *var = new_var;
-                run_step(step, &cur, cfg, 0, dot_workers, DotPath::Fast)?
+                run_step(step, &cur, cfg, tiles, 0, dot_workers, DotPath::Fast)?
             }
-            Step::Residual { body, shortcut } => {
-                let main = calibrate_steps(body, cur.clone(), cfg)?;
+            CompiledStep::Residual { body, shortcut } => {
+                let main = calibrate_steps(body, cur.clone(), cfg, tiles)?;
                 let skip = match shortcut {
-                    Some(sc) => calibrate_steps(sc, cur.clone(), cfg)?,
+                    Some(sc) => calibrate_steps(sc, cur.clone(), cfg, tiles)?,
                     None => cur.clone(),
                 };
                 main.add(&skip)?.map(|v| v.max(0.0))
             }
-            other => run_step(other, &cur, cfg, 0, dot_workers, DotPath::Fast)?,
+            other => run_step(other, &cur, cfg, tiles, 0, dot_workers, DotPath::Fast)?,
         };
     }
     Ok(cur)
@@ -686,9 +758,11 @@ fn calibrate_steps(steps: &mut [Step], x: Tensor, cfg: &EngineConfig) -> Result<
 /// the identical scalar pipeline regardless of sharding, so results are
 /// bit-identical for every worker count — and the `Reference` path is
 /// bit-identical to the `Fast` one (`tests/hotpath_reference.rs`).
+#[allow(clippy::too_many_arguments)]
 fn dot_rows(
     rows: &Tensor,
-    tile: &DotTile,
+    ct: &CompiledTile,
+    rt: &RuntimeTile,
     engine_cfg: &EngineConfig,
     row_offset: usize,
     workers: usize,
@@ -696,7 +770,7 @@ fn dot_rows(
 ) -> Result<Vec<f32>> {
     let r = rows.shape().dim(0);
     let n = rows.shape().dim(1);
-    let m = tile.m();
+    let m = ct.kernels();
     let mut out = vec![0.0f32; r * m];
     let row_data = rows.data();
     let workers = workers.clamp(1, r.max(1));
@@ -706,16 +780,16 @@ fn dot_rows(
         None
     };
     let range = |row_start: usize, chunk: &mut [f32]| match path {
-        DotPath::Fast => {
-            dot_rows_range(row_data, n, tile, engine_cfg, row_offset, row_start, chunk)
-        }
+        DotPath::Fast => dot_rows_range(
+            row_data, n, ct, rt, engine_cfg, row_offset, row_start, chunk,
+        ),
         DotPath::Reference => crate::reference::dot_rows_range(
             row_data,
             n,
-            &tile.proj,
-            &tile.weights,
-            tile.k,
-            tile.layer_idx,
+            &rt.proj,
+            rt.weights(ct),
+            ct.k,
+            ct.layer_idx,
             engine_cfg,
             row_offset,
             row_start,
@@ -732,10 +806,10 @@ fn dot_rows(
     }
     if let Some(start) = timer {
         crate::profile::record(crate::profile::DotSample {
-            layer_idx: tile.layer_idx,
+            layer_idx: ct.layer_idx,
             rows: r,
             m,
-            k: tile.k,
+            k: ct.k,
             seconds: start.elapsed().as_secs_f64(),
         });
     }
@@ -756,17 +830,19 @@ fn dot_rows(
 /// (and multiplication order) the per-pair path evaluated, with the
 /// angle/cosine collapsed into the k+1-entry LUT computed at compile
 /// time.
+#[allow(clippy::too_many_arguments)]
 fn dot_rows_range(
     row_data: &[f32],
     n: usize,
-    tile: &DotTile,
+    ct: &CompiledTile,
+    rt: &RuntimeTile,
     engine_cfg: &EngineConfig,
     row_offset: usize,
     row_start: usize,
     out: &mut [f32],
 ) {
-    let m = tile.m();
-    let k = tile.k;
+    let m = ct.kernels();
+    let k = ct.k;
     let rows_here = out.len() / m;
     let noise = engine_cfg.crossbar_noise;
     let norm_mode = engine_cfg.norm;
@@ -779,7 +855,7 @@ fn dot_rows_range(
     const SUB_ROWS: usize = 64;
     // Per-worker scratch, allocated once per chunk (not per patch).
     let mut projected = vec![0.0f32; SUB_ROWS.min(rows_here.max(1)) * k];
-    let mut query = vec![0u64; tile.packed.words_per_row()];
+    let mut query = vec![0u64; ct.packed.words_per_row()];
     let mut dists = vec![0u32; m];
     let mut sub_start = 0usize;
     while sub_start < rows_here {
@@ -795,7 +871,7 @@ fn dot_rows_range(
             &row_data[abs0 * n..(abs0 + sub_rows) * n],
             sub_rows,
             n,
-            tile.proj.data(),
+            rt.proj.data(),
             k,
             &mut projected[..sub_rows * k],
         );
@@ -810,7 +886,7 @@ fn dot_rows_range(
                 // runs, thread counts and batch splits.
                 let global_row = (row_offset + row_start + local) as u64;
                 let mut rng = seeded_rng(
-                    seed ^ ((tile.layer_idx as u64) << 40)
+                    seed ^ ((ct.layer_idx as u64) << 40)
                         ^ global_row.wrapping_mul(0x9E3779B97F4A7C15),
                 );
                 for v in pre.iter_mut() {
@@ -822,73 +898,14 @@ fn dot_rows_range(
                 NormMode::Minifloat8 => Minifloat8::quantize(norm),
                 NormMode::Fp32 => norm,
             };
-            tile.packed.hamming_into(&query, &mut dists);
+            ct.packed.hamming_into(&query, &mut dists);
             let out_row = &mut out[local * m..(local + 1) * m];
-            for ((o, &hd), &w_norm) in out_row
-                .iter_mut()
-                .zip(dists.iter())
-                .zip(tile.w_norms.iter())
-            {
-                *o = a_norm * w_norm * tile.cos_lut[hd as usize];
+            for ((o, &hd), &w_norm) in out_row.iter_mut().zip(dists.iter()).zip(rt.w_norms.iter()) {
+                *o = a_norm * w_norm * rt.cos_lut[hd as usize];
             }
         }
         sub_start += sub_rows;
     }
-}
-
-fn compile_blocks(blocks: &[Block], cfg: &EngineConfig, idx: &mut usize) -> Result<Vec<Step>> {
-    let mut steps = Vec::with_capacity(blocks.len());
-    for block in blocks {
-        match block {
-            Block::Conv(conv) => {
-                let k = cfg.plan.length_for(*idx)?;
-                let n = conv.cfg.patch_len();
-                let gen = ContextGenerator::new(n, k, cfg.seed.wrapping_add(*idx as u64))?;
-                let weights = gen.weight_contexts(&conv.weight.value)?;
-                let tile = DotTile::compile(gen.projection().to_tensor(), weights, k, *idx, cfg);
-                steps.push(Step::Conv {
-                    cfg: conv.cfg,
-                    tile,
-                    bias: conv.bias.value.data().to_vec(),
-                });
-                *idx += 1;
-            }
-            Block::Linear(lin) => {
-                let k = cfg.plan.length_for(*idx)?;
-                let n = lin.weight.value.shape().dim(1);
-                let gen = ContextGenerator::new(n, k, cfg.seed.wrapping_add(*idx as u64))?;
-                let weights = gen.weight_contexts(&lin.weight.value)?;
-                let tile = DotTile::compile(gen.projection().to_tensor(), weights, k, *idx, cfg);
-                steps.push(Step::Linear {
-                    tile,
-                    bias: lin.bias.value.data().to_vec(),
-                });
-                *idx += 1;
-            }
-            Block::Bn(bn) => steps.push(Step::Bn {
-                gamma: bn.gamma.value.data().to_vec(),
-                beta: bn.beta.value.data().to_vec(),
-                mean: bn.running_mean.clone(),
-                var: bn.running_var.clone(),
-            }),
-            Block::Relu(_) => steps.push(Step::Relu),
-            Block::MaxPool(p) => steps.push(Step::MaxPool(p.cfg)),
-            Block::AvgPool(p) => steps.push(Step::AvgPool(p.cfg)),
-            Block::Flatten(_) => steps.push(Step::Flatten),
-            Block::Residual(ResBlock { body, shortcut, .. }) => {
-                let body_steps = compile_blocks(body, cfg, idx)?;
-                let shortcut_steps = match shortcut {
-                    Some(s) => Some(compile_blocks(s, cfg, idx)?),
-                    None => None,
-                };
-                steps.push(Step::Residual {
-                    body: body_steps,
-                    shortcut: shortcut_steps,
-                });
-            }
-        }
-    }
-    Ok(steps)
 }
 
 #[cfg(test)]
@@ -974,6 +991,36 @@ mod tests {
     }
 
     #[test]
+    fn plan_errors_name_the_model_and_layer() {
+        let mut rng = seeded_rng(30);
+        let model = scaled_lenet5(&mut rng, 10);
+        // Wrong layer count: the message names the model.
+        let cfg = EngineConfig {
+            plan: HashPlan::PerLayer(vec![256; 3]),
+            ..EngineConfig::default()
+        };
+        match DeepCamEngine::compile(&model, cfg).map(|_| ()) {
+            Err(CoreError::InvalidPlan(msg)) => {
+                assert!(msg.contains("LeNet5"), "{msg}");
+                assert!(msg.contains("5 dot layers"), "{msg}");
+            }
+            other => panic!("expected InvalidPlan, got {other:?}"),
+        }
+        // Unsupported length: the message names the offending layer.
+        let cfg = EngineConfig {
+            plan: HashPlan::PerLayer(vec![256, 256, 300, 256, 256]),
+            ..EngineConfig::default()
+        };
+        match DeepCamEngine::compile(&model, cfg).map(|_| ()) {
+            Err(CoreError::InvalidPlan(msg)) => {
+                assert!(msg.contains("dot layer 2"), "{msg}");
+                assert!(msg.contains("'fc1'"), "{msg}");
+            }
+            other => panic!("expected InvalidPlan, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn residual_model_compiles_and_runs() {
         let mut rng = seeded_rng(4);
         let model = scaled_resnet18(&mut rng, 4, 10);
@@ -1032,6 +1079,27 @@ mod tests {
         // Calibration must actually change the BN statistics (and hence
         // the logits) for a model whose float stats are untrained.
         assert_ne!(before.data(), after.data());
+    }
+
+    #[test]
+    fn calibration_persists_through_the_artifact() {
+        // calibrate → save → load must serve the calibrated statistics.
+        let mut rng = seeded_rng(40);
+        let model = deepcam_models::scaled::scaled_vgg11(&mut rng, 4, 10);
+        let cfg = EngineConfig {
+            plan: HashPlan::Uniform(256),
+            ..EngineConfig::default()
+        };
+        let mut engine = DeepCamEngine::compile(&model, cfg).unwrap();
+        let mut rng2 = seeded_rng(41);
+        let calib = deepcam_tensor::init::normal(&mut rng2, Shape::new(&[3, 3, 32, 32]), 0.0, 1.0);
+        engine.calibrate_bn(&calib).unwrap();
+        let calibrated = engine.infer(&calib).unwrap();
+        let reloaded = DeepCamEngine::from_compiled(
+            CompiledModel::from_bytes(&engine.compiled().to_bytes()).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(calibrated.data(), reloaded.infer(&calib).unwrap().data());
     }
 
     #[test]

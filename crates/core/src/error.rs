@@ -23,6 +23,9 @@ pub enum CoreError {
     /// A caller-supplied argument is inconsistent (mismatched label
     /// count, zero batch size, …).
     InvalidInput(String),
+    /// A serialized [`CompiledModel`](crate::ir::CompiledModel) artifact
+    /// could not be written, read, decoded or validated.
+    Artifact(String),
 }
 
 impl fmt::Display for CoreError {
@@ -34,6 +37,7 @@ impl fmt::Display for CoreError {
             CoreError::InvalidPlan(msg) => write!(f, "invalid hash plan: {msg}"),
             CoreError::Unsupported(msg) => write!(f, "unsupported model construct: {msg}"),
             CoreError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            CoreError::Artifact(msg) => write!(f, "artifact error: {msg}"),
         }
     }
 }
@@ -67,6 +71,12 @@ impl From<CamError> for CoreError {
     }
 }
 
+impl From<serde::bin::BinError> for CoreError {
+    fn from(e: serde::bin::BinError) -> Self {
+        CoreError::Artifact(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,5 +102,14 @@ mod tests {
         let i = CoreError::InvalidInput("6 images but 5 labels".into());
         assert!(i.to_string().contains("invalid input"));
         assert!(i.source().is_none());
+        let a = CoreError::Artifact("bad magic".into());
+        assert!(a.to_string().contains("artifact error"));
+        assert!(a.source().is_none());
+    }
+
+    #[test]
+    fn bin_error_converts_to_artifact() {
+        let e: CoreError = serde::bin::BinError::Invalid("tag 9".into()).into();
+        assert!(matches!(e, CoreError::Artifact(msg) if msg.contains("tag 9")));
     }
 }

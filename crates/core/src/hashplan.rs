@@ -9,6 +9,7 @@ use deepcam_hash::SUPPORTED_HASH_LENGTHS;
 use serde::{Deserialize, Serialize};
 
 use crate::error::CoreError;
+use crate::ir::LayerIr;
 use crate::Result;
 
 /// A hash length for every dot-product layer of a model.
@@ -80,25 +81,32 @@ impl HashPlan {
         }
     }
 
+    /// Returns `true` when `k` is a CAM-supported hash width — the one
+    /// membership rule shared by [`HashPlan::validate`] and
+    /// [`HashPlan::bind`].
+    fn width_supported(k: usize) -> bool {
+        SUPPORTED_HASH_LENGTHS.contains(&k)
+    }
+
     /// Validates every length against the CAM-supported set and (for
     /// per-layer plans) the expected layer count.
+    ///
+    /// Prefer [`HashPlan::bind`] when a lowered [`LayerIr`] is at hand;
+    /// its messages name real layers.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidPlan`] with a description of the first
     /// violation.
     pub fn validate(&self, expected_layers: usize) -> Result<()> {
-        let check = |k: usize| -> Result<()> {
-            if SUPPORTED_HASH_LENGTHS.contains(&k) {
-                Ok(())
-            } else {
-                Err(CoreError::InvalidPlan(format!(
-                    "hash length {k} not in {SUPPORTED_HASH_LENGTHS:?}"
-                )))
-            }
-        };
         match self {
-            HashPlan::Uniform(k) => check(*k),
+            HashPlan::Uniform(k) => {
+                if !Self::width_supported(*k) {
+                    return Err(CoreError::InvalidPlan(format!(
+                        "uniform hash length {k} not in {SUPPORTED_HASH_LENGTHS:?}"
+                    )));
+                }
+            }
             HashPlan::PerLayer(ks) => {
                 if ks.len() != expected_layers {
                     return Err(CoreError::InvalidPlan(format!(
@@ -106,9 +114,16 @@ impl HashPlan {
                         ks.len()
                     )));
                 }
-                ks.iter().try_for_each(|&k| check(k))
+                for (i, &k) in ks.iter().enumerate() {
+                    if !Self::width_supported(k) {
+                        return Err(CoreError::InvalidPlan(format!(
+                            "hash length {k} at dot layer {i} not in {SUPPORTED_HASH_LENGTHS:?}"
+                        )));
+                    }
+                }
             }
         }
+        Ok(())
     }
 
     /// Mean hash length over `layers` layers (diagnostic; drives the
@@ -133,6 +148,141 @@ impl HashPlan {
             HashPlan::Uniform(k) => format!("uniform-{k}"),
             HashPlan::PerLayer(_) => "variable".to_string(),
         }
+    }
+
+    /// Resolves this plan against a lowered model: validates every length
+    /// and the layer count, and returns the per-layer assignment.
+    ///
+    /// This is the one place plans meet models in the compilation
+    /// pipeline (`ModelSpec`/`Cnn` → [`LayerIr`] → [`PlanBinding`] →
+    /// [`CompiledModel`](crate::ir::CompiledModel)); every violation
+    /// message names the offending dot layer by index *and* lowered name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidPlan`] describing the first violation.
+    pub fn bind(&self, ir: &LayerIr) -> Result<PlanBinding> {
+        let layers = ir.dots.len();
+        let ks: Vec<usize> = match self {
+            HashPlan::Uniform(k) => {
+                if !Self::width_supported(*k) {
+                    return Err(CoreError::InvalidPlan(format!(
+                        "uniform hash length {k} not in {SUPPORTED_HASH_LENGTHS:?}"
+                    )));
+                }
+                vec![*k; layers]
+            }
+            HashPlan::PerLayer(ks) => {
+                if ks.len() != layers {
+                    return Err(CoreError::InvalidPlan(format!(
+                        "plan has {} entries but model '{}' has {layers} dot layers",
+                        ks.len(),
+                        ir.model_name
+                    )));
+                }
+                for (i, &k) in ks.iter().enumerate() {
+                    if !Self::width_supported(k) {
+                        return Err(CoreError::InvalidPlan(format!(
+                            "hash length {k} at dot layer {i} ('{}') not in \
+                             {SUPPORTED_HASH_LENGTHS:?}",
+                            ir.dots[i].shape.name
+                        )));
+                    }
+                }
+                ks.clone()
+            }
+        };
+        Ok(PlanBinding { ks })
+    }
+}
+
+/// A [`HashPlan`] resolved and validated against a lowered model: exactly
+/// one supported hash length per dot layer, in traversal order.
+///
+/// Produced by [`HashPlan::bind`]; consumed by the engine compiler, the
+/// scheduler ([`crate::sched::CamScheduler::run_ir`]) and the auto-tuner.
+/// Holding a `PlanBinding` is proof the plan fits the model it was bound
+/// against.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlanBinding {
+    ks: Vec<usize>,
+}
+
+impl PlanBinding {
+    /// The bound length of every dot layer, traversal order.
+    pub fn ks(&self) -> &[usize] {
+        &self.ks
+    }
+
+    /// The bound hash length of dot layer `layer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `layer` is out of range — a binding always covers the
+    /// model it was bound against.
+    pub fn k_for(&self, layer: usize) -> usize {
+        self.ks[layer]
+    }
+
+    /// Number of dot layers covered.
+    pub fn len(&self) -> usize {
+        self.ks.len()
+    }
+
+    /// Returns `true` for a zero-layer binding.
+    pub fn is_empty(&self) -> bool {
+        self.ks.is_empty()
+    }
+
+    /// Mean bound hash length (drives the headline energy saving).
+    pub fn mean_length(&self) -> f64 {
+        if self.ks.is_empty() {
+            0.0
+        } else {
+            self.ks.iter().sum::<usize>() as f64 / self.ks.len() as f64
+        }
+    }
+
+    /// The binding as an explicit per-layer plan.
+    pub fn to_plan(&self) -> HashPlan {
+        HashPlan::PerLayer(self.ks.clone())
+    }
+}
+
+impl serde::bin::BinCodec for HashPlan {
+    fn encode(&self, w: &mut serde::bin::Writer) {
+        match self {
+            HashPlan::Uniform(k) => {
+                w.put_u8(0);
+                w.put_usize(*k);
+            }
+            HashPlan::PerLayer(ks) => {
+                w.put_u8(1);
+                ks.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut serde::bin::Reader<'_>) -> serde::bin::BinResult<Self> {
+        match r.get_u8()? {
+            0 => Ok(HashPlan::Uniform(r.get_usize()?)),
+            1 => Ok(HashPlan::PerLayer(serde::bin::BinCodec::decode(r)?)),
+            other => Err(serde::bin::BinError::Invalid(format!(
+                "HashPlan tag {other}"
+            ))),
+        }
+    }
+}
+
+impl serde::bin::BinCodec for PlanBinding {
+    fn encode(&self, w: &mut serde::bin::Writer) {
+        self.ks.encode(w);
+    }
+
+    fn decode(r: &mut serde::bin::Reader<'_>) -> serde::bin::BinResult<Self> {
+        Ok(PlanBinding {
+            ks: serde::bin::BinCodec::decode(r)?,
+        })
     }
 }
 
@@ -182,5 +332,86 @@ mod tests {
     fn labels() {
         assert_eq!(HashPlan::uniform_max().label(), "uniform-1024");
         assert_eq!(HashPlan::PerLayer(vec![256]).label(), "variable");
+    }
+
+    fn toy_ir(names: &[&str]) -> crate::ir::LayerIr {
+        use deepcam_models::DotLayer;
+        crate::ir::LayerIr {
+            model_name: "ToyNet".into(),
+            workload: "ToyNet".into(),
+            preamble: Vec::new(),
+            dots: names
+                .iter()
+                .enumerate()
+                .map(|(index, name)| crate::ir::DotIr {
+                    index,
+                    kind: crate::ir::DotKind::Linear,
+                    shape: DotLayer {
+                        name: (*name).to_string(),
+                        p: 1,
+                        m: 4,
+                        n: 8,
+                        input_elems: 8,
+                    },
+                    peripherals: Vec::new(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn bind_produces_per_layer_assignment() {
+        let ir = toy_ir(&["conv1", "fc1"]);
+        let b = HashPlan::Uniform(512).bind(&ir).unwrap();
+        assert_eq!(b.ks(), &[512, 512]);
+        assert_eq!(b.k_for(1), 512);
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+        assert_eq!(b.mean_length(), 512.0);
+        assert_eq!(b.to_plan(), HashPlan::PerLayer(vec![512, 512]));
+        let v = HashPlan::PerLayer(vec![256, 1024]).bind(&ir).unwrap();
+        assert_eq!(v.mean_length(), 640.0);
+    }
+
+    #[test]
+    fn bind_error_names_offending_layer() {
+        let ir = toy_ir(&["conv1", "conv2", "fc1"]);
+        let err = HashPlan::PerLayer(vec![256, 300, 512])
+            .bind(&ir)
+            .unwrap_err();
+        match err {
+            CoreError::InvalidPlan(msg) => {
+                assert!(msg.contains("hash length 300"), "{msg}");
+                assert!(msg.contains("dot layer 1"), "{msg}");
+                assert!(msg.contains("'conv2'"), "{msg}");
+            }
+            other => panic!("expected InvalidPlan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bind_error_names_model_on_count_mismatch() {
+        let ir = toy_ir(&["conv1", "conv2", "fc1"]);
+        let err = HashPlan::PerLayer(vec![256]).bind(&ir).unwrap_err();
+        match err {
+            CoreError::InvalidPlan(msg) => {
+                assert!(msg.contains("plan has 1 entries"), "{msg}");
+                assert!(msg.contains("'ToyNet'"), "{msg}");
+                assert!(msg.contains("3 dot layers"), "{msg}");
+            }
+            other => panic!("expected InvalidPlan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bind_error_for_unsupported_uniform() {
+        let ir = toy_ir(&["fc1"]);
+        let err = HashPlan::Uniform(100).bind(&ir).unwrap_err();
+        match err {
+            CoreError::InvalidPlan(msg) => {
+                assert!(msg.contains("uniform hash length 100"), "{msg}");
+            }
+            other => panic!("expected InvalidPlan, got {other:?}"),
+        }
     }
 }

@@ -38,17 +38,21 @@ pub mod dataflow;
 pub mod engine;
 pub mod error;
 pub mod hashplan;
+pub mod ir;
 pub mod perf;
 pub mod postproc;
 pub mod profile;
 mod reference;
 pub mod sched;
+pub mod tune;
 
 pub use dataflow::Dataflow;
 pub use engine::{DeepCamEngine, EngineConfig};
 pub use error::CoreError;
-pub use hashplan::HashPlan;
+pub use hashplan::{HashPlan, PlanBinding};
+pub use ir::{CompiledModel, CompiledStep, CompiledTile, DotIr, DotKind, LayerIr};
 pub use perf::{EnergyBreakdown, LayerPerf, PerfReport};
+pub use tune::{TuneReport, TunerConfig};
 
 /// Result alias used across the crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

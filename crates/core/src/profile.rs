@@ -2,7 +2,7 @@
 //!
 //! The `hotpath_speedup` bench bin needs a per-layer breakdown of where
 //! inference time goes, for both the packed fast path and the frozen
-//! [`reference`](crate::reference) baseline. Rather than plumb timing
+//! `reference` baseline. Rather than plumb timing
 //! sinks through every call signature, the engine records one
 //! [`DotSample`] per `dot_rows` invocation into a process-global buffer
 //! — but **only while a caller has switched the profiler on**; the hot

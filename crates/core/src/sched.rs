@@ -17,13 +17,14 @@
 //! layer 0 is never charged context-generation cost.
 
 use deepcam_cam::{CamConfig, CamCostModel, SUPPORTED_ROW_SIZES};
-use deepcam_models::{DotLayer, LayerSpec, ModelSpec};
+use deepcam_models::{DotLayer, ModelSpec};
 use serde::{Deserialize, Serialize};
 
 use crate::ctxgen::CtxGenCostModel;
 use crate::dataflow::Dataflow;
 use crate::error::CoreError;
-use crate::hashplan::HashPlan;
+use crate::hashplan::{HashPlan, PlanBinding};
+use crate::ir::LayerIr;
 use crate::perf::{EnergyBreakdown, LayerPerf, PerfReport};
 use crate::postproc::PostProcCostModel;
 use crate::Result;
@@ -167,57 +168,77 @@ impl CamScheduler {
         })
     }
 
-    /// Runs a whole model spec under a hash plan.
-    ///
-    /// Peripheral layers (pool/BN/activation/residual add) are executed by
-    /// the post-processing module; their costs fold into the preceding
-    /// dot layer's entry.
+    /// Runs a whole model spec under a hash plan: lowers the spec through
+    /// the shared compilation pipeline ([`LayerIr::from_spec`] →
+    /// [`HashPlan::bind`]) and hands the result to
+    /// [`CamScheduler::run_ir`].
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidPlan`] for an inconsistent plan and
     /// CAM errors for unsupported geometry.
     pub fn run(&self, spec: &ModelSpec, plan: &HashPlan) -> Result<PerfReport> {
-        let dots = spec.dot_layers();
-        plan.validate_for(&dots)?;
-        let mut layers: Vec<LayerPerf> = Vec::with_capacity(dots.len());
-        let mut dot_idx = 0usize;
-        for layer in &spec.layers {
-            if layer.is_dot_layer() {
-                let k = plan.length_for(dot_idx)?;
-                let perf = self.layer_perf(&dots[dot_idx], k, dot_idx == 0)?;
-                layers.push(perf);
-                dot_idx += 1;
-            } else {
-                let cost = self.postproc.peripheral_cost(layer);
-                if let Some(last) = layers.last_mut() {
-                    last.cycles += cost.cycles;
-                    last.energy.postproc += cost.energy_j;
-                } else if let Some(first) = spec.layers.iter().position(LayerSpec::is_dot_layer) {
-                    // Pre-dot peripheral work exists in no paper workload,
-                    // but attribute it forward for completeness.
-                    let _ = first;
-                }
-            }
+        let ir = LayerIr::from_spec(spec);
+        let binding = plan.bind(&ir)?;
+        self.run_ir(&ir, &binding, plan.label())
+    }
+
+    /// Runs a lowered model under a validated binding — the IR-level
+    /// entry point shared with the engine compiler and the auto-tuner
+    /// (which lowers trained [`Cnn`](deepcam_models::Cnn)s through
+    /// [`LayerIr::from_cnn`] and costs them here).
+    ///
+    /// Peripheral layers (pool/BN/activation/residual add) are executed
+    /// by the post-processing module; each dot layer's trailing
+    /// peripherals fold into its entry. `plan_label` tags the report's
+    /// configuration string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidPlan`] when the binding does not
+    /// cover the IR, [`CoreError::Unsupported`] when the IR lacks static
+    /// shapes (a [`Cnn`](deepcam_models::Cnn) lowered without a declared
+    /// input), and CAM errors for unsupported geometry.
+    pub fn run_ir(
+        &self,
+        ir: &LayerIr,
+        binding: &PlanBinding,
+        plan_label: impl AsRef<str>,
+    ) -> Result<PerfReport> {
+        if binding.len() != ir.dots.len() {
+            return Err(CoreError::InvalidPlan(format!(
+                "binding covers {} layers but IR '{}' has {}",
+                binding.len(),
+                ir.model_name,
+                ir.dots.len()
+            )));
         }
+        if !ir.has_static_shapes() && !ir.is_empty() {
+            return Err(CoreError::Unsupported(format!(
+                "IR '{}' lacks static shapes (lower the model with a declared input)",
+                ir.model_name
+            )));
+        }
+        let mut layers: Vec<LayerPerf> = Vec::with_capacity(ir.dots.len());
+        for dot in &ir.dots {
+            let k = binding.k_for(dot.index);
+            let mut perf = self.layer_perf(&dot.shape, k, dot.index == 0)?;
+            for peripheral in &dot.peripherals {
+                let cost = self.postproc.peripheral_cost(peripheral);
+                perf.cycles += cost.cycles;
+                perf.energy.postproc += cost.energy_j;
+            }
+            layers.push(perf);
+        }
+        // Pre-dot peripheral work (`ir.preamble`) exists in no paper
+        // workload and is ignored, exactly as it was before the IR.
         let config = format!(
             "DeepCAM-{} rows={} {}",
             self.dataflow.label(),
             self.rows,
-            plan.label()
+            plan_label.as_ref()
         );
-        Ok(PerfReport::from_layers(config, spec.workload(), layers))
-    }
-}
-
-impl HashPlan {
-    /// Validates a plan against a model's dot layers.
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`HashPlan::validate`].
-    pub fn validate_for(&self, dots: &[DotLayer]) -> Result<()> {
-        self.validate(dots.len())
+        Ok(PerfReport::from_layers(config, ir.workload.clone(), layers))
     }
 }
 
@@ -330,7 +351,7 @@ mod tests {
     #[test]
     fn variable_plan_saves_energy_vs_max() {
         let spec = zoo::vgg16();
-        let dims: Vec<usize> = spec.dot_layers().iter().map(|d| d.n).collect();
+        let dims = LayerIr::from_spec(&spec).patch_lens();
         let s = CamScheduler::new(64, Dataflow::ActivationStationary).unwrap();
         let vhl = s.run(&spec, &HashPlan::variable_for_dims(&dims)).unwrap();
         let max = s.run(&spec, &HashPlan::uniform_max()).unwrap();

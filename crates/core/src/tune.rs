@@ -1,0 +1,564 @@
+//! The variable-hash-length auto-tuner: the paper's defining knob
+//! (per-layer hash widths trading accuracy for energy, §III-A/Fig. 5),
+//! automated on top of the unified compilation pipeline.
+//!
+//! [`tune`] searches the smallest per-layer [`HashPlan`] whose accuracy
+//! on a **tuning split** stays within [`TunerConfig::max_drop`] of the
+//! all-1024 reference, then reports both plans' accuracy on the
+//! **held-out split** the search never saw. The search is fully
+//! deterministic: same model, data, split and config ⇒ bit-identical
+//! plan and accuracies (pinned by `tuner_is_deterministic`).
+//!
+//! The pipeline refactor is what makes the search cheap: candidate
+//! engines are assembled from a **per-(layer, width) tile cache** —
+//! each weight tile is hashed once per width ever probed and swapped
+//! into a cloned [`CompiledModel`], instead of re-hashing every layer of
+//! every candidate from scratch as the pre-IR search did.
+//!
+//! Two strategies share the machinery:
+//!
+//! * [`SearchStrategy::BinaryMinimal`] — per layer, binary-search the
+//!   supported widths (2 evaluations per layer instead of up to 3),
+//!   then a greedy repair pass if joint lowering overshot the floor.
+//! * The greedy ascending scan (via [`crate::analysis`]) — the
+//!   pre-existing Fig. 5 search, preserved call-for-call.
+
+use std::collections::HashMap;
+
+use deepcam_hash::SUPPORTED_HASH_LENGTHS;
+use deepcam_models::Cnn;
+use deepcam_tensor::{Shape, Tensor};
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{DeepCamEngine, EngineConfig};
+use crate::error::CoreError;
+use crate::hashplan::{HashPlan, PlanBinding};
+use crate::ir::{dot_layer_weights, CompiledModel, CompiledTile};
+use crate::Result;
+
+/// How the per-layer widths are searched.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SearchStrategy {
+    /// Binary search per layer over the supported widths — the default;
+    /// `⌈log₂ 4⌉ = 2` evaluations per layer.
+    BinaryMinimal,
+    /// Ascending scan per layer, accepting the first width within
+    /// tolerance — the historical Fig. 5 search shape.
+    GreedyAscending,
+}
+
+/// Auto-tuner configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TunerConfig {
+    /// Maximum accepted accuracy drop (absolute, on the tuning split)
+    /// relative to the all-1024 reference.
+    pub max_drop: f32,
+    /// Mini-batch size for every evaluation.
+    pub batch_size: usize,
+    /// Fraction of the provided set used for tuning; the remainder is
+    /// held out and only touched by the final report. The split is a
+    /// deterministic prefix/suffix cut — shuffle upstream if needed.
+    pub tune_fraction: f32,
+    /// Search strategy.
+    pub strategy: SearchStrategy,
+}
+
+impl Default for TunerConfig {
+    fn default() -> Self {
+        TunerConfig {
+            max_drop: 0.01,
+            batch_size: 16,
+            tune_fraction: 0.5,
+            strategy: SearchStrategy::BinaryMinimal,
+        }
+    }
+}
+
+/// What the tuner found.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneReport {
+    /// The selected per-layer plan.
+    pub plan: HashPlan,
+    /// The selected plan bound against the model's IR.
+    pub binding: PlanBinding,
+    /// All-1024 reference accuracy on the tuning split.
+    pub reference_accuracy: f32,
+    /// Tuned-plan accuracy on the tuning split.
+    pub tuned_accuracy: f32,
+    /// All-1024 reference accuracy on the held-out split.
+    pub holdout_reference: f32,
+    /// Tuned-plan accuracy on the held-out split.
+    pub holdout_tuned: f32,
+    /// Engine evaluations performed (search + reports).
+    pub evaluations: usize,
+    /// Mean tuned hash length (the energy headline's driver).
+    pub mean_hash_len: f64,
+}
+
+/// Candidate-engine factory: one compiled base plus a per-(layer, width)
+/// tile cache. Assembling a candidate clones the base artifact and swaps
+/// only the tiles whose width differs — weight hashing happens once per
+/// (layer, width) ever probed.
+struct Searcher<'a> {
+    weights: Vec<&'a Tensor>,
+    base_cfg: &'a EngineConfig,
+    calibration: Option<&'a Tensor>,
+    batch_size: usize,
+    base: CompiledModel,
+    cache: HashMap<(usize, usize), CompiledTile>,
+    evaluations: usize,
+}
+
+impl<'a> Searcher<'a> {
+    fn new(
+        model: &'a Cnn,
+        base_cfg: &'a EngineConfig,
+        calibration: Option<&'a Tensor>,
+        batch_size: usize,
+    ) -> Result<Self> {
+        let layers = model.dot_layer_count();
+        let max_k = *SUPPORTED_HASH_LENGTHS.last().expect("non-empty");
+        let cfg = EngineConfig {
+            plan: HashPlan::PerLayer(vec![max_k; layers]),
+            ..base_cfg.clone()
+        };
+        let base = CompiledModel::compile(model, cfg)?;
+        let mut cache = HashMap::new();
+        for tile in base.tiles() {
+            cache.insert((tile.layer_idx, tile.k), tile.clone());
+        }
+        Ok(Searcher {
+            weights: dot_layer_weights(model),
+            base_cfg,
+            calibration,
+            batch_size,
+            base,
+            cache,
+            evaluations: 0,
+        })
+    }
+
+    fn ensure_tile(&mut self, layer: usize, k: usize) -> Result<()> {
+        if !self.cache.contains_key(&(layer, k)) {
+            let tile = CompiledTile::compile(
+                self.base.ir.dots[layer].shape.name.clone(),
+                layer,
+                k,
+                self.base_cfg.seed.wrapping_add(layer as u64),
+                self.weights[layer],
+            )?;
+            self.cache.insert((layer, k), tile);
+        }
+        Ok(())
+    }
+
+    /// Builds (and BN-calibrates, when configured) an engine for `ks`.
+    fn engine_for(&mut self, ks: &[usize]) -> Result<DeepCamEngine> {
+        for (layer, &k) in ks.iter().enumerate() {
+            self.ensure_tile(layer, k)?;
+        }
+        let mut compiled = self.base.clone();
+        compiled.config.plan = HashPlan::PerLayer(ks.to_vec());
+        compiled.binding = compiled.config.plan.bind(&compiled.ir)?;
+        let cache = &self.cache;
+        compiled.for_each_tile_mut(&mut |tile| {
+            let k = ks[tile.layer_idx];
+            if tile.k != k {
+                *tile = cache[&(tile.layer_idx, k)].clone();
+            }
+        });
+        let mut engine = DeepCamEngine::from_compiled(compiled)?;
+        if let Some(calib) = self.calibration {
+            engine.calibrate_bn(calib)?;
+        }
+        Ok(engine)
+    }
+
+    fn eval(&mut self, ks: &[usize], images: &Tensor, labels: &[usize]) -> Result<f32> {
+        let engine = self.engine_for(ks)?;
+        self.evaluations += 1;
+        engine.evaluate(images, labels, self.batch_size)
+    }
+}
+
+/// Searches the smallest per-layer hash plan meeting the accuracy target
+/// on a held-out calibration split.
+///
+/// `images`/`labels` are split into a front tuning portion and a back
+/// held-out portion per [`TunerConfig::tune_fraction`]; `calibration`
+/// (training images, never evaluation data) is applied as BN
+/// recalibration to every candidate engine when provided.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidInput`] when the set is too small to
+/// split or labels mismatch; propagates compile/inference errors.
+pub fn tune(
+    model: &Cnn,
+    images: &Tensor,
+    labels: &[usize],
+    base: &EngineConfig,
+    calibration: Option<&Tensor>,
+    cfg: &TunerConfig,
+) -> Result<TuneReport> {
+    let n = images.shape().dim(0);
+    if n != labels.len() {
+        return Err(CoreError::InvalidInput(format!(
+            "tune: {n} images but {} labels",
+            labels.len()
+        )));
+    }
+    if n < 2 {
+        return Err(CoreError::InvalidInput(
+            "tune: need at least 2 images to split".to_string(),
+        ));
+    }
+    if !(0.0..=1.0).contains(&cfg.tune_fraction) {
+        return Err(CoreError::InvalidInput(format!(
+            "tune: tune_fraction {} outside [0, 1]",
+            cfg.tune_fraction
+        )));
+    }
+    let n_tune = ((n as f64 * f64::from(cfg.tune_fraction)).round() as usize).clamp(1, n - 1);
+    let (tune_x, tune_y) = subset(images, labels, 0, n_tune)?;
+    let (hold_x, hold_y) = subset(images, labels, n_tune, n)?;
+
+    let layers = model.dot_layer_count();
+    let max_k = *SUPPORTED_HASH_LENGTHS.last().expect("non-empty");
+    let mut searcher = Searcher::new(model, base, calibration, cfg.batch_size)?;
+
+    let max_ks = vec![max_k; layers];
+    let reference = searcher.eval(&max_ks, &tune_x, &tune_y)?;
+
+    let acceptable = |acc: f32| acc + cfg.max_drop >= reference;
+    let mut ks = max_ks.clone();
+    match cfg.strategy {
+        SearchStrategy::BinaryMinimal => {
+            for layer in 0..layers {
+                // Smallest supported index whose accuracy clears the
+                // floor, by bisection (the top index is the incumbent and
+                // always acceptable in isolation).
+                let (mut lo, mut hi) = (0usize, SUPPORTED_HASH_LENGTHS.len() - 1);
+                while lo < hi {
+                    let mid = (lo + hi) / 2;
+                    let mut trial = ks.clone();
+                    trial[layer] = SUPPORTED_HASH_LENGTHS[mid];
+                    if acceptable(searcher.eval(&trial, &tune_x, &tune_y)?) {
+                        hi = mid;
+                    } else {
+                        lo = mid + 1;
+                    }
+                }
+                ks[layer] = SUPPORTED_HASH_LENGTHS[lo];
+            }
+        }
+        SearchStrategy::GreedyAscending => {
+            for layer in 0..layers {
+                for &candidate in SUPPORTED_HASH_LENGTHS.iter() {
+                    if candidate >= ks[layer] {
+                        break; // candidates ascend; nothing smaller left
+                    }
+                    let mut trial = ks.clone();
+                    trial[layer] = candidate;
+                    if acceptable(searcher.eval(&trial, &tune_x, &tune_y)?) {
+                        ks[layer] = candidate;
+                        break; // smallest acceptable found
+                    }
+                }
+            }
+        }
+    }
+
+    // Per-layer choices were validated against plans whose *later*
+    // layers were still wide; jointly they can overshoot the floor.
+    // Repair deterministically: while the tuned plan misses the target,
+    // widen the narrowest layer (first on ties) one supported step.
+    let mut tuned_accuracy = searcher.eval(&ks, &tune_x, &tune_y)?;
+    while !acceptable(tuned_accuracy) {
+        let Some(widen) = ks
+            .iter()
+            .enumerate()
+            .filter(|(_, &k)| k < max_k)
+            .min_by_key(|(_, &k)| k)
+            .map(|(i, _)| i)
+        else {
+            break; // everything is already at max
+        };
+        let pos = SUPPORTED_HASH_LENGTHS
+            .iter()
+            .position(|&k| k == ks[widen])
+            .expect("tuned widths come from the supported set");
+        ks[widen] = SUPPORTED_HASH_LENGTHS[pos + 1];
+        tuned_accuracy = searcher.eval(&ks, &tune_x, &tune_y)?;
+    }
+
+    let holdout_reference = searcher.eval(&max_ks, &hold_x, &hold_y)?;
+    let holdout_tuned = searcher.eval(&ks, &hold_x, &hold_y)?;
+
+    let plan = HashPlan::PerLayer(ks);
+    // The searcher's base artifact already holds the lowered IR — no
+    // need to re-walk the model.
+    let binding = plan.bind(&searcher.base.ir)?;
+    let mean_hash_len = binding.mean_length();
+    Ok(TuneReport {
+        plan,
+        binding,
+        reference_accuracy: reference,
+        tuned_accuracy,
+        holdout_reference,
+        holdout_tuned,
+        evaluations: searcher.evaluations,
+        mean_hash_len,
+    })
+}
+
+/// Outcome of the greedy Fig. 5 search (the [`crate::analysis`] shape).
+pub(crate) struct GreedyOutcome {
+    pub(crate) ks: Vec<usize>,
+    pub(crate) reference: f32,
+    pub(crate) final_accuracy: f32,
+    pub(crate) evaluations: usize,
+}
+
+/// The historical greedy ascending search, preserved evaluation-for-
+/// evaluation (same candidate sequence, same accept rule, same counts)
+/// but running on the tile-cached candidate factory.
+pub(crate) fn greedy_search(
+    model: &Cnn,
+    images: &Tensor,
+    labels: &[usize],
+    base: &EngineConfig,
+    tolerance: f32,
+    batch_size: usize,
+    calibration: Option<&Tensor>,
+) -> Result<GreedyOutcome> {
+    let layers = model.dot_layer_count();
+    let max_k = *SUPPORTED_HASH_LENGTHS.last().expect("non-empty");
+    let mut searcher = Searcher::new(model, base, calibration, batch_size)?;
+    let mut ks = vec![max_k; layers];
+    let reference = searcher.eval(&ks, images, labels)?;
+    for layer in 0..layers {
+        for &candidate in SUPPORTED_HASH_LENGTHS.iter() {
+            if candidate >= ks[layer] {
+                break; // candidates are ascending; nothing smaller left
+            }
+            let mut trial = ks.clone();
+            trial[layer] = candidate;
+            let acc = searcher.eval(&trial, images, labels)?;
+            if acc + tolerance >= reference {
+                ks = trial;
+                break; // smallest acceptable found (ascending order)
+            }
+        }
+    }
+    let final_accuracy = searcher.eval(&ks, images, labels)?;
+    Ok(GreedyOutcome {
+        ks,
+        reference,
+        final_accuracy,
+        evaluations: searcher.evaluations,
+    })
+}
+
+/// Copies images/labels `start..end` into standalone buffers.
+fn subset(
+    images: &Tensor,
+    labels: &[usize],
+    start: usize,
+    end: usize,
+) -> Result<(Tensor, Vec<usize>)> {
+    let sample: usize = images.shape().dims()[1..].iter().product();
+    let mut dims = vec![end - start];
+    dims.extend_from_slice(&images.shape().dims()[1..]);
+    Ok((
+        Tensor::from_vec(
+            images.data()[start * sample..end * sample].to_vec(),
+            Shape::new(&dims),
+        )?,
+        labels[start..end].to_vec(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepcam_models::scaled::scaled_lenet5;
+    use deepcam_tensor::rng::{fill_normal, seeded_rng};
+
+    fn toy_images(n: usize) -> (Tensor, Vec<usize>) {
+        // Same two-class structure as the trainer tests: class 0 lights
+        // the top half, class 1 the bottom half.
+        let mut rng = seeded_rng(11);
+        let mut data = vec![0.0f32; n * 784];
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % 2;
+            labels.push(class);
+            let img = &mut data[i * 784..(i + 1) * 784];
+            fill_normal(&mut rng, img, 0.0, 0.3);
+            let rows = if class == 0 { 0..14 } else { 14..28 };
+            for r in rows {
+                for c in 0..28 {
+                    img[r * 28 + c] += 1.2;
+                }
+            }
+        }
+        (
+            Tensor::from_vec(data, Shape::new(&[n, 1, 28, 28])).unwrap(),
+            labels,
+        )
+    }
+
+    fn trained_lenet() -> Cnn {
+        let mut rng = seeded_rng(1);
+        let mut model = scaled_lenet5(&mut rng, 2);
+        let (x, y) = toy_images(16);
+        let cfg = deepcam_models::train::TrainConfig {
+            epochs: 1,
+            batch_size: 8,
+            lr: 0.02,
+            ..deepcam_models::train::TrainConfig::default()
+        };
+        deepcam_models::train::train(&mut model, &x, &y, &cfg).unwrap();
+        model
+    }
+
+    #[test]
+    fn tuner_produces_valid_plan_and_holdout_report() {
+        let model = trained_lenet();
+        let (x, y) = toy_images(24);
+        let report = tune(
+            &model,
+            &x,
+            &y,
+            &EngineConfig::default(),
+            None,
+            &TunerConfig {
+                max_drop: 0.1,
+                batch_size: 8,
+                ..TunerConfig::default()
+            },
+        )
+        .unwrap();
+        match &report.plan {
+            HashPlan::PerLayer(ks) => {
+                assert_eq!(ks.len(), 5);
+                assert!(ks.iter().all(|k| SUPPORTED_HASH_LENGTHS.contains(k)));
+            }
+            other => panic!("expected per-layer plan, got {other:?}"),
+        }
+        assert_eq!(report.binding.len(), 5);
+        assert!(report.tuned_accuracy + 0.1 >= report.reference_accuracy);
+        for acc in [
+            report.reference_accuracy,
+            report.tuned_accuracy,
+            report.holdout_reference,
+            report.holdout_tuned,
+        ] {
+            assert!((0.0..=1.0).contains(&acc));
+        }
+        // Binary search: reference + ≤2/layer + final + 2 holdout
+        // (+ repair rounds, which a 0.1 tolerance never triggers here).
+        assert!(report.evaluations >= 4);
+        assert!(report.mean_hash_len >= 256.0 && report.mean_hash_len <= 1024.0);
+    }
+
+    #[test]
+    fn tuner_is_deterministic() {
+        let model = trained_lenet();
+        let (x, y) = toy_images(20);
+        let cfg = TunerConfig {
+            max_drop: 0.05,
+            batch_size: 8,
+            ..TunerConfig::default()
+        };
+        let a = tune(&model, &x, &y, &EngineConfig::default(), None, &cfg).unwrap();
+        let b = tune(&model, &x, &y, &EngineConfig::default(), None, &cfg).unwrap();
+        assert_eq!(a, b); // plan, accuracies and counts, bit-for-bit
+    }
+
+    #[test]
+    fn generous_target_shrinks_everything() {
+        // max_drop 1.0 accepts any accuracy → every layer drops to 256,
+        // under both strategies.
+        let mut rng = seeded_rng(2);
+        let model = scaled_lenet5(&mut rng, 2);
+        let (x, y) = toy_images(8);
+        for strategy in [
+            SearchStrategy::BinaryMinimal,
+            SearchStrategy::GreedyAscending,
+        ] {
+            let report = tune(
+                &model,
+                &x,
+                &y,
+                &EngineConfig::default(),
+                None,
+                &TunerConfig {
+                    max_drop: 1.0,
+                    batch_size: 8,
+                    strategy,
+                    ..TunerConfig::default()
+                },
+            )
+            .unwrap();
+            match &report.plan {
+                HashPlan::PerLayer(ks) => {
+                    assert!(ks.iter().all(|&k| k == 256), "{strategy:?}: {ks:?}")
+                }
+                other => panic!("expected per-layer plan, got {other:?}"),
+            }
+            assert_eq!(report.mean_hash_len, 256.0);
+        }
+    }
+
+    #[test]
+    fn tuner_rejects_degenerate_inputs() {
+        let mut rng = seeded_rng(3);
+        let model = scaled_lenet5(&mut rng, 2);
+        let (x, y) = toy_images(4);
+        let cfg = TunerConfig::default();
+        assert!(matches!(
+            tune(&model, &x, &y[..3], &EngineConfig::default(), None, &cfg),
+            Err(CoreError::InvalidInput(_))
+        ));
+        let (one_x, one_y) = toy_images(1);
+        assert!(matches!(
+            tune(&model, &one_x, &one_y, &EngineConfig::default(), None, &cfg),
+            Err(CoreError::InvalidInput(_))
+        ));
+        let bad = TunerConfig {
+            tune_fraction: 1.5,
+            ..TunerConfig::default()
+        };
+        assert!(matches!(
+            tune(&model, &x, &y, &EngineConfig::default(), None, &bad),
+            Err(CoreError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn cached_candidates_match_fresh_compiles_bitwise() {
+        // The tile cache must be invisible: a candidate engine assembled
+        // by the searcher computes the same logits as compiling the
+        // plan from scratch.
+        let model = trained_lenet();
+        let base = EngineConfig::default();
+        let mut searcher = Searcher::new(&model, &base, None, 8).unwrap();
+        let ks = [256usize, 512, 256, 768, 1024];
+        let cached = searcher.engine_for(&ks).unwrap();
+        let fresh = DeepCamEngine::compile(
+            &model,
+            EngineConfig {
+                plan: HashPlan::PerLayer(ks.to_vec()),
+                ..base
+            },
+        )
+        .unwrap();
+        let (x, _) = toy_images(4);
+        assert_eq!(
+            cached.infer(&x).unwrap().data(),
+            fresh.infer(&x).unwrap().data()
+        );
+    }
+}

@@ -11,9 +11,11 @@
 //! produce class-prototype datasets with the same tensor shapes and class
 //! counts as the originals:
 //!
-//! * [`synth::synth_digits`] — 1×28×28, 10 classes (MNIST stand-in);
-//! * [`synth::synth_objects10`] — 3×32×32, 10 classes (CIFAR10 stand-in);
-//! * [`synth::synth_objects100`] — 3×32×32, 100 classes (CIFAR100
+//! * [`synth::SynthConfig::digits`] — 1×28×28, 10 classes (MNIST
+//!   stand-in);
+//! * [`synth::SynthConfig::objects10`] — 3×32×32, 10 classes (CIFAR10
+//!   stand-in);
+//! * [`synth::SynthConfig::objects100`] — 3×32×32, 100 classes (CIFAR100
 //!   stand-in).
 //!
 //! Each class has a smooth random prototype; samples are

@@ -38,6 +38,44 @@ pub enum NormMode {
     Fp32,
 }
 
+impl serde::bin::BinCodec for CosineMode {
+    fn encode(&self, w: &mut serde::bin::Writer) {
+        w.put_u8(match self {
+            CosineMode::PiecewiseEq5 => 0,
+            CosineMode::Exact => 1,
+        });
+    }
+
+    fn decode(r: &mut serde::bin::Reader<'_>) -> serde::bin::BinResult<Self> {
+        match r.get_u8()? {
+            0 => Ok(CosineMode::PiecewiseEq5),
+            1 => Ok(CosineMode::Exact),
+            other => Err(serde::bin::BinError::Invalid(format!(
+                "CosineMode tag {other}"
+            ))),
+        }
+    }
+}
+
+impl serde::bin::BinCodec for NormMode {
+    fn encode(&self, w: &mut serde::bin::Writer) {
+        w.put_u8(match self {
+            NormMode::Minifloat8 => 0,
+            NormMode::Fp32 => 1,
+        });
+    }
+
+    fn decode(r: &mut serde::bin::Reader<'_>) -> serde::bin::BinResult<Self> {
+        match r.get_u8()? {
+            0 => Ok(NormMode::Minifloat8),
+            1 => Ok(NormMode::Fp32),
+            other => Err(serde::bin::BinError::Invalid(format!(
+                "NormMode tag {other}"
+            ))),
+        }
+    }
+}
+
 impl NormMode {
     /// Applies the selected quantization to a norm.
     pub fn apply(self, norm: f32) -> f32 {

@@ -240,6 +240,56 @@ impl PackedHashes {
     }
 }
 
+impl serde::bin::BinCodec for PackedHashes {
+    fn encode(&self, w: &mut serde::bin::Writer) {
+        w.put_usize(self.bits);
+        w.put_usize(self.rows);
+        // words_per_row is derived from bits; the slab length is derived
+        // from both — neither is encoded, so a decoded tile can never be
+        // internally inconsistent.
+        for &word in &self.slab {
+            w.put_u64(word);
+        }
+    }
+
+    fn decode(r: &mut serde::bin::Reader<'_>) -> serde::bin::BinResult<Self> {
+        let bits = r.get_usize()?;
+        let rows = r.get_usize()?;
+        if bits == 0 {
+            return Err(serde::bin::BinError::Invalid(
+                "packed tile width must be > 0".into(),
+            ));
+        }
+        let words_per_row = bits.div_ceil(WORD_BITS);
+        let total = rows
+            .checked_mul(words_per_row)
+            .ok_or_else(|| serde::bin::BinError::Invalid("packed tile size overflow".into()))?;
+        let mut slab = Vec::with_capacity(total.min(r.remaining() / 8));
+        for _ in 0..total {
+            slab.push(r.get_u64()?);
+        }
+        // Re-assert the trailing-zero invariant every builder upholds:
+        // the Hamming microkernel skips tail masking because of it.
+        let tail_bits = bits % WORD_BITS;
+        if tail_bits != 0 {
+            let mask = !0u64 << tail_bits;
+            for row in 0..rows {
+                if slab[row * words_per_row + words_per_row - 1] & mask != 0 {
+                    return Err(serde::bin::BinError::Invalid(format!(
+                        "packed tile row {row} has non-zero bits past width {bits}"
+                    )));
+                }
+            }
+        }
+        Ok(PackedHashes {
+            bits,
+            words_per_row,
+            rows,
+            slab,
+        })
+    }
+}
+
 /// XOR + popcount over two equal-length word slices, 4×-unrolled.
 ///
 /// Shared by the tile microkernel and any caller that already holds

@@ -187,16 +187,33 @@ pub struct Cnn {
     pub blocks: Vec<Block>,
     /// Classifier classes.
     pub num_classes: usize,
+    /// Expected input `(channels, height, width)` per image, when known.
+    ///
+    /// Purely descriptive for training (`forward` accepts whatever batch
+    /// it is handed), but it lets the compilation pipeline infer static
+    /// per-layer shapes — patch counts, peripheral element counts — so a
+    /// trained model can be lowered to the same `LayerIr` a weight-free
+    /// `ModelSpec` produces. `None` still lowers; only the quantities
+    /// that need spatial dims are left at zero.
+    pub input: Option<(usize, usize, usize)>,
 }
 
 impl Cnn {
-    /// Creates a model from blocks.
+    /// Creates a model from blocks (input shape unknown; see
+    /// [`Cnn::with_input`]).
     pub fn new(name: impl Into<String>, blocks: Vec<Block>, num_classes: usize) -> Self {
         Cnn {
             name: name.into(),
             blocks,
             num_classes,
+            input: None,
         }
+    }
+
+    /// Builder-style declaration of the expected per-image input shape.
+    pub fn with_input(mut self, channels: usize, height: usize, width: usize) -> Self {
+        self.input = Some((channels, height, width));
+        self
     }
 
     /// Total scalar parameters.

@@ -47,7 +47,7 @@ pub fn scaled_lenet5<R: Rng + ?Sized>(rng: &mut R, num_classes: usize) -> Cnn {
         Block::Relu(ReLU::new()),
         Block::Linear(Linear::new(rng, 84, num_classes)),
     ];
-    Cnn::new("LeNet5", blocks, num_classes)
+    Cnn::new("LeNet5", blocks, num_classes).with_input(1, 28, 28)
 }
 
 fn vgg_family<R: Rng + ?Sized>(
@@ -73,7 +73,7 @@ fn vgg_family<R: Rng + ?Sized>(
     }
     blocks.push(Block::Flatten(Flatten::new()));
     blocks.push(Block::Linear(Linear::new(rng, in_c, num_classes)));
-    Cnn::new(name, blocks, num_classes)
+    Cnn::new(name, blocks, num_classes).with_input(3, 32, 32)
 }
 
 /// Scaled VGG11 for 3×32×32 inputs. `width` is the first-stage channel
@@ -141,7 +141,7 @@ pub fn scaled_resnet18<R: Rng + ?Sized>(rng: &mut R, width: usize, num_classes: 
     blocks.push(Block::AvgPool(AvgPool2d::new(4))); // 4×4 → 1×1
     blocks.push(Block::Flatten(Flatten::new()));
     blocks.push(Block::Linear(Linear::new(rng, 8 * w, num_classes)));
-    Cnn::new("ResNet18", blocks, num_classes)
+    Cnn::new("ResNet18", blocks, num_classes).with_input(3, 32, 32)
 }
 
 #[cfg(test)]

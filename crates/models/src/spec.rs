@@ -196,6 +196,151 @@ impl DotLayer {
     }
 }
 
+impl serde::bin::BinCodec for ConvSpec {
+    fn encode(&self, w: &mut serde::bin::Writer) {
+        w.put_str(&self.name);
+        w.put_usize(self.in_channels);
+        w.put_usize(self.out_channels);
+        w.put_usize(self.kernel);
+        w.put_usize(self.stride);
+        w.put_usize(self.padding);
+        w.put_usize(self.in_h);
+        w.put_usize(self.in_w);
+    }
+
+    fn decode(r: &mut serde::bin::Reader<'_>) -> serde::bin::BinResult<Self> {
+        Ok(ConvSpec {
+            name: r.get_str()?,
+            in_channels: r.get_usize()?,
+            out_channels: r.get_usize()?,
+            kernel: r.get_usize()?,
+            stride: r.get_usize()?,
+            padding: r.get_usize()?,
+            in_h: r.get_usize()?,
+            in_w: r.get_usize()?,
+        })
+    }
+}
+
+impl serde::bin::BinCodec for LinearSpec {
+    fn encode(&self, w: &mut serde::bin::Writer) {
+        w.put_str(&self.name);
+        w.put_usize(self.in_features);
+        w.put_usize(self.out_features);
+    }
+
+    fn decode(r: &mut serde::bin::Reader<'_>) -> serde::bin::BinResult<Self> {
+        Ok(LinearSpec {
+            name: r.get_str()?,
+            in_features: r.get_usize()?,
+            out_features: r.get_usize()?,
+        })
+    }
+}
+
+impl serde::bin::BinCodec for PoolSpec {
+    fn encode(&self, w: &mut serde::bin::Writer) {
+        w.put_u8(match self.kind {
+            PoolKind::Max => 0,
+            PoolKind::Avg => 1,
+        });
+        w.put_usize(self.kernel);
+        w.put_usize(self.channels);
+        w.put_usize(self.in_h);
+        w.put_usize(self.in_w);
+    }
+
+    fn decode(r: &mut serde::bin::Reader<'_>) -> serde::bin::BinResult<Self> {
+        let kind = match r.get_u8()? {
+            0 => PoolKind::Max,
+            1 => PoolKind::Avg,
+            other => {
+                return Err(serde::bin::BinError::Invalid(format!(
+                    "PoolKind tag {other}"
+                )))
+            }
+        };
+        Ok(PoolSpec {
+            kind,
+            kernel: r.get_usize()?,
+            channels: r.get_usize()?,
+            in_h: r.get_usize()?,
+            in_w: r.get_usize()?,
+        })
+    }
+}
+
+impl serde::bin::BinCodec for LayerSpec {
+    fn encode(&self, w: &mut serde::bin::Writer) {
+        match self {
+            LayerSpec::Conv(c) => {
+                w.put_u8(0);
+                c.encode(w);
+            }
+            LayerSpec::Linear(l) => {
+                w.put_u8(1);
+                l.encode(w);
+            }
+            LayerSpec::Pool(p) => {
+                w.put_u8(2);
+                p.encode(w);
+            }
+            LayerSpec::BatchNorm { elements } => {
+                w.put_u8(3);
+                w.put_usize(*elements);
+            }
+            LayerSpec::Activation { elements } => {
+                w.put_u8(4);
+                w.put_usize(*elements);
+            }
+            LayerSpec::EltwiseAdd { elements } => {
+                w.put_u8(5);
+                w.put_usize(*elements);
+            }
+        }
+    }
+
+    fn decode(r: &mut serde::bin::Reader<'_>) -> serde::bin::BinResult<Self> {
+        match r.get_u8()? {
+            0 => Ok(LayerSpec::Conv(serde::bin::BinCodec::decode(r)?)),
+            1 => Ok(LayerSpec::Linear(serde::bin::BinCodec::decode(r)?)),
+            2 => Ok(LayerSpec::Pool(serde::bin::BinCodec::decode(r)?)),
+            3 => Ok(LayerSpec::BatchNorm {
+                elements: r.get_usize()?,
+            }),
+            4 => Ok(LayerSpec::Activation {
+                elements: r.get_usize()?,
+            }),
+            5 => Ok(LayerSpec::EltwiseAdd {
+                elements: r.get_usize()?,
+            }),
+            other => Err(serde::bin::BinError::Invalid(format!(
+                "LayerSpec tag {other}"
+            ))),
+        }
+    }
+}
+
+impl serde::bin::BinCodec for DotLayer {
+    fn encode(&self, w: &mut serde::bin::Writer) {
+        w.put_str(&self.name);
+        w.put_usize(self.p);
+        w.put_usize(self.m);
+        w.put_usize(self.n);
+        w.put_usize(self.input_elems);
+    }
+
+    fn decode(r: &mut serde::bin::Reader<'_>) -> serde::bin::BinResult<Self> {
+        Ok(DotLayer {
+            name: r.get_str()?,
+            p: r.get_usize()?,
+            m: r.get_usize()?,
+            n: r.get_usize()?,
+            input_elems: r.get_usize()?,
+        })
+    }
+}
+
 /// A complete weight-free model description.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ModelSpec {

@@ -119,6 +119,31 @@ impl Conv2dConfig {
     }
 }
 
+impl serde::bin::BinCodec for Conv2dConfig {
+    fn encode(&self, w: &mut serde::bin::Writer) {
+        w.put_usize(self.in_channels);
+        w.put_usize(self.out_channels);
+        w.put_usize(self.kernel_h);
+        w.put_usize(self.kernel_w);
+        w.put_usize(self.stride);
+        w.put_usize(self.padding);
+    }
+
+    fn decode(r: &mut serde::bin::Reader<'_>) -> serde::bin::BinResult<Self> {
+        let cfg = Conv2dConfig {
+            in_channels: r.get_usize()?,
+            out_channels: r.get_usize()?,
+            kernel_h: r.get_usize()?,
+            kernel_w: r.get_usize()?,
+            stride: r.get_usize()?,
+            padding: r.get_usize()?,
+        };
+        cfg.validate()
+            .map_err(|e| serde::bin::BinError::Invalid(format!("conv config: {e}")))?;
+        Ok(cfg)
+    }
+}
+
 /// Unfolds an NCHW input into patch rows.
 ///
 /// Output shape: `[N * OH * OW, C * KH * KW]`. Row `n * OH * OW + oh * OW +

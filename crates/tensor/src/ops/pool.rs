@@ -64,6 +64,26 @@ impl PoolConfig {
     }
 }
 
+impl serde::bin::BinCodec for PoolConfig {
+    fn encode(&self, w: &mut serde::bin::Writer) {
+        w.put_usize(self.kernel);
+        w.put_usize(self.stride);
+    }
+
+    fn decode(r: &mut serde::bin::Reader<'_>) -> serde::bin::BinResult<Self> {
+        let cfg = PoolConfig {
+            kernel: r.get_usize()?,
+            stride: r.get_usize()?,
+        };
+        if cfg.kernel == 0 || cfg.stride == 0 {
+            return Err(serde::bin::BinError::Invalid(
+                "pool kernel and stride must be > 0".into(),
+            ));
+        }
+        Ok(cfg)
+    }
+}
+
 /// Max pooling. Returns the pooled tensor and the flat argmax index of each
 /// window (needed by [`max_pool2d_backward`]).
 ///

@@ -92,6 +92,30 @@ impl Parallelism {
     }
 }
 
+impl serde::bin::BinCodec for Parallelism {
+    fn encode(&self, w: &mut serde::bin::Writer) {
+        match self {
+            Parallelism::Serial => w.put_u8(0),
+            Parallelism::Fixed(n) => {
+                w.put_u8(1);
+                w.put_usize(*n);
+            }
+            Parallelism::Auto => w.put_u8(2),
+        }
+    }
+
+    fn decode(r: &mut serde::bin::Reader<'_>) -> serde::bin::BinResult<Self> {
+        match r.get_u8()? {
+            0 => Ok(Parallelism::Serial),
+            1 => Ok(Parallelism::Fixed(r.get_usize()?)),
+            2 => Ok(Parallelism::Auto),
+            other => Err(serde::bin::BinError::Invalid(format!(
+                "Parallelism tag {other}"
+            ))),
+        }
+    }
+}
+
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
 struct PoolState {

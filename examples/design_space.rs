@@ -6,19 +6,21 @@
 //! Run: `cargo run --release --example design_space`
 
 use deepcam::accel::sched::CamScheduler;
-use deepcam::accel::{Dataflow, HashPlan};
+use deepcam::accel::{Dataflow, HashPlan, LayerIr};
 use deepcam::baselines::Eyeriss;
 use deepcam::models::zoo;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = zoo::vgg11();
-    let dims: Vec<usize> = spec.dot_layers().iter().map(|d| d.n).collect();
+    // Lower once through the shared compilation pipeline; every simulator
+    // sweep below consumes the same IR.
+    let ir = LayerIr::from_spec(&spec);
     let plans = [
         ("uniform-256", HashPlan::uniform_min()),
-        ("variable", HashPlan::variable_for_dims(&dims)),
+        ("variable", HashPlan::variable_for_dims(&ir.patch_lens())),
         ("uniform-1024", HashPlan::uniform_max()),
     ];
-    let eyeriss = Eyeriss::paper_config().run(&spec);
+    let eyeriss = Eyeriss::paper_config().run_ir(&ir);
     println!(
         "workload: {} ({} MMACs); Eyeriss reference: {} cycles, {:.2} uJ",
         spec.workload(),
@@ -35,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for rows in [64usize, 128, 256, 512] {
             for (label, plan) in &plans {
                 let sched = CamScheduler::new(rows, dataflow)?;
-                let perf = sched.run(&spec, plan)?;
+                let perf = sched.run_ir(&ir, &plan.bind(&ir)?, plan.label())?;
                 println!(
                     "{:<26} {:>12} {:>10.3} {:>9.1} {:>11.1}x {:>11.1}x",
                     format!("{} r={} {}", dataflow.label(), rows, label),

@@ -1,0 +1,184 @@
+//! Artifact round-trip suite for the compilation pipeline: a
+//! `CompiledModel` that is serialized and reloaded must serve inference
+//! **bit-identically** to the in-memory compile, across zoo model
+//! families, hash plans (uniform and variable), engine modes and
+//! crossbar noise. This is the contract that makes "compile once, save,
+//! serve anywhere" safe.
+
+use std::path::PathBuf;
+
+use deepcam::accel::{CompiledModel, CoreError, DeepCamEngine, EngineConfig, HashPlan};
+use deepcam::hash::geometric::{CosineMode, NormMode};
+use deepcam::models::scaled::{scaled_lenet5, scaled_resnet18, scaled_vgg11};
+use deepcam::models::Cnn;
+use deepcam::tensor::rng::seeded_rng;
+use deepcam::tensor::{init, Shape, Tensor};
+use proptest::prelude::*;
+
+fn tmp_path(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&dir).expect("tmpdir exists");
+    dir.join(name)
+}
+
+fn batch_for(model: &Cnn, n: usize, seed: u64) -> Tensor {
+    let (c, h, w) = model.input.expect("scaled models declare their input");
+    let mut rng = seeded_rng(seed);
+    init::normal(&mut rng, Shape::new(&[n, c, h, w]), 0.0, 1.0)
+}
+
+/// compile → infer must equal compile → bytes → decode → infer, and
+/// compile → save → load → infer, bit for bit.
+fn assert_roundtrip_bit_exact(model: &Cnn, cfg: EngineConfig, file: &str) {
+    let engine = DeepCamEngine::compile(model, cfg).expect("compiles");
+    let x = batch_for(model, 3, 99);
+    let direct = engine.infer(&x).expect("in-memory inference");
+
+    // Byte-level round trip.
+    let bytes = engine.compiled().to_bytes();
+    let decoded = CompiledModel::from_bytes(&bytes).expect("decodes");
+    assert_eq!(engine.compiled(), &decoded, "artifact not value-identical");
+    let served = DeepCamEngine::from_compiled(decoded).expect("builds runtime");
+    assert_eq!(direct.data(), served.infer(&x).unwrap().data());
+
+    // File-level round trip (the save/load API).
+    let path = tmp_path(file);
+    engine.compiled().save(&path).expect("saves");
+    let loaded = DeepCamEngine::load(&path).expect("loads");
+    assert_eq!(direct.data(), loaded.infer(&x).unwrap().data());
+    assert_eq!(engine.model_name(), loaded.model_name());
+    assert_eq!(engine.dot_layers(), loaded.dot_layers());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn lenet_roundtrips_across_plans() {
+    let mut rng = seeded_rng(1);
+    let model = scaled_lenet5(&mut rng, 10);
+    for (i, plan) in [
+        HashPlan::Uniform(256),
+        HashPlan::uniform_max(),
+        HashPlan::PerLayer(vec![256, 512, 768, 1024, 256]),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        assert_roundtrip_bit_exact(
+            &model,
+            EngineConfig {
+                plan,
+                ..EngineConfig::default()
+            },
+            &format!("lenet_{i}.dcam"),
+        );
+    }
+}
+
+#[test]
+fn vgg_roundtrips_with_noise_and_modes() {
+    let mut rng = seeded_rng(2);
+    let model = scaled_vgg11(&mut rng, 4, 10);
+    assert_roundtrip_bit_exact(
+        &model,
+        EngineConfig {
+            plan: HashPlan::PerLayer(vec![256, 256, 512, 512, 768, 768, 1024, 256, 512]),
+            crossbar_noise: 0.4,
+            cosine: CosineMode::Exact,
+            norm: NormMode::Fp32,
+            ..EngineConfig::default()
+        },
+        "vgg11.dcam",
+    );
+}
+
+#[test]
+fn resnet_roundtrips_with_residual_steps() {
+    let mut rng = seeded_rng(3);
+    let model = scaled_resnet18(&mut rng, 4, 10);
+    assert_roundtrip_bit_exact(
+        &model,
+        EngineConfig {
+            plan: HashPlan::Uniform(256),
+            ..EngineConfig::default()
+        },
+        "resnet18.dcam",
+    );
+}
+
+#[test]
+fn reference_datapath_survives_the_roundtrip_too() {
+    // The frozen differential oracle reads the *derived* contexts, so a
+    // reloaded artifact must reproduce it bitwise as well.
+    let mut rng = seeded_rng(4);
+    let model = scaled_lenet5(&mut rng, 10);
+    let cfg = EngineConfig {
+        plan: HashPlan::Uniform(512),
+        ..EngineConfig::default()
+    };
+    let engine = DeepCamEngine::compile(&model, cfg).expect("compiles");
+    let reloaded = DeepCamEngine::from_compiled(
+        CompiledModel::from_bytes(&engine.compiled().to_bytes()).expect("decodes"),
+    )
+    .expect("builds runtime");
+    let x = batch_for(&model, 2, 7);
+    assert_eq!(
+        engine.infer_reference(&x).unwrap().data(),
+        reloaded.infer_reference(&x).unwrap().data()
+    );
+}
+
+#[test]
+fn load_of_missing_or_garbage_file_is_a_typed_error() {
+    let missing = tmp_path("does_not_exist.dcam");
+    assert!(matches!(
+        CompiledModel::load(&missing),
+        Err(CoreError::Artifact(_))
+    ));
+    let garbage = tmp_path("garbage.dcam");
+    std::fs::write(&garbage, b"definitely not an artifact").unwrap();
+    assert!(matches!(
+        CompiledModel::load(&garbage),
+        Err(CoreError::Artifact(_))
+    ));
+    std::fs::remove_file(&garbage).ok();
+}
+
+fn plan_strategy(layers: usize) -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(
+        prop_oneof![Just(256usize), Just(512), Just(768), Just(1024)],
+        layers,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn random_plans_and_modes_roundtrip_bit_exactly(
+        ks in plan_strategy(5),
+        noise_steps in 0u32..3,
+        exact_cos in any::<bool>(),
+        fp32_norms in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = seeded_rng(5);
+        let model = scaled_lenet5(&mut rng, 10);
+        let cfg = EngineConfig {
+            plan: HashPlan::PerLayer(ks),
+            crossbar_noise: noise_steps as f32 * 0.25,
+            cosine: if exact_cos { CosineMode::Exact } else { CosineMode::PiecewiseEq5 },
+            norm: if fp32_norms { NormMode::Fp32 } else { NormMode::Minifloat8 },
+            seed,
+            ..EngineConfig::default()
+        };
+        let engine = DeepCamEngine::compile(&model, cfg).expect("compiles");
+        let x = batch_for(&model, 2, seed ^ 0xABCD);
+        let direct = engine.infer(&x).expect("in-memory inference");
+        let decoded = CompiledModel::from_bytes(&engine.compiled().to_bytes())
+            .expect("decodes");
+        prop_assert_eq!(engine.compiled(), &decoded);
+        let served = DeepCamEngine::from_compiled(decoded).expect("builds runtime");
+        let reloaded = served.infer(&x).unwrap();
+        prop_assert_eq!(direct.data(), reloaded.data());
+    }
+}

@@ -76,6 +76,34 @@ fn accel_reexport_path() {
 }
 
 #[test]
+fn compilation_pipeline_reexport_path() {
+    // The ISSUE 4 pipeline types must stay importable from `accel`:
+    // LayerIr → PlanBinding → CompiledModel → runtime, plus the tuner
+    // config types.
+    use deepcam::accel::{CompiledModel, LayerIr, PlanBinding, TuneReport, TunerConfig};
+
+    let ir: LayerIr = LayerIr::from_spec(&zoo::lenet5());
+    assert_eq!(ir.len(), 5);
+    let binding: PlanBinding = HashPlan::Uniform(256).bind(&ir).unwrap();
+    assert_eq!(binding.mean_length(), 256.0);
+
+    let mut rng = seeded_rng(2);
+    let model = scaled_lenet5(&mut rng, 10);
+    let compiled = CompiledModel::compile(
+        &model,
+        EngineConfig {
+            plan: HashPlan::Uniform(256),
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap();
+    let restored = CompiledModel::from_bytes(&compiled.to_bytes()).unwrap();
+    assert_eq!(compiled, restored);
+    let _cfg: TunerConfig = TunerConfig::default();
+    let _report_ty: Option<TuneReport> = None;
+}
+
+#[test]
 fn baselines_reexport_path() {
     let spec = zoo::lenet5();
     assert!(Eyeriss::paper_config().run(&spec).total_cycles > 0);

@@ -1,7 +1,7 @@
 //! Cross-crate invariants of the performance models.
 
 use deepcam::accel::sched::{CamScheduler, CycleModel};
-use deepcam::accel::{Dataflow, HashPlan};
+use deepcam::accel::{Dataflow, HashPlan, LayerIr};
 use deepcam::baselines::{AnalogPim, Eyeriss, PimTechnology, SkylakeCpu};
 use deepcam::models::zoo;
 
@@ -12,7 +12,7 @@ fn work_conservation_every_dot_product_covered() {
     for spec in zoo::all_workloads() {
         for dataflow in Dataflow::both() {
             let sched = CamScheduler::new(64, dataflow).expect("rows supported");
-            for layer in spec.dot_layers() {
+            for layer in LayerIr::from_spec(&spec).dots.into_iter().map(|d| d.shape) {
                 let perf = sched.layer_perf(&layer, 256, false).expect("valid k");
                 let (stored, streamed) = match dataflow {
                     Dataflow::WeightStationary => (layer.m, layer.p),
@@ -70,8 +70,7 @@ fn energy_monotone_in_hash_length() {
 #[test]
 fn search_only_is_fastest_accounting() {
     let spec = zoo::resnet18();
-    let dims: Vec<usize> = spec.dot_layers().iter().map(|d| d.n).collect();
-    let plan = HashPlan::variable_for_dims(&dims);
+    let plan = HashPlan::variable_for_dims(&LayerIr::from_spec(&spec).patch_lens());
     let base = CamScheduler::new(64, Dataflow::ActivationStationary).expect("rows supported");
     let pipelined = base.run(&spec, &plan).expect("plan fits").total_cycles;
     let sequential = base
@@ -97,14 +96,15 @@ fn system_ordering_holds_across_workloads() {
     let eyeriss = Eyeriss::paper_config();
     let cpu = SkylakeCpu::paper_config();
     for spec in zoo::all_workloads() {
-        let dims: Vec<usize> = spec.dot_layers().iter().map(|d| d.n).collect();
-        let plan = HashPlan::variable_for_dims(&dims);
+        let ir = LayerIr::from_spec(&spec);
+        let plan = HashPlan::variable_for_dims(&ir.patch_lens());
+        let binding = plan.bind(&ir).expect("plan fits");
         let dc = CamScheduler::new(64, Dataflow::ActivationStationary)
             .expect("rows supported")
-            .run(&spec, &plan)
+            .run_ir(&ir, &binding, plan.label())
             .expect("plan fits");
-        let e = eyeriss.run(&spec);
-        let c = cpu.run(&spec);
+        let e = eyeriss.run_ir(&ir);
+        let c = cpu.run_ir(&ir);
         assert!(dc.total_cycles < e.total_cycles, "{}", spec.name);
         assert!(e.total_cycles < c.total_cycles, "{}", spec.name);
         assert!(dc.total_energy_j < e.total_energy_j, "{}", spec.name);
@@ -116,12 +116,35 @@ fn table2_orderings() {
     let vgg = zoo::vgg11();
     let rram = AnalogPim::new(PimTechnology::NeuroSimRram).run(&vgg);
     let sram = AnalogPim::new(PimTechnology::ValaviSram).run(&vgg);
-    let dims: Vec<usize> = vgg.dot_layers().iter().map(|d| d.n).collect();
+    let ir = LayerIr::from_spec(&vgg);
     let dc = CamScheduler::new(64, Dataflow::ActivationStationary)
         .expect("rows supported")
-        .run(&vgg, &HashPlan::variable_for_dims(&dims))
+        .run(&vgg, &HashPlan::variable_for_dims(&ir.patch_lens()))
         .expect("plan fits");
     // Energy: DeepCAM < SRAM PIM < RRAM PIM (Table II's central claim).
     assert!(dc.total_energy_j < sram.total_energy_j);
     assert!(sram.total_energy_j < rram.total_energy_j);
+}
+
+#[test]
+fn spec_run_equals_ir_run() {
+    // `run(spec, plan)` is sugar for lowering + `run_ir`: both entry
+    // points of the shared pipeline must produce identical reports.
+    for spec in zoo::all_workloads() {
+        let ir = LayerIr::from_spec(&spec);
+        for dataflow in Dataflow::both() {
+            let sched = CamScheduler::new(128, dataflow).expect("rows supported");
+            for plan in [
+                HashPlan::uniform_min(),
+                HashPlan::variable_for_dims(&ir.patch_lens()),
+            ] {
+                let binding = plan.bind(&ir).expect("plan fits");
+                let via_spec = sched.run(&spec, &plan).expect("plan fits");
+                let via_ir = sched
+                    .run_ir(&ir, &binding, plan.label())
+                    .expect("plan fits");
+                assert_eq!(via_spec, via_ir, "{} {}", spec.name, plan.label());
+            }
+        }
+    }
 }

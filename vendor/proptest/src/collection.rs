@@ -36,7 +36,7 @@ pub fn vec<S: Strategy, L: SizeRange>(element: S, size: L) -> VecStrategy<S, L> 
     VecStrategy { element, size }
 }
 
-/// Strategy returned by [`vec`].
+/// Strategy returned by [`vec()`].
 #[derive(Clone, Debug)]
 pub struct VecStrategy<S, L> {
     element: S,

@@ -1,0 +1,448 @@
+//! Minimal offline binary serialization.
+//!
+//! The real `serde` ecosystem pairs the derive macros with a format crate
+//! (`serde_json`, `bincode`, …); neither is available in this offline
+//! container, so this module supplies the one format the workspace needs:
+//! a compact little-endian binary codec with explicit, hand-written
+//! `encode`/`decode` implementations.
+//!
+//! Design points:
+//!
+//! * **Deterministic and bit-exact.** `f32`/`f64` round-trip through
+//!   their IEEE-754 bit patterns (`to_bits`/`from_bits`), so a value
+//!   decodes to *the same bits* it encoded from — the property the
+//!   `CompiledModel` artifact round-trip tests rely on (NaN payloads
+//!   included).
+//! * **Length-prefixed, no self-description.** Collections and strings
+//!   carry a `u64` length; struct fields are concatenated in declaration
+//!   order. Versioning is the caller's job (the artifact header in
+//!   `deepcam-core` carries a magic + format version).
+//! * **Hostile-input safe.** Every read is bounds-checked and returns
+//!   [`BinError`] instead of panicking; collection decodes cap their
+//!   pre-allocation at the bytes actually remaining, so a corrupt length
+//!   cannot trigger a huge allocation.
+
+use std::fmt;
+
+/// Decoding error: truncated input or an invalid encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BinError {
+    /// The reader ran out of bytes.
+    UnexpectedEof {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes that were left.
+        remaining: usize,
+    },
+    /// The bytes were present but do not form a valid value.
+    Invalid(String),
+}
+
+impl fmt::Display for BinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BinError::UnexpectedEof { needed, remaining } => {
+                write!(
+                    f,
+                    "unexpected end of input: needed {needed} bytes, {remaining} left"
+                )
+            }
+            BinError::Invalid(msg) => write!(f, "invalid encoding: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BinError {}
+
+/// Result alias for decoding.
+pub type BinResult<T> = std::result::Result<T, BinError>;
+
+/// An append-only byte sink for encoding.
+#[derive(Debug, Default, Clone)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns `true` when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends raw bytes verbatim (no length prefix).
+    pub fn put_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a `u64` (portable across word sizes).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends an `f32` as its IEEE-754 bit pattern (bit-exact).
+    pub fn put_f32(&mut self, v: f32) {
+        self.put_u32(v.to_bits());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern (bit-exact).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a bool as one byte (0 or 1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_usize(v.len());
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+}
+
+/// A bounds-checked cursor over encoded bytes.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Returns `true` when every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Takes the next `n` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BinError::UnexpectedEof`] when fewer than `n` remain.
+    pub fn take(&mut self, n: usize) -> BinResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(BinError::UnexpectedEof {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`BinError::UnexpectedEof`] on truncated input.
+    pub fn get_u8(&mut self) -> BinResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`BinError::UnexpectedEof`] on truncated input.
+    pub fn get_u32(&mut self) -> BinResult<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`BinError::UnexpectedEof`] on truncated input.
+    pub fn get_u64(&mut self) -> BinResult<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a `usize` encoded as `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`BinError::UnexpectedEof`] on truncated input;
+    /// [`BinError::Invalid`] when the value exceeds this platform's
+    /// `usize` range.
+    pub fn get_usize(&mut self) -> BinResult<usize> {
+        let v = self.get_u64()?;
+        usize::try_from(v).map_err(|_| BinError::Invalid(format!("length {v} exceeds usize")))
+    }
+
+    /// Reads an `f32` from its bit pattern (bit-exact).
+    ///
+    /// # Errors
+    ///
+    /// [`BinError::UnexpectedEof`] on truncated input.
+    pub fn get_f32(&mut self) -> BinResult<f32> {
+        Ok(f32::from_bits(self.get_u32()?))
+    }
+
+    /// Reads an `f64` from its bit pattern (bit-exact).
+    ///
+    /// # Errors
+    ///
+    /// [`BinError::UnexpectedEof`] on truncated input.
+    pub fn get_f64(&mut self) -> BinResult<f64> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a bool byte, rejecting values other than 0/1.
+    ///
+    /// # Errors
+    ///
+    /// [`BinError::UnexpectedEof`] on truncated input;
+    /// [`BinError::Invalid`] for bytes other than 0/1.
+    pub fn get_bool(&mut self) -> BinResult<bool> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(BinError::Invalid(format!("bool byte {other}"))),
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// [`BinError::UnexpectedEof`] on truncated input;
+    /// [`BinError::Invalid`] on non-UTF-8 bytes.
+    pub fn get_str(&mut self) -> BinResult<String> {
+        let len = self.get_usize()?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| BinError::Invalid(format!("non-UTF-8 string: {e}")))
+    }
+
+    /// Asserts every byte was consumed (call after the top-level decode).
+    ///
+    /// # Errors
+    ///
+    /// [`BinError::Invalid`] when trailing bytes remain.
+    pub fn finish(&self) -> BinResult<()> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(BinError::Invalid(format!(
+                "{} trailing bytes after decode",
+                self.remaining()
+            )))
+        }
+    }
+}
+
+/// A type with a hand-written binary encoding.
+///
+/// Implementations must encode fields in a fixed order and decode them in
+/// the same order; `decode(encode(x)) == x` bit-for-bit is the contract
+/// the artifact round-trip suites verify.
+pub trait BinCodec: Sized {
+    /// Appends this value's encoding to `w`.
+    fn encode(&self, w: &mut Writer);
+
+    /// Decodes one value from `r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BinError`] on truncated or invalid input.
+    fn decode(r: &mut Reader<'_>) -> BinResult<Self>;
+}
+
+macro_rules! primitive_codec {
+    ($ty:ty, $put:ident, $get:ident) => {
+        impl BinCodec for $ty {
+            fn encode(&self, w: &mut Writer) {
+                w.$put(*self);
+            }
+            fn decode(r: &mut Reader<'_>) -> BinResult<Self> {
+                r.$get()
+            }
+        }
+    };
+}
+
+primitive_codec!(u8, put_u8, get_u8);
+primitive_codec!(u32, put_u32, get_u32);
+primitive_codec!(u64, put_u64, get_u64);
+primitive_codec!(usize, put_usize, get_usize);
+primitive_codec!(f32, put_f32, get_f32);
+primitive_codec!(f64, put_f64, get_f64);
+primitive_codec!(bool, put_bool, get_bool);
+
+impl BinCodec for String {
+    fn encode(&self, w: &mut Writer) {
+        w.put_str(self);
+    }
+    fn decode(r: &mut Reader<'_>) -> BinResult<Self> {
+        r.get_str()
+    }
+}
+
+impl<T: BinCodec> BinCodec for Vec<T> {
+    fn encode(&self, w: &mut Writer) {
+        w.put_usize(self.len());
+        for item in self {
+            item.encode(w);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> BinResult<Self> {
+        let len = r.get_usize()?;
+        // Cap the pre-allocation at what could possibly fit: a corrupt
+        // length then fails with UnexpectedEof instead of OOM.
+        let mut out = Vec::with_capacity(len.min(r.remaining()));
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: BinCodec> BinCodec for Option<T> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            None => w.put_u8(0),
+            Some(v) => {
+                w.put_u8(1);
+                v.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> BinResult<Self> {
+        match r.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            other => Err(BinError::Invalid(format!("Option tag {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = Writer::new();
+        42u8.encode(&mut w);
+        7u32.encode(&mut w);
+        u64::MAX.encode(&mut w);
+        123usize.encode(&mut w);
+        f32::NAN.encode(&mut w);
+        (-0.0f64).encode(&mut w);
+        true.encode(&mut w);
+        "héllo".to_string().encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(u8::decode(&mut r).unwrap(), 42);
+        assert_eq!(u32::decode(&mut r).unwrap(), 7);
+        assert_eq!(u64::decode(&mut r).unwrap(), u64::MAX);
+        assert_eq!(usize::decode(&mut r).unwrap(), 123);
+        assert!(f32::decode(&mut r).unwrap().is_nan());
+        assert_eq!(f64::decode(&mut r).unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(bool::decode(&mut r).unwrap());
+        assert_eq!(String::decode(&mut r).unwrap(), "héllo");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v = vec![1.0f32, -2.5, f32::INFINITY];
+        let o: Option<String> = Some("x".into());
+        let none: Option<u32> = None;
+        let mut w = Writer::new();
+        v.encode(&mut w);
+        o.encode(&mut w);
+        none.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(Vec::<f32>::decode(&mut r).unwrap(), v);
+        assert_eq!(Option::<String>::decode(&mut r).unwrap(), o);
+        assert_eq!(Option::<u32>::decode(&mut r).unwrap(), none);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut w = Writer::new();
+        vec![1u64, 2, 3].encode(&mut w);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut]);
+            assert!(Vec::<u64>::decode(&mut r).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_length_cannot_overallocate() {
+        // A Vec claiming u64::MAX elements must fail cleanly.
+        let mut w = Writer::new();
+        w.put_u64(u64::MAX);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(Vec::<f32>::decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn invalid_tags_rejected() {
+        let mut r = Reader::new(&[7u8]);
+        assert!(matches!(bool::decode(&mut r), Err(BinError::Invalid(_))));
+        let mut r = Reader::new(&[9u8]);
+        assert!(matches!(
+            Option::<u8>::decode(&mut r),
+            Err(BinError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn finish_flags_trailing_bytes() {
+        let bytes = [1u8, 2, 3];
+        let mut r = Reader::new(&bytes);
+        r.get_u8().unwrap();
+        assert!(r.finish().is_err());
+    }
+}

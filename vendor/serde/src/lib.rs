@@ -1,10 +1,14 @@
 //! Offline vendored facade standing in for `serde`.
 //!
-//! The workspace only ever *derives* `Serialize`/`Deserialize`; it never
-//! calls a serializer (no `serde_json`, no `toml` — the container has no
-//! registry access). The derive macros re-exported here expand to nothing,
-//! so this facade only needs the trait names to exist for `use
-//! serde::{Deserialize, Serialize}` to resolve.
+//! The derive macros re-exported here expand to nothing — the container
+//! has no registry access, so no format crate (`serde_json`, `bincode`)
+//! exists to drive them. Types that need real persistence implement the
+//! explicit binary codec in [`bin`] instead: `deepcam-core` serializes
+//! its `CompiledModel` artifacts through [`bin::BinCodec`], and the
+//! `Serialize`/`Deserialize` derives remain as no-op markers so the code
+//! swaps cleanly to real serde when registry access exists.
+
+pub mod bin;
 
 pub use serde_derive::{Deserialize, Serialize};
 
