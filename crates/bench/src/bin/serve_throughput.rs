@@ -1,0 +1,217 @@
+//! Measures the serving runtime's dynamic micro-batcher: closed-loop
+//! clients hammer one model's `deepcam_serve::Session` and we sweep the
+//! batcher's `max_batch`, recording requests/sec, batch occupancy and
+//! latency percentiles into `BENCH_serve.json`.
+//!
+//! Usage: `cargo run --release -p deepcam-bench --bin serve_throughput
+//! [--out PATH] [--clients N] [--requests N] [--repeats R] [--force]`
+//!
+//! The `max_batch = 1` row is the "before": one engine call per request,
+//! exactly what a naive server wrapping `infer` would do. Larger
+//! `max_batch` rows coalesce concurrent requests into
+//! `DeepCamEngine::infer_each` calls — amortizing per-call pipeline
+//! walks and turning per-image 1-row GEMMs into batched ones — which is
+//! where serving throughput comes from even on one core. Results are
+//! bit-identical either way (the differential suite pins it), so the
+//! comparison times identical computations.
+//!
+//! Refuses to overwrite a committed JSON recorded on a bigger host
+//! unless `--force` is passed (same guard as the other speedup bins).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use deepcam_bench::guard;
+use deepcam_core::{DeepCamEngine, EngineConfig, HashPlan};
+use deepcam_models::scaled::scaled_lenet5;
+use deepcam_serve::{ModelRegistry, Runtime, SessionConfig};
+use deepcam_tensor::rng::seeded_rng;
+use deepcam_tensor::{init, Shape};
+
+struct Row {
+    max_batch: usize,
+    reqs_per_sec: f64,
+    mean_occupancy: f64,
+    max_occupancy: usize,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+/// One closed-loop run: `clients` threads each issue `requests`
+/// blocking inferences through a fresh session; returns the stats row.
+fn run_config(
+    engine: &Arc<DeepCamEngine>,
+    max_batch: usize,
+    clients: usize,
+    requests: usize,
+    images: &[Vec<f32>],
+) -> Row {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register(
+        "bench",
+        DeepCamEngine::from_compiled(engine.compiled().clone()).unwrap(),
+    );
+    let runtime = Arc::new(Runtime::new(
+        registry,
+        SessionConfig {
+            max_batch,
+            max_wait: Duration::from_micros(500),
+            queue_capacity: clients * 4,
+        },
+    ));
+    // Warm the session (loads nothing, but spawns the dispatcher and
+    // pays one-time costs outside the timed window), then snapshot the
+    // counters so the warmup batch is excluded from the reported row.
+    runtime
+        .infer("bench", &[1, 28, 28], &images[0])
+        .expect("warmup inference");
+    let warm = runtime.stats("bench").expect("warmup stats");
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let runtime = Arc::clone(&runtime);
+            scope.spawn(move || {
+                for r in 0..requests {
+                    let img = &images[(c * requests + r) % images.len()];
+                    runtime
+                        .infer("bench", &[1, 28, 28], img)
+                        .expect("closed-loop inference");
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    let stats = runtime.stats("bench").expect("stats");
+    // Occupancy over the timed window only: subtract the warmup batch
+    // (mean_occupancy is occupancy_sum / batches, so the sums recover
+    // exactly). The latency percentiles keep the single warmup sample —
+    // one of hundreds, below the p99 rank by construction.
+    let timed_batches = stats.batches - warm.batches;
+    let timed_occupancy_sum =
+        stats.mean_occupancy * stats.batches as f64 - warm.mean_occupancy * warm.batches as f64;
+    Row {
+        max_batch,
+        reqs_per_sec: (clients * requests) as f64 / elapsed,
+        mean_occupancy: if timed_batches == 0 {
+            0.0
+        } else {
+            timed_occupancy_sum / timed_batches as f64
+        },
+        max_occupancy: stats.max_occupancy,
+        p50_ms: stats.p50_latency_ms,
+        p99_ms: stats.p99_latency_ms,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let arg = |name: &str| -> Option<usize> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|p| args.get(p + 1))
+            .and_then(|v| v.parse().ok())
+    };
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|p| args.get(p + 1).cloned())
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let clients = arg("--clients").unwrap_or(8).max(1);
+    let requests = arg("--requests").unwrap_or(40).max(1);
+    let repeats = arg("--repeats").unwrap_or(3).max(1);
+    let force = args.iter().any(|a| a == "--force");
+    let batch_sweep = [1usize, 4, 8, 16];
+
+    let host_cores = guard::host_cores();
+    if !guard::check_overwrite(&out_path, host_cores, force).proceed() {
+        return; // verdict printed; keeping the bigger-host JSON is success
+    }
+    println!("== Serving runtime: micro-batching vs one-request-per-infer ==");
+    println!("host cores: {host_cores}, clients: {clients}, requests/client: {requests}, repeats: {repeats}");
+
+    let mut rng = seeded_rng(0);
+    let model = scaled_lenet5(&mut rng, 10);
+    let engine = Arc::new(
+        DeepCamEngine::compile(
+            &model,
+            EngineConfig {
+                plan: HashPlan::Uniform(256),
+                ..EngineConfig::default()
+            },
+        )
+        .expect("engine compiles"),
+    );
+    let mut data_rng = seeded_rng(1);
+    let images: Vec<Vec<f32>> = (0..64)
+        .map(|_| {
+            init::normal(&mut data_rng, Shape::new(&[1, 1, 28, 28]), 0.0, 1.0)
+                .data()
+                .to_vec()
+        })
+        .collect();
+
+    // Best-of-repeats per config (closed-loop throughput is
+    // noise-prone on a shared host; the max is the honest capability).
+    let rows: Vec<Row> = batch_sweep
+        .iter()
+        .map(|&max_batch| {
+            let mut best: Option<Row> = None;
+            for _ in 0..repeats {
+                let row = run_config(&engine, max_batch, clients, requests, &images);
+                if best.as_ref().is_none_or(|b| row.reqs_per_sec > b.reqs_per_sec) {
+                    best = Some(row);
+                }
+            }
+            let row = best.expect("at least one repeat");
+            println!(
+                "max_batch {:>3}: {:>8.1} req/s, occupancy mean {:.2} max {}, p50 {:.2} ms, p99 {:.2} ms",
+                row.max_batch, row.reqs_per_sec, row.mean_occupancy, row.max_occupancy, row.p50_ms,
+                row.p99_ms
+            );
+            row
+        })
+        .collect();
+
+    let unbatched = rows[0].reqs_per_sec;
+    for row in &rows[1..] {
+        println!(
+            "max_batch {} vs 1: {:.2}x throughput",
+            row.max_batch,
+            row.reqs_per_sec / unbatched
+        );
+    }
+
+    // Hand-rolled JSON, like the other speedup bins (the vendored serde
+    // has no serializer).
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(
+        "  \"experiment\": \"closed-loop serving throughput, scaled LeNet5, k=256, dynamic micro-batching\",\n",
+    );
+    json.push_str(&format!("  \"host_cores\": {host_cores},\n"));
+    json.push_str(&format!("  \"clients\": {clients},\n"));
+    json.push_str(&format!("  \"requests_per_client\": {requests},\n"));
+    json.push_str(&format!("  \"repeats\": {repeats},\n"));
+    json.push_str("  \"max_wait_us\": 500,\n");
+    json.push_str("  \"bit_identical_to_serial\": true,\n");
+    json.push_str("  \"configs\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"max_batch\": {}, \"reqs_per_sec\": {:.2}, \"mean_occupancy\": {:.3}, \
+             \"max_occupancy\": {}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
+             \"speedup_vs_unbatched\": {:.3}}}{comma}\n",
+            row.max_batch,
+            row.reqs_per_sec,
+            row.mean_occupancy,
+            row.max_occupancy,
+            row.p50_ms,
+            row.p99_ms,
+            row.reqs_per_sec / unbatched
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_serve.json");
+    println!("wrote {out_path}");
+}

@@ -338,6 +338,56 @@ impl DeepCamEngine {
         Ok(cur)
     }
 
+    /// The single batch fan-out/reassembly primitive every batched
+    /// entry point shares — [`DeepCamEngine::infer_batch`],
+    /// [`DeepCamEngine::evaluate_parallel`] and the serving runtime's
+    /// [`DeepCamEngine::infer_each`] are all thin wrappers over this.
+    ///
+    /// Each range of `ranges` is copied out as a standalone image chunk,
+    /// run through the full pipeline at the noise offset `offset_of`
+    /// assigns it, and reduced by `finish`; results come back in range
+    /// order (a deterministic reduction regardless of which worker
+    /// finishes first). The worker budget left over when there are fewer
+    /// chunks than workers goes to per-layer patch hashing inside each
+    /// chunk (either nesting is bit-exact — parallelism never changes
+    /// values). With one chunk or one worker the chunks run on the
+    /// calling thread, so `Parallelism::Serial` callers are genuinely
+    /// single-threaded.
+    fn fan_out<R: Send>(
+        &self,
+        images: &Tensor,
+        ranges: &[std::ops::Range<usize>],
+        workers: usize,
+        offset_of: impl Fn(&std::ops::Range<usize>) -> usize + Sync,
+        finish: impl Fn(&std::ops::Range<usize>, Tensor) -> R + Sync,
+    ) -> Vec<Result<R>> {
+        let inner_workers = (workers / ranges.len().max(1)).max(1);
+        let run_one = |r: &std::ops::Range<usize>| -> Result<R> {
+            let chunk = self.image_chunk(images, r.start, r.end)?;
+            let logits =
+                self.infer_at_offset(&chunk, offset_of(r), inner_workers, DotPath::Fast)?;
+            Ok(finish(r, logits))
+        };
+        if workers <= 1 || ranges.len() <= 1 {
+            ranges.iter().map(run_one).collect()
+        } else {
+            ThreadPool::global().run_indexed(ranges.len(), |ci| run_one(&ranges[ci]))
+        }
+    }
+
+    /// Concatenates per-chunk logits back into one `[n, classes]` tensor
+    /// (the reassembly half of [`DeepCamEngine::fan_out`]).
+    fn concat_logits(n: usize, chunks: Vec<Result<Tensor>>) -> Result<Tensor> {
+        let mut logits: Vec<f32> = Vec::new();
+        let mut classes = 0usize;
+        for chunk in chunks {
+            let chunk = chunk?;
+            classes = chunk.shape().dim(1);
+            logits.extend_from_slice(chunk.data());
+        }
+        Ok(Tensor::from_vec(logits, Shape::new(&[n, classes]))?)
+    }
+
     /// Batched inference fanned out across worker threads: the batch is
     /// split into contiguous image chunks, each chunk runs the full
     /// pipeline on one worker, and the logits are reassembled in input
@@ -363,29 +413,67 @@ impl DeepCamEngine {
     /// Propagates tensor shape errors (batch/model mismatch).
     pub fn infer_batch_with(&self, batch: &Tensor, parallelism: Parallelism) -> Result<Tensor> {
         let n = batch.shape().dim(0);
-        let workers = parallelism.resolve().min(n.max(1));
-        if workers <= 1 {
-            return self.infer_at_offset(batch, 0, parallelism.resolve(), DotPath::Fast);
+        let workers = parallelism.resolve();
+        if workers.min(n.max(1)) <= 1 {
+            return self.infer_at_offset(batch, 0, workers, DotPath::Fast);
         }
         let ranges = split_ranges(n, workers);
-        // Image-level fan-out is the outer parallel loop; the worker
-        // budget left over when there are fewer chunks than workers goes
-        // to per-layer patch hashing inside each chunk (either nesting
-        // is bit-exact — parallelism never changes values).
-        let inner_workers = (workers / ranges.len()).max(1);
-        let chunks: Vec<Result<Tensor>> = ThreadPool::global().run_indexed(ranges.len(), |ci| {
-            let r = &ranges[ci];
-            let chunk = self.image_chunk(batch, r.start, r.end)?;
-            self.infer_at_offset(&chunk, r.start, inner_workers, DotPath::Fast)
-        });
-        let mut logits: Vec<f32> = Vec::new();
-        let mut classes = 0usize;
-        for chunk in chunks {
-            let chunk = chunk?;
-            classes = chunk.shape().dim(1);
-            logits.extend_from_slice(chunk.data());
+        let chunks = self.fan_out(batch, &ranges, workers, |r| r.start, |_, logits| logits);
+        Self::concat_logits(n, chunks)
+    }
+
+    /// Inference over a batch whose images are **independent
+    /// single-image submissions** — the serving runtime's micro-batches,
+    /// where the batch composition is an accident of request timing.
+    ///
+    /// The contract: logits for image `i` are bit-identical to running
+    /// that image alone through [`DeepCamEngine::infer`], for every
+    /// batch composition and worker count. [`DeepCamEngine::infer_batch`]
+    /// deliberately does *not* have this property under
+    /// `crossbar_noise > 0`: it treats the batch as one logical set, so
+    /// image `i` draws the noise of global position `i`. Here every
+    /// image runs at offset 0 — its position in its own one-image
+    /// submission — so dynamic micro-batching can never change a served
+    /// result (`tests/serve_differential.rs` enforces this).
+    ///
+    /// With a clean device (`crossbar_noise == 0`) offsets seed nothing,
+    /// and this delegates to the contiguous fan-out, which computes
+    /// identical values with better chunking.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor shape errors (batch/model mismatch).
+    pub fn infer_each(&self, batch: &Tensor) -> Result<Tensor> {
+        self.infer_each_with(batch, self.compiled.config.parallelism)
+    }
+
+    /// [`DeepCamEngine::infer_each`] with an explicit parallelism
+    /// override.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DeepCamEngine::infer_each`].
+    pub fn infer_each_with(&self, batch: &Tensor, parallelism: Parallelism) -> Result<Tensor> {
+        if self.compiled.config.crossbar_noise == 0.0 {
+            return self.infer_batch_with(batch, parallelism);
         }
-        Ok(Tensor::from_vec(logits, Shape::new(&[n, classes]))?)
+        let n = batch.shape().dim(0);
+        let workers = parallelism.resolve();
+        if n <= 1 {
+            return self.infer_at_offset(batch, 0, workers, DotPath::Fast);
+        }
+        // One range per image, every range at offset 0: each image's
+        // noise is drawn exactly as its own single-image `infer` draws
+        // it, whatever this micro-batch happens to contain. Unlike the
+        // contiguous path, ranges here cannot be merged (each needs its
+        // own offset), so the worker cap is honored by fanning out in
+        // `workers`-sized waves instead.
+        let ranges: Vec<std::ops::Range<usize>> = (0..n).map(|i| i..i + 1).collect();
+        let mut chunks = Vec::with_capacity(n);
+        for wave in ranges.chunks(workers.max(1)) {
+            chunks.extend(self.fan_out(batch, wave, workers, |_| 0, |_, logits| logits));
+        }
+        Self::concat_logits(n, chunks)
     }
 
     /// Recalibrates every batch-norm stage's running statistics under the
@@ -554,18 +642,18 @@ impl DeepCamEngine {
             // so `Parallelism::Serial` here is genuinely single-threaded.
             return self.evaluate_batches_serially(images, labels, batch_size, n, workers);
         }
-        let n_batches = n.div_ceil(batch_size);
-        // As in infer_batch_with: spare workers (when there are fewer
-        // mini-batches than workers) shard patch hashing inside each
-        // batch instead of idling.
-        let inner_workers = (workers / n_batches).max(1);
-        let counts: Vec<Result<usize>> = ThreadPool::global().run_indexed(n_batches, |bi| {
-            let start = bi * batch_size;
-            let end = (start + batch_size).min(n);
-            let chunk = self.image_chunk(images, start, end)?;
-            let logits = self.infer_at_offset(&chunk, start, inner_workers, DotPath::Fast)?;
-            Ok(Self::count_correct(&logits, &labels[start..end]))
-        });
+        // Mini-batch ranges through the shared fan-out, reduced straight
+        // to per-batch hit counts (summed in batch order below).
+        let ranges: Vec<std::ops::Range<usize>> = (0..n.div_ceil(batch_size))
+            .map(|bi| bi * batch_size..(bi * batch_size + batch_size).min(n))
+            .collect();
+        let counts = self.fan_out(
+            images,
+            &ranges,
+            workers,
+            |r| r.start,
+            |r, logits| Self::count_correct(&logits, &labels[r.start..r.end]),
+        );
         let mut correct = 0usize;
         for count in counts {
             correct += count?;
@@ -1257,6 +1345,40 @@ mod tests {
                 .unwrap();
             assert_eq!(serial.data(), par.data(), "workers {workers}");
             assert_eq!(serial.shape(), par.shape());
+        }
+    }
+
+    #[test]
+    fn infer_each_matches_per_image_infer_bitwise() {
+        // The serving-runtime contract: every image of an `infer_each`
+        // batch is bit-identical to its own single-image `infer` call —
+        // including under crossbar noise, where `infer_batch` would
+        // instead draw position-dependent noise.
+        let mut rng = seeded_rng(23);
+        let model = scaled_lenet5(&mut rng, 10);
+        for noise in [0.0f32, 0.5] {
+            let cfg = EngineConfig {
+                plan: HashPlan::Uniform(256),
+                crossbar_noise: noise,
+                ..EngineConfig::default()
+            };
+            let engine = DeepCamEngine::compile(&model, cfg).unwrap();
+            let x = tiny_batch(5);
+            let mut serial: Vec<f32> = Vec::new();
+            for i in 0..5 {
+                let one = engine.image_chunk(&x, i, i + 1).unwrap();
+                serial.extend_from_slice(engine.infer(&one).unwrap().data());
+            }
+            for workers in [1usize, 2, 4] {
+                let coalesced = engine
+                    .infer_each_with(&x, Parallelism::Fixed(workers))
+                    .unwrap();
+                assert_eq!(
+                    serial.as_slice(),
+                    coalesced.data(),
+                    "noise {noise}, workers {workers}"
+                );
+            }
         }
     }
 

@@ -1,0 +1,93 @@
+//! A small blocking client for the [`crate::server`] protocol — the
+//! counterpart examples and benches drive round-trips with.
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::error::{Result, ServeError};
+use crate::protocol::{
+    decode_payload, encode_payload, read_frame, write_frame, Frame, Request, Response,
+    WireModelInfo, WireStats,
+};
+
+/// A connected client speaking one request/response at a time.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running [`crate::server::Server`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] when the connect fails.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| ServeError::Io(format!("connect: {e}")))?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream })
+    }
+
+    /// One request/response round trip.
+    fn call(&mut self, request: &Request) -> Result<Response> {
+        write_frame(&mut self.stream, &encode_payload(request))?;
+        match read_frame(&mut self.stream)? {
+            Frame::Payload(payload) => decode_payload(&payload),
+            Frame::Closed => Err(ServeError::Io(
+                "server closed the connection mid-call".into(),
+            )),
+        }
+    }
+
+    /// Runs one image (per-image dims, e.g. `[1, 28, 28]`) through
+    /// `model`'s session and returns its logits row.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Remote`] carrying the server's typed error, or
+    /// transport errors.
+    pub fn infer(&mut self, model: &str, dims: &[usize], data: &[f32]) -> Result<Vec<f32>> {
+        match self.call(&Request::Infer {
+            model: model.into(),
+            dims: dims.to_vec(),
+            data: data.to_vec(),
+        })? {
+            Response::Logits(logits) => Ok(logits),
+            Response::Error { kind, message } => Err(ServeError::Remote { kind, message }),
+            other => Err(ServeError::Protocol(format!(
+                "expected Logits, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Lists the models the server's registry knows.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Client::infer`].
+    pub fn list_models(&mut self) -> Result<Vec<WireModelInfo>> {
+        match self.call(&Request::ListModels)? {
+            Response::Models(models) => Ok(models),
+            Response::Error { kind, message } => Err(ServeError::Remote { kind, message }),
+            other => Err(ServeError::Protocol(format!(
+                "expected Models, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches one model's serving counters.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Client::infer`].
+    pub fn stats(&mut self, model: &str) -> Result<WireStats> {
+        match self.call(&Request::Stats {
+            model: model.into(),
+        })? {
+            Response::Stats(stats) => Ok(stats),
+            Response::Error { kind, message } => Err(ServeError::Remote { kind, message }),
+            other => Err(ServeError::Protocol(format!(
+                "expected Stats, got {other:?}"
+            ))),
+        }
+    }
+}

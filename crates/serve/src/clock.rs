@@ -1,0 +1,157 @@
+//! Time sources for the micro-batcher.
+//!
+//! The batching decision ("dispatch when the batch is full *or* the
+//! oldest request has waited `max_wait`") depends on a clock. Production
+//! uses [`SystemClock`]; tests use [`ManualClock`], whose `now` only
+//! moves when the test calls [`ManualClock::advance`] — which makes the
+//! deadline path deterministic: a partial batch provably cannot
+//! dispatch until the test advances time past the deadline.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A waker callback: wakes its target and returns whether the target
+/// is still alive (`false` lets the clock prune the registration).
+pub type Waker = Arc<dyn Fn() -> bool + Send + Sync>;
+
+/// A monotonic time source the batcher reads deadlines from.
+pub trait Clock: Send + Sync + 'static {
+    /// The current instant.
+    fn now(&self) -> Instant;
+
+    /// Registers a callback invoked whenever the clock's notion of
+    /// "now" jumps ([`ManualClock::advance`]), so timer-based waiters
+    /// can re-check their deadlines immediately. A waker returning
+    /// `false` (its target is gone) is dropped, so a long-lived clock
+    /// never accumulates registrations from dead sessions. The system
+    /// clock never jumps, so the default implementation ignores the
+    /// waker.
+    fn register_waker(&self, waker: Waker) {
+        let _ = waker;
+    }
+}
+
+/// The real monotonic clock ([`Instant::now`]).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn now(&self) -> Instant {
+        Instant::now()
+    }
+}
+
+/// A clock that only moves when told to — the simulated time source for
+/// batcher tests.
+pub struct ManualClock {
+    epoch: Instant,
+    state: Mutex<ManualState>,
+}
+
+struct ManualState {
+    advanced: Duration,
+    wakers: Vec<Waker>,
+}
+
+impl ManualClock {
+    /// A manual clock starting at "now" and frozen until advanced.
+    pub fn new() -> Self {
+        ManualClock {
+            epoch: Instant::now(),
+            state: Mutex::new(ManualState {
+                advanced: Duration::ZERO,
+                wakers: Vec::new(),
+            }),
+        }
+    }
+
+    /// Moves the clock forward by `by` and wakes every registered
+    /// waiter so deadline checks re-run against the new "now". Wakers
+    /// whose targets are gone are pruned here, so churned sessions on a
+    /// shared clock do not accumulate.
+    pub fn advance(&self, by: Duration) {
+        // Wake outside the lock (a waker may call back into `now`).
+        let wakers: Vec<Waker> = {
+            let mut st = self.state.lock().expect("manual clock lock");
+            st.advanced += by;
+            std::mem::take(&mut st.wakers)
+        };
+        let alive: Vec<Waker> = wakers.into_iter().filter(|w| w()).collect();
+        self.state
+            .lock()
+            .expect("manual clock lock")
+            .wakers
+            .extend(alive);
+    }
+
+    /// Total simulated time advanced so far.
+    pub fn elapsed(&self) -> Duration {
+        self.state.lock().expect("manual clock lock").advanced
+    }
+}
+
+impl Default for ManualClock {
+    fn default() -> Self {
+        ManualClock::new()
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> Instant {
+        self.epoch + self.state.lock().expect("manual clock lock").advanced
+    }
+
+    fn register_waker(&self, waker: Waker) {
+        self.state
+            .lock()
+            .expect("manual clock lock")
+            .wakers
+            .push(waker);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn system_clock_is_monotonic() {
+        let c = SystemClock;
+        let a = c.now();
+        assert!(c.now() >= a);
+    }
+
+    #[test]
+    fn manual_clock_moves_only_on_advance() {
+        let c = ManualClock::new();
+        let t0 = c.now();
+        std::thread::sleep(Duration::from_millis(2));
+        assert_eq!(c.now(), t0, "frozen until advanced");
+        c.advance(Duration::from_millis(5));
+        assert_eq!(c.now(), t0 + Duration::from_millis(5));
+        assert_eq!(c.elapsed(), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn advance_fires_wakers_and_prunes_dead_ones() {
+        let c = ManualClock::new();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f = Arc::clone(&fired);
+        c.register_waker(Arc::new(move || {
+            f.fetch_add(1, Ordering::SeqCst);
+            true
+        }));
+        // A waker whose target died: fires once, then is pruned.
+        let dead_fired = Arc::new(AtomicUsize::new(0));
+        let df = Arc::clone(&dead_fired);
+        c.register_waker(Arc::new(move || {
+            df.fetch_add(1, Ordering::SeqCst);
+            false
+        }));
+        c.advance(Duration::from_millis(1));
+        c.advance(Duration::from_millis(1));
+        assert_eq!(fired.load(Ordering::SeqCst), 2);
+        assert_eq!(dead_fired.load(Ordering::SeqCst), 1, "pruned after first");
+    }
+}

@@ -1,0 +1,68 @@
+//! # deepcam-serve
+//!
+//! The serving runtime the ROADMAP's "heavy traffic" north star hangs
+//! off: everything between a compiled [`deepcam_core::CompiledModel`]
+//! artifact and a client socket.
+//!
+//! ```text
+//!                    ┌────────────────────────────────────────────┐
+//!  *.dcam artifacts →│ ModelRegistry      lazy load, LRU eviction │
+//!                    └───────────────┬────────────────────────────┘
+//!                                    │ Arc<DeepCamEngine>
+//!                    ┌───────────────▼────────────────────────────┐
+//!  submit()/infer() →│ Runtime → Session   bounded queue, dynamic │
+//!                    │ micro-batcher → DeepCamEngine::infer_each  │
+//!                    └───────────────┬────────────────────────────┘
+//!                                    │ logits rows
+//!                    ┌───────────────▼────────────────────────────┐
+//!  TCP clients      →│ Server / Client     length-prefixed binary │
+//!                    │ frames (serde::bin), hostile-input safe    │
+//!                    └────────────────────────────────────────────┘
+//! ```
+//!
+//! * [`registry::ModelRegistry`] — `DCAM` v1 artifacts keyed by model
+//!   id, loaded lazily, evicted least-recently-used, with typed errors
+//!   for missing/corrupt artifacts.
+//! * [`session::Session`] / [`session::Runtime`] — the one submission
+//!   path: a bounded request queue and a dynamic micro-batcher that
+//!   coalesces concurrent single-image requests into
+//!   [`deepcam_core::DeepCamEngine::infer_each`] calls. Coalescing is
+//!   **bit-invisible**: served logits are identical to serial
+//!   submission for every batch composition, worker count and noise
+//!   level. Backpressure is a typed [`ServeError::Overloaded`];
+//!   per-model counters track requests, batches, occupancy and p50/p99
+//!   latency.
+//! * [`server::Server`] / [`client::Client`] — a `std::net`-only TCP
+//!   server speaking the [`protocol`] frames (`Infer`, `ListModels`,
+//!   `Stats`), with per-connection limits and hostile-input-safe
+//!   decoding.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use deepcam_serve::{ModelRegistry, Runtime, SessionConfig};
+//!
+//! let registry = Arc::new(ModelRegistry::open("./models")?);
+//! let runtime = Runtime::new(registry, SessionConfig::default());
+//! let logits = runtime.infer("lenet5", &[1, 28, 28], &vec![0.0; 784])?;
+//! assert_eq!(logits.len(), 10);
+//! # Ok::<(), deepcam_serve::ServeError>(())
+//! ```
+
+pub mod client;
+pub mod clock;
+pub mod error;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+pub mod session;
+pub mod stats;
+
+pub use client::Client;
+pub use clock::{Clock, ManualClock, SystemClock, Waker};
+pub use error::{Result, ServeError};
+pub use registry::{ModelInfo, ModelRegistry};
+pub use server::{Server, ServerConfig};
+pub use session::{Pending, Runtime, Session, SessionConfig};
+pub use stats::{LatencyHistogram, SessionStats};

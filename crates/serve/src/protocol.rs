@@ -1,0 +1,600 @@
+//! The length-prefixed binary wire protocol, built on the workspace's
+//! [`serde::bin`] codec.
+//!
+//! # Framing
+//!
+//! Every message is one frame: a little-endian `u32` payload length
+//! followed by that many payload bytes. The payload is a
+//! [`Request`] or [`Response`] encoded with [`serde::bin::BinCodec`]
+//! (leading tag byte, fields in declaration order). Limits are enforced
+//! *before* allocation: a frame longer than [`MAX_FRAME_BYTES`] is
+//! rejected from its prefix alone, and the payload buffer grows only as
+//! bytes actually arrive — a hostile length prefix cannot reserve
+//! memory it never sends.
+//!
+//! # Frames
+//!
+//! | tag | frame | payload |
+//! |---|---|---|
+//! | `0` | `Request::Infer` | model id, per-image dims, f32 image data |
+//! | `1` | `Request::ListModels` | — |
+//! | `2` | `Request::Stats` | model id |
+//! | `0` | `Response::Logits` | f32 logits row |
+//! | `1` | `Response::Models` | id + residency per model |
+//! | `2` | `Response::Stats` | serving counters snapshot |
+//! | `3` | `Response::Error` | [`ErrorKind`] + message |
+//!
+//! Decoding is hostile-input safe: truncation, unknown tags, trailing
+//! bytes, over-limit dims/lengths and dims/data mismatches all return
+//! typed errors (`tests/protocol_hostile.rs` fuzzes this).
+
+use std::io::{Read, Write};
+
+use serde::bin::{BinCodec, BinError, BinResult, Reader, Writer};
+
+use crate::error::{Result, ServeError};
+
+/// Hard cap on one frame's payload bytes (16 MiB).
+pub const MAX_FRAME_BYTES: usize = 1 << 24;
+/// Most dimensions an image tensor may declare.
+pub const MAX_DIMS: usize = 8;
+/// Most elements an image may carry (4 Mi f32 = 16 MiB, the frame cap).
+pub const MAX_IMAGE_ELEMS: usize = 1 << 22;
+/// Longest model id accepted on the wire, in bytes.
+pub const MAX_MODEL_ID_BYTES: usize = 256;
+/// Payload chunk size frame reads grow by (allocation tracks received
+/// bytes, not the claimed length).
+const READ_CHUNK: usize = 64 * 1024;
+
+/// A client→server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run one image through a model's session.
+    Infer {
+        /// Registry id of the model to serve.
+        model: String,
+        /// Per-image dims (no batch axis), e.g. `[1, 28, 28]`.
+        dims: Vec<usize>,
+        /// Row-major image data; length must equal the dims product.
+        data: Vec<f32>,
+    },
+    /// List every model the registry knows.
+    ListModels,
+    /// Fetch one model's serving counters.
+    Stats {
+        /// Registry id of the model.
+        model: String,
+    },
+}
+
+/// A server→client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The logits row for an `Infer` request.
+    Logits(Vec<f32>),
+    /// The registry listing for a `ListModels` request.
+    Models(Vec<WireModelInfo>),
+    /// The counters for a `Stats` request.
+    Stats(WireStats),
+    /// The request failed; `kind` classifies it for typed client-side
+    /// handling.
+    Error {
+        /// Coarse error class.
+        kind: ErrorKind,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// One registry entry on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireModelInfo {
+    /// Registry id.
+    pub id: String,
+    /// Whether the engine is currently resident.
+    pub loaded: bool,
+}
+
+/// A [`crate::stats::SessionStats`] snapshot on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireStats {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests answered with logits.
+    pub completed: u64,
+    /// Requests answered with an engine error.
+    pub failed: u64,
+    /// Requests rejected by backpressure.
+    pub rejected: u64,
+    /// Engine batches dispatched.
+    pub batches: u64,
+    /// Mean images per dispatched batch.
+    pub mean_occupancy: f64,
+    /// Largest batch dispatched.
+    pub max_occupancy: u64,
+    /// Median submit→reply latency, milliseconds.
+    pub p50_latency_ms: f64,
+    /// 99th-percentile submit→reply latency, milliseconds.
+    pub p99_latency_ms: f64,
+}
+
+/// Coarse error classes a [`Response::Error`] carries, so clients can
+/// react (retry on `Overloaded`, fail fast on `NotFound`) without
+/// parsing messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Unknown model id.
+    NotFound,
+    /// The model's artifact failed to load.
+    BadArtifact,
+    /// Backpressure: the session queue is full.
+    Overloaded,
+    /// The request was malformed.
+    InvalidRequest,
+    /// Inference failed inside the engine.
+    Engine,
+    /// The client violated the wire protocol.
+    Protocol,
+    /// Anything else (shutdown, internal I/O).
+    Internal,
+}
+
+impl BinCodec for ErrorKind {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            ErrorKind::NotFound => 0,
+            ErrorKind::BadArtifact => 1,
+            ErrorKind::Overloaded => 2,
+            ErrorKind::InvalidRequest => 3,
+            ErrorKind::Engine => 4,
+            ErrorKind::Protocol => 5,
+            ErrorKind::Internal => 6,
+        });
+    }
+
+    fn decode(r: &mut Reader<'_>) -> BinResult<Self> {
+        Ok(match r.get_u8()? {
+            0 => ErrorKind::NotFound,
+            1 => ErrorKind::BadArtifact,
+            2 => ErrorKind::Overloaded,
+            3 => ErrorKind::InvalidRequest,
+            4 => ErrorKind::Engine,
+            5 => ErrorKind::Protocol,
+            6 => ErrorKind::Internal,
+            other => return Err(BinError::Invalid(format!("ErrorKind tag {other}"))),
+        })
+    }
+}
+
+/// Decodes a wire model id, enforcing [`MAX_MODEL_ID_BYTES`].
+fn decode_model_id(r: &mut Reader<'_>) -> BinResult<String> {
+    let id = r.get_str()?;
+    if id.len() > MAX_MODEL_ID_BYTES {
+        return Err(BinError::Invalid(format!(
+            "model id of {} bytes exceeds the {MAX_MODEL_ID_BYTES}-byte limit",
+            id.len()
+        )));
+    }
+    Ok(id)
+}
+
+impl BinCodec for Request {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Request::Infer { model, dims, data } => {
+                w.put_u8(0);
+                w.put_str(model);
+                dims.encode(w);
+                data.encode(w);
+            }
+            Request::ListModels => w.put_u8(1),
+            Request::Stats { model } => {
+                w.put_u8(2);
+                w.put_str(model);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> BinResult<Self> {
+        match r.get_u8()? {
+            0 => {
+                let model = decode_model_id(r)?;
+                let dims: Vec<usize> = BinCodec::decode(r)?;
+                if dims.is_empty() || dims.len() > MAX_DIMS {
+                    return Err(BinError::Invalid(format!(
+                        "image declares {} dims (limit 1..={MAX_DIMS})",
+                        dims.len()
+                    )));
+                }
+                let mut elems = 1usize;
+                for &d in &dims {
+                    elems = d
+                        .checked_mul(elems)
+                        .filter(|&e| e <= MAX_IMAGE_ELEMS && d > 0)
+                        .ok_or_else(|| {
+                            BinError::Invalid(format!(
+                                "image dims {dims:?} overflow the {MAX_IMAGE_ELEMS}-element limit"
+                            ))
+                        })?;
+                }
+                let data: Vec<f32> = BinCodec::decode(r)?;
+                if data.len() != elems {
+                    return Err(BinError::Invalid(format!(
+                        "image dims {dims:?} imply {elems} elements, frame carries {}",
+                        data.len()
+                    )));
+                }
+                Ok(Request::Infer { model, dims, data })
+            }
+            1 => Ok(Request::ListModels),
+            2 => Ok(Request::Stats {
+                model: decode_model_id(r)?,
+            }),
+            other => Err(BinError::Invalid(format!("Request tag {other}"))),
+        }
+    }
+}
+
+impl BinCodec for WireModelInfo {
+    fn encode(&self, w: &mut Writer) {
+        w.put_str(&self.id);
+        w.put_bool(self.loaded);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> BinResult<Self> {
+        Ok(WireModelInfo {
+            id: decode_model_id(r)?,
+            loaded: r.get_bool()?,
+        })
+    }
+}
+
+impl BinCodec for WireStats {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.submitted);
+        w.put_u64(self.completed);
+        w.put_u64(self.failed);
+        w.put_u64(self.rejected);
+        w.put_u64(self.batches);
+        w.put_f64(self.mean_occupancy);
+        w.put_u64(self.max_occupancy);
+        w.put_f64(self.p50_latency_ms);
+        w.put_f64(self.p99_latency_ms);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> BinResult<Self> {
+        Ok(WireStats {
+            submitted: r.get_u64()?,
+            completed: r.get_u64()?,
+            failed: r.get_u64()?,
+            rejected: r.get_u64()?,
+            batches: r.get_u64()?,
+            mean_occupancy: r.get_f64()?,
+            max_occupancy: r.get_u64()?,
+            p50_latency_ms: r.get_f64()?,
+            p99_latency_ms: r.get_f64()?,
+        })
+    }
+}
+
+impl BinCodec for Response {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Response::Logits(logits) => {
+                w.put_u8(0);
+                logits.encode(w);
+            }
+            Response::Models(models) => {
+                w.put_u8(1);
+                models.encode(w);
+            }
+            Response::Stats(stats) => {
+                w.put_u8(2);
+                stats.encode(w);
+            }
+            Response::Error { kind, message } => {
+                w.put_u8(3);
+                kind.encode(w);
+                w.put_str(message);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> BinResult<Self> {
+        match r.get_u8()? {
+            0 => {
+                let logits: Vec<f32> = BinCodec::decode(r)?;
+                if logits.len() > MAX_IMAGE_ELEMS {
+                    return Err(BinError::Invalid(format!(
+                        "logits row of {} elements exceeds the {MAX_IMAGE_ELEMS} limit",
+                        logits.len()
+                    )));
+                }
+                Ok(Response::Logits(logits))
+            }
+            1 => Ok(Response::Models(BinCodec::decode(r)?)),
+            2 => Ok(Response::Stats(BinCodec::decode(r)?)),
+            3 => Ok(Response::Error {
+                kind: BinCodec::decode(r)?,
+                message: r.get_str()?,
+            }),
+            other => Err(BinError::Invalid(format!("Response tag {other}"))),
+        }
+    }
+}
+
+/// Encodes one message into a standalone payload (no frame prefix).
+pub fn encode_payload<T: BinCodec>(msg: &T) -> Vec<u8> {
+    let mut w = Writer::new();
+    msg.encode(&mut w);
+    w.into_bytes()
+}
+
+/// Decodes one message from a complete frame payload, rejecting
+/// trailing bytes.
+///
+/// # Errors
+///
+/// [`ServeError::Protocol`] on any malformed payload.
+pub fn decode_payload<T: BinCodec>(payload: &[u8]) -> Result<T> {
+    let mut r = Reader::new(payload);
+    let msg = T::decode(&mut r).map_err(|e| ServeError::Protocol(e.to_string()))?;
+    r.finish()
+        .map_err(|e| ServeError::Protocol(e.to_string()))?;
+    Ok(msg)
+}
+
+/// Writes one frame (length prefix + payload) and flushes.
+///
+/// # Errors
+///
+/// [`ServeError::Protocol`] when `payload` exceeds [`MAX_FRAME_BYTES`]
+/// (nothing is written); [`ServeError::Io`] on socket failure.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<()> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(ServeError::Protocol(format!(
+            "frame of {} bytes exceeds the {MAX_FRAME_BYTES}-byte limit",
+            payload.len()
+        )));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Outcome of [`read_frame`] distinguishing a clean close from abuse.
+#[derive(Debug)]
+pub enum Frame {
+    /// A complete payload arrived.
+    Payload(Vec<u8>),
+    /// The peer closed the stream at a frame boundary.
+    Closed,
+}
+
+/// Reads one frame. The length prefix is validated against
+/// [`MAX_FRAME_BYTES`] *before* any payload allocation, and the payload
+/// buffer grows in 64 KiB steps as bytes arrive, so a
+/// hostile prefix can never cause an over-allocation.
+///
+/// # Errors
+///
+/// [`ServeError::Protocol`] for zero/over-limit lengths;
+/// [`ServeError::Io`] for mid-frame EOF or socket failure.
+pub fn read_frame(r: &mut impl Read) -> Result<Frame> {
+    let mut prefix = [0u8; 4];
+    match r.read_exact(&mut prefix) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(Frame::Closed),
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len == 0 || len > MAX_FRAME_BYTES {
+        return Err(ServeError::Protocol(format!(
+            "frame length {len} outside 1..={MAX_FRAME_BYTES}"
+        )));
+    }
+    let mut payload = Vec::with_capacity(len.min(READ_CHUNK));
+    let mut remaining = len;
+    while remaining > 0 {
+        let step = remaining.min(READ_CHUNK);
+        let start = payload.len();
+        payload.resize(start + step, 0);
+        r.read_exact(&mut payload[start..])
+            .map_err(|e| ServeError::Io(format!("mid-frame read ({remaining} bytes left): {e}")))?;
+        remaining -= step;
+    }
+    Ok(Frame::Payload(payload))
+}
+
+/// Maps a server-side failure to the (kind, message) pair put on the
+/// wire.
+pub fn classify(e: &ServeError) -> (ErrorKind, String) {
+    let kind = match e {
+        ServeError::ModelNotFound { .. } => ErrorKind::NotFound,
+        ServeError::BadArtifact { .. } => ErrorKind::BadArtifact,
+        ServeError::Overloaded { .. } => ErrorKind::Overloaded,
+        ServeError::InvalidRequest(_) => ErrorKind::InvalidRequest,
+        ServeError::Engine(_) => ErrorKind::Engine,
+        ServeError::Protocol(_) => ErrorKind::Protocol,
+        ServeError::Io(_) | ServeError::ShuttingDown | ServeError::Remote { .. } => {
+            ErrorKind::Internal
+        }
+    };
+    (kind, e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: &Request) {
+        let bytes = encode_payload(req);
+        let back: Request = decode_payload(&bytes).expect("decodes");
+        assert_eq!(req, &back);
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        roundtrip_request(&Request::Infer {
+            model: "lenet5".into(),
+            dims: vec![1, 28, 28],
+            data: vec![0.5; 784],
+        });
+        roundtrip_request(&Request::ListModels);
+        roundtrip_request(&Request::Stats {
+            model: "vgg11".into(),
+        });
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in [
+            Response::Logits(vec![1.0, -2.5, f32::NAN]),
+            Response::Models(vec![WireModelInfo {
+                id: "a".into(),
+                loaded: true,
+            }]),
+            Response::Stats(WireStats {
+                submitted: 10,
+                completed: 9,
+                failed: 1,
+                rejected: 0,
+                batches: 3,
+                mean_occupancy: 3.33,
+                max_occupancy: 4,
+                p50_latency_ms: 1.0,
+                p99_latency_ms: 9.5,
+            }),
+            Response::Error {
+                kind: ErrorKind::Overloaded,
+                message: "queue full".into(),
+            },
+        ] {
+            let bytes = encode_payload(&resp);
+            let back: Response = decode_payload(&bytes).expect("decodes");
+            match (&resp, &back) {
+                // NaN logits: compare bit patterns.
+                (Response::Logits(a), Response::Logits(b)) => {
+                    assert_eq!(a.len(), b.len());
+                    for (x, y) in a.iter().zip(b) {
+                        assert_eq!(x.to_bits(), y.to_bits());
+                    }
+                }
+                _ => assert_eq!(resp, back),
+            }
+        }
+    }
+
+    #[test]
+    fn infer_decode_rejects_dims_data_mismatch() {
+        let mut w = Writer::new();
+        w.put_u8(0);
+        w.put_str("m");
+        vec![2usize, 2].encode(&mut w);
+        vec![1.0f32; 5].encode(&mut w); // 5 != 4
+        assert!(decode_payload::<Request>(&w.into_bytes()).is_err());
+    }
+
+    #[test]
+    fn infer_decode_rejects_overflowing_dims() {
+        // Product overflows usize — must be a typed error, not a panic.
+        let mut w = Writer::new();
+        w.put_u8(0);
+        w.put_str("m");
+        vec![usize::MAX, usize::MAX].encode(&mut w);
+        Vec::<f32>::new().encode(&mut w);
+        assert!(decode_payload::<Request>(&w.into_bytes()).is_err());
+        // Product over the element cap but not overflowing.
+        let mut w = Writer::new();
+        w.put_u8(0);
+        w.put_str("m");
+        vec![MAX_IMAGE_ELEMS, 2].encode(&mut w);
+        Vec::<f32>::new().encode(&mut w);
+        assert!(decode_payload::<Request>(&w.into_bytes()).is_err());
+        // Zero dims are meaningless for an image.
+        let mut w = Writer::new();
+        w.put_u8(0);
+        w.put_str("m");
+        vec![0usize, 4].encode(&mut w);
+        Vec::<f32>::new().encode(&mut w);
+        assert!(decode_payload::<Request>(&w.into_bytes()).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode_payload(&Request::ListModels);
+        bytes.push(0);
+        assert!(matches!(
+            decode_payload::<Request>(&bytes),
+            Err(ServeError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let payload = encode_payload(&Request::Stats { model: "x".into() });
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        let mut cursor = std::io::Cursor::new(wire);
+        match read_frame(&mut cursor).unwrap() {
+            Frame::Payload(p) => assert_eq!(p, payload),
+            Frame::Closed => panic!("expected payload"),
+        }
+        // EOF at the boundary is a clean close.
+        assert!(matches!(read_frame(&mut cursor).unwrap(), Frame::Closed));
+    }
+
+    #[test]
+    fn oversized_and_zero_length_prefixes_are_typed_errors() {
+        let mut cursor = std::io::Cursor::new(u32::MAX.to_le_bytes().to_vec());
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(ServeError::Protocol(_))
+        ));
+        let mut cursor = std::io::Cursor::new(0u32.to_le_bytes().to_vec());
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(ServeError::Protocol(_))
+        ));
+        // A length claiming more bytes than will ever arrive: I/O error
+        // once the stream dries up, allocation bounded by arrival.
+        let mut wire = ((MAX_FRAME_BYTES) as u32).to_le_bytes().to_vec();
+        wire.extend_from_slice(&[7u8; 16]);
+        let mut cursor = std::io::Cursor::new(wire);
+        assert!(matches!(read_frame(&mut cursor), Err(ServeError::Io(_))));
+    }
+
+    #[test]
+    fn write_frame_refuses_over_limit_payloads() {
+        let mut sink = Vec::new();
+        let huge = vec![0u8; MAX_FRAME_BYTES + 1];
+        assert!(matches!(
+            write_frame(&mut sink, &huge),
+            Err(ServeError::Protocol(_))
+        ));
+        assert!(sink.is_empty(), "nothing must hit the wire");
+    }
+
+    #[test]
+    fn classify_covers_every_error() {
+        let cases = [
+            (
+                ServeError::ModelNotFound { model: "x".into() },
+                ErrorKind::NotFound,
+            ),
+            (
+                ServeError::Overloaded {
+                    queued: 1,
+                    capacity: 1,
+                },
+                ErrorKind::Overloaded,
+            ),
+            (ServeError::Protocol("p".into()), ErrorKind::Protocol),
+            (ServeError::ShuttingDown, ErrorKind::Internal),
+        ];
+        for (err, want) in cases {
+            assert_eq!(classify(&err).0, want, "{err}");
+        }
+    }
+}

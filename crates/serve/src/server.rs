@@ -1,0 +1,252 @@
+//! A dependency-free (`std::net`) TCP inference server over the
+//! [`crate::protocol`] framing.
+//!
+//! One accept thread plus one thread per connection; every connection
+//! submits through the shared [`Runtime`], so concurrent clients'
+//! requests coalesce in the per-model micro-batchers. Per-connection
+//! limits (frame size, image size, connection count) are enforced
+//! before any allocation or engine work.
+
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::error::{Result, ServeError};
+use crate::protocol::{
+    classify, decode_payload, encode_payload, read_frame, write_frame, ErrorKind, Frame, Request,
+    Response, WireModelInfo, WireStats,
+};
+use crate::session::Runtime;
+
+/// Server limits and knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Most simultaneously served connections; excess connects receive
+    /// an `Overloaded` error frame and are closed.
+    pub max_connections: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 64,
+        }
+    }
+}
+
+struct ServerShared {
+    runtime: Arc<Runtime>,
+    cfg: ServerConfig,
+    shutdown: AtomicBool,
+    active: AtomicUsize,
+    next_conn_id: AtomicUsize,
+    /// Clones of live connection streams keyed by connection id, kept
+    /// so shutdown can unblock their reader threads. Each connection
+    /// removes its own entry on exit, so the map (and its file
+    /// descriptors) tracks live connections, not connection history.
+    conns: Mutex<std::collections::HashMap<usize, TcpStream>>,
+}
+
+/// A running TCP inference server. Shuts down on drop (or explicitly
+/// via [`Server::shutdown`]).
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting connections against `runtime`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] when the bind fails.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        runtime: Arc<Runtime>,
+        cfg: ServerConfig,
+    ) -> Result<Server> {
+        let listener = TcpListener::bind(addr).map_err(|e| ServeError::Io(format!("bind: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| ServeError::Io(format!("local_addr: {e}")))?;
+        let shared = Arc::new(ServerShared {
+            runtime,
+            cfg,
+            shutdown: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            next_conn_id: AtomicUsize::new(0),
+            conns: Mutex::new(std::collections::HashMap::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("deepcam-serve-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_shared))
+            .expect("spawn accept thread");
+        Ok(Server {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (with the resolved port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections currently being served.
+    pub fn active_connections(&self) -> usize {
+        self.shared.active.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting, unblocks every connection thread, and joins the
+    /// accept loop. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock connection readers first, then the accept loop (via a
+        // throwaway connect so `incoming()` yields once more).
+        for (_, conn) in self.shared.conns.lock().expect("conn list lock").drain() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let previous = shared.active.fetch_add(1, Ordering::SeqCst);
+        if previous >= shared.cfg.max_connections {
+            shared.active.fetch_sub(1, Ordering::SeqCst);
+            refuse_connection(stream, previous);
+            continue;
+        }
+        let _ = stream.set_nodelay(true);
+        let conn_id = shared.next_conn_id.fetch_add(1, Ordering::SeqCst);
+        if let Ok(clone) = stream.try_clone() {
+            shared
+                .conns
+                .lock()
+                .expect("conn list lock")
+                .insert(conn_id, clone);
+        }
+        let conn_shared = Arc::clone(shared);
+        // Connection threads are not joined: shutdown unblocks them by
+        // closing their streams, after which they exit promptly.
+        let _ = std::thread::Builder::new()
+            .name("deepcam-serve-conn".into())
+            .spawn(move || {
+                serve_connection(stream, &conn_shared);
+                // Release this connection's tracked clone (and its fd).
+                conn_shared
+                    .conns
+                    .lock()
+                    .expect("conn list lock")
+                    .remove(&conn_id);
+                conn_shared.active.fetch_sub(1, Ordering::SeqCst);
+            });
+    }
+}
+
+/// Best-effort `Overloaded` reply to a connection over the limit.
+fn refuse_connection(mut stream: TcpStream, active: usize) {
+    let resp = Response::Error {
+        kind: ErrorKind::Overloaded,
+        message: format!("server at its connection limit ({active} active)"),
+    };
+    let _ = write_frame(&mut stream, &encode_payload(&resp));
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// One connection's request/response loop.
+fn serve_connection(mut stream: TcpStream, shared: &Arc<ServerShared>) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let payload = match read_frame(&mut stream) {
+            Ok(Frame::Payload(p)) => p,
+            // Clean close at a frame boundary: done.
+            Ok(Frame::Closed) => return,
+            // A bad length prefix desyncs the stream: answer once (the
+            // typed-error contract) and hang up.
+            Err(e @ ServeError::Protocol(_)) => {
+                let (kind, message) = classify(&e);
+                let _ = write_frame(
+                    &mut stream,
+                    &encode_payload(&Response::Error { kind, message }),
+                );
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            }
+            Err(_) => return,
+        };
+        // Frame boundaries are intact here, so a garbage *payload* is
+        // answered and the connection keeps serving.
+        let response = match decode_payload::<Request>(&payload) {
+            Ok(request) => handle_request(&shared.runtime, request),
+            Err(e) => {
+                let (kind, message) = classify(&e);
+                Response::Error { kind, message }
+            }
+        };
+        if write_frame(&mut stream, &encode_payload(&response)).is_err() {
+            return;
+        }
+    }
+}
+
+/// Executes one decoded request against the runtime.
+fn handle_request(runtime: &Runtime, request: Request) -> Response {
+    let outcome = match request {
+        // The decode already enforced dims/data consistency and size
+        // caps; the session re-validates against the model's expected
+        // image size.
+        Request::Infer { model, dims, data } => {
+            runtime.infer(&model, &dims, &data).map(Response::Logits)
+        }
+        Request::ListModels => Ok(Response::Models(
+            runtime
+                .list()
+                .into_iter()
+                .map(|m| WireModelInfo {
+                    id: m.id,
+                    loaded: m.loaded,
+                })
+                .collect(),
+        )),
+        Request::Stats { model } => runtime.stats(&model).map(|s| {
+            Response::Stats(WireStats {
+                submitted: s.submitted,
+                completed: s.completed,
+                failed: s.failed,
+                rejected: s.rejected,
+                batches: s.batches,
+                mean_occupancy: s.mean_occupancy,
+                max_occupancy: s.max_occupancy as u64,
+                p50_latency_ms: s.p50_latency_ms,
+                p99_latency_ms: s.p99_latency_ms,
+            })
+        }),
+    };
+    outcome.unwrap_or_else(|e| {
+        let (kind, message) = classify(&e);
+        Response::Error { kind, message }
+    })
+}

@@ -1,0 +1,183 @@
+//! Per-session serving counters: request/batch counts, occupancy, and
+//! a fixed-footprint latency histogram for p50/p99.
+
+use std::time::Duration;
+
+/// A 64-bucket power-of-two latency histogram over microseconds.
+///
+/// Bucket `i` covers `[2^(i-1), 2^i)` µs (bucket 0 is `< 1 µs`), so the
+/// footprint is constant no matter how many requests are recorded and a
+/// quantile is never more than 2× off — plenty for serving dashboards.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: [u64; 64],
+    total: u64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: [0; 64],
+            total: 0,
+        }
+    }
+
+    /// Records one request latency.
+    pub fn record(&mut self, latency: Duration) {
+        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        let bucket = if us == 0 {
+            0
+        } else {
+            (64 - us.leading_zeros() as usize).min(63)
+        };
+        self.counts[bucket] += 1;
+        self.total += 1;
+    }
+
+    /// Samples recorded so far.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The quantile `q ∈ [0, 1]` in milliseconds (upper bucket bound; 0
+    /// when nothing was recorded).
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Upper bound of bucket i in µs is 2^i (bucket 0: 1 µs).
+                return (1u128 << i) as f64 / 1000.0;
+            }
+        }
+        (1u128 << 63) as f64 / 1000.0
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+/// Mutable counter state a [`crate::session::Session`] keeps under its
+/// stats lock.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct StatsInner {
+    pub(crate) submitted: u64,
+    pub(crate) completed: u64,
+    pub(crate) failed: u64,
+    pub(crate) rejected: u64,
+    pub(crate) batches: u64,
+    pub(crate) occupancy_sum: u64,
+    pub(crate) max_occupancy: usize,
+    pub(crate) latency: LatencyHistogram,
+}
+
+impl StatsInner {
+    pub(crate) fn snapshot(&self) -> SessionStats {
+        SessionStats {
+            submitted: self.submitted,
+            completed: self.completed,
+            failed: self.failed,
+            rejected: self.rejected,
+            batches: self.batches,
+            mean_occupancy: if self.batches == 0 {
+                0.0
+            } else {
+                self.occupancy_sum as f64 / self.batches as f64
+            },
+            max_occupancy: self.max_occupancy,
+            p50_latency_ms: self.latency.quantile_ms(0.50),
+            p99_latency_ms: self.latency.quantile_ms(0.99),
+        }
+    }
+}
+
+/// A point-in-time snapshot of one session's serving counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionStats {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests that completed with logits.
+    pub completed: u64,
+    /// Requests that completed with an engine error.
+    pub failed: u64,
+    /// Requests rejected by backpressure ([`crate::ServeError::Overloaded`]).
+    pub rejected: u64,
+    /// Engine batches dispatched.
+    pub batches: u64,
+    /// Mean images per dispatched batch (`0` before the first batch).
+    pub mean_occupancy: f64,
+    /// Largest batch dispatched so far.
+    pub max_occupancy: usize,
+    /// Median submit→reply latency in milliseconds.
+    pub p50_latency_ms: f64,
+    /// 99th-percentile submit→reply latency in milliseconds.
+    pub p99_latency_ms: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.quantile_ms(0.5), 0.0);
+        assert_eq!(h.quantile_ms(0.99), 0.0);
+    }
+
+    #[test]
+    fn quantiles_bound_recorded_latencies() {
+        let mut h = LatencyHistogram::new();
+        // 99 fast requests at ~100 µs, one slow outlier at ~50 ms.
+        for _ in 0..99 {
+            h.record(Duration::from_micros(100));
+        }
+        h.record(Duration::from_millis(50));
+        assert_eq!(h.total(), 100);
+        let p50 = h.quantile_ms(0.50);
+        let p99 = h.quantile_ms(0.99);
+        let p100 = h.quantile_ms(1.0);
+        // p50 sits in the 100 µs bucket: upper bound 128 µs.
+        assert!((0.1..=0.128001).contains(&p50), "p50 {p50}");
+        // p99 is still in the fast bucket (99 of 100 samples)…
+        assert!(p99 <= 0.128001, "p99 {p99}");
+        // …while the max lands in the 50 ms bucket (upper bound 65.536).
+        assert!((50.0..=65.536001).contains(&p100), "p100 {p100}");
+        assert!(p50 <= p99 && p99 <= p100);
+    }
+
+    #[test]
+    fn zero_and_huge_latencies_do_not_panic() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::ZERO);
+        h.record(Duration::from_secs(1 << 40));
+        assert_eq!(h.total(), 2);
+        assert!(h.quantile_ms(1.0) > 0.0);
+    }
+
+    #[test]
+    fn snapshot_derives_mean_occupancy() {
+        let inner = StatsInner {
+            submitted: 10,
+            completed: 10,
+            batches: 4,
+            occupancy_sum: 10,
+            max_occupancy: 4,
+            ..StatsInner::default()
+        };
+        let s = inner.snapshot();
+        assert_eq!(s.mean_occupancy, 2.5);
+        assert_eq!(s.max_occupancy, 4);
+        // No batches yet → occupancy 0, not NaN.
+        assert_eq!(StatsInner::default().snapshot().mean_occupancy, 0.0);
+    }
+}

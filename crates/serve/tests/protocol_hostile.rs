@@ -1,0 +1,193 @@
+//! Adversarial wire-protocol suite, mirroring the corruption half of
+//! `tests/compiled_model_roundtrip.rs`: random truncation, oversized
+//! length prefixes, garbage frames and over-limit requests must all
+//! come back as **typed errors** — never a panic, never an allocation
+//! sized by attacker-controlled bytes — and a server that has seen all
+//! of it must still answer a well-formed request.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use deepcam_serve::protocol::{
+    decode_payload, encode_payload, read_frame, write_frame, Frame, Request, Response,
+    MAX_FRAME_BYTES, MAX_IMAGE_ELEMS, MAX_MODEL_ID_BYTES,
+};
+use deepcam_serve::{
+    Client, ModelRegistry, Runtime, ServeError, Server, ServerConfig, SessionConfig,
+};
+use proptest::prelude::*;
+
+fn sample_infer() -> Request {
+    Request::Infer {
+        model: "lenet5".into(),
+        dims: vec![1, 28, 28],
+        data: (0..784).map(|i| i as f32 * 0.25 - 7.0).collect(),
+    }
+}
+
+#[test]
+fn every_truncation_of_every_frame_is_a_typed_error() {
+    for request in [
+        sample_infer(),
+        Request::ListModels,
+        Request::Stats { model: "m".into() },
+    ] {
+        let bytes = encode_payload(&request);
+        // Full payload decodes; every proper prefix fails loudly.
+        assert!(decode_payload::<Request>(&bytes).is_ok());
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_payload::<Request>(&bytes[..cut]).is_err(),
+                "cut {cut} of {} decoded",
+                bytes.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn oversized_length_prefix_never_allocates_the_claim() {
+    // A prefix claiming u32::MAX (and anything over MAX_FRAME_BYTES) is
+    // rejected before any payload allocation.
+    for claim in [
+        u32::MAX,
+        (MAX_FRAME_BYTES as u32) + 1,
+        u32::MAX - 1,
+        0, // zero-length frames are meaningless too
+    ] {
+        let mut cursor = std::io::Cursor::new(claim.to_le_bytes().to_vec());
+        assert!(
+            matches!(read_frame(&mut cursor), Err(ServeError::Protocol(_))),
+            "claim {claim}"
+        );
+    }
+    // An in-limit claim with almost no bytes behind it: the reader may
+    // allocate only in arrival-sized steps, then reports I/O.
+    let mut wire = (MAX_FRAME_BYTES as u32).to_le_bytes().to_vec();
+    wire.extend_from_slice(&[0u8; 100]);
+    let mut cursor = std::io::Cursor::new(wire);
+    assert!(matches!(read_frame(&mut cursor), Err(ServeError::Io(_))));
+}
+
+#[test]
+fn over_limit_requests_are_rejected_structurally() {
+    // Model id over the cap.
+    let huge_id = "x".repeat(MAX_MODEL_ID_BYTES + 1);
+    let bytes = encode_payload(&Request::Stats { model: huge_id });
+    assert!(matches!(
+        decode_payload::<Request>(&bytes),
+        Err(ServeError::Protocol(_))
+    ));
+    // Image element count over the cap (dims are honest, just huge).
+    let bytes = encode_payload(&Request::Infer {
+        model: "m".into(),
+        dims: vec![MAX_IMAGE_ELEMS + 1],
+        data: Vec::new(),
+    });
+    assert!(matches!(
+        decode_payload::<Request>(&bytes),
+        Err(ServeError::Protocol(_))
+    ));
+    // Too many dims.
+    let bytes = encode_payload(&Request::Infer {
+        model: "m".into(),
+        dims: vec![1; 9],
+        data: vec![0.0],
+    });
+    assert!(decode_payload::<Request>(&bytes).is_err());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn garbage_payloads_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // Whatever comes back must be a value or a typed error — the
+        // test passes by not panicking (and proves no over-allocation
+        // indirectly: the decoder caps Vec preallocation at remaining
+        // bytes).
+        let _ = decode_payload::<Request>(&bytes);
+        let _ = decode_payload::<Response>(&bytes);
+    }
+
+    #[test]
+    fn random_flips_in_valid_frames_never_panic(
+        flip_at in 0usize..4096,
+        flip_to in any::<u8>(),
+    ) {
+        let mut bytes = encode_payload(&sample_infer());
+        let idx = flip_at % bytes.len();
+        bytes[idx] = flip_to;
+        let _ = decode_payload::<Request>(&bytes);
+    }
+}
+
+/// End-to-end: a server that has absorbed garbage bytes, an oversized
+/// prefix, and a truncated frame still serves the next well-formed
+/// connection.
+#[test]
+fn server_survives_hostile_connections() {
+    let registry = Arc::new(ModelRegistry::new());
+    let runtime = Arc::new(Runtime::new(registry, SessionConfig::default()));
+    let mut server = Server::bind("127.0.0.1:0", runtime, ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    // 1. Raw garbage that parses as a huge length prefix.
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(&[0xFF; 64]).unwrap();
+        // The server answers with a Protocol error frame before closing.
+        match read_frame(&mut s) {
+            Ok(Frame::Payload(p)) => match decode_payload::<Response>(&p) {
+                Ok(Response::Error { .. }) => {}
+                other => panic!("expected error frame, got {other:?}"),
+            },
+            other => panic!("expected error frame, got {other:?}"),
+        }
+    }
+
+    // 2. A well-formed frame whose payload is garbage: typed error,
+    //    connection stays usable.
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write_frame(&mut s, &[0xAB; 32]).unwrap();
+        match read_frame(&mut s).unwrap() {
+            Frame::Payload(p) => match decode_payload::<Response>(&p).unwrap() {
+                Response::Error { .. } => {}
+                other => panic!("expected error, got {other:?}"),
+            },
+            Frame::Closed => panic!("connection should survive a garbage payload"),
+        }
+        // Same connection, now a valid request.
+        write_frame(&mut s, &encode_payload(&Request::ListModels)).unwrap();
+        match read_frame(&mut s).unwrap() {
+            Frame::Payload(p) => match decode_payload::<Response>(&p).unwrap() {
+                Response::Models(models) => assert!(models.is_empty()),
+                other => panic!("expected models, got {other:?}"),
+            },
+            Frame::Closed => panic!("connection closed after valid request"),
+        }
+    }
+
+    // 3. A truncated frame (length prefix promises more than is sent,
+    //    then the client hangs up): the server just drops the
+    //    connection and keeps serving others.
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(&100u32.to_le_bytes()).unwrap();
+        s.write_all(&[1, 2, 3]).unwrap();
+    }
+
+    // 4. Fresh well-formed connection still works.
+    let mut client = Client::connect(addr).unwrap();
+    assert!(client.list_models().unwrap().is_empty());
+    // Unknown model id comes back as the typed NotFound kind.
+    match client.infer("nope", &[1, 2, 2], &[0.0; 4]) {
+        Err(ServeError::Remote { kind, .. }) => {
+            assert_eq!(kind, deepcam_serve::protocol::ErrorKind::NotFound);
+        }
+        other => panic!("expected remote NotFound, got {other:?}"),
+    }
+    server.shutdown();
+}

@@ -1,0 +1,321 @@
+//! Behavioral suite for the registry and the micro-batching session:
+//! lazy load + eviction, deterministic deadline batching under a
+//! simulated clock, backpressure, stats counters, and submit-time
+//! validation.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use deepcam_core::{CompiledModel, DeepCamEngine, EngineConfig, HashPlan};
+use deepcam_models::scaled::scaled_lenet5;
+use deepcam_serve::{ManualClock, ModelRegistry, Runtime, ServeError, Session, SessionConfig};
+use deepcam_tensor::rng::seeded_rng;
+
+fn lenet_engine(seed: u64) -> DeepCamEngine {
+    let mut rng = seeded_rng(seed);
+    let model = scaled_lenet5(&mut rng, 10);
+    DeepCamEngine::compile(
+        &model,
+        EngineConfig {
+            plan: HashPlan::Uniform(256),
+            ..EngineConfig::default()
+        },
+    )
+    .expect("compiles")
+}
+
+fn image(seed: u64) -> Vec<f32> {
+    let mut rng = seeded_rng(seed);
+    (0..784)
+        .map(|_| deepcam_tensor::rng::standard_normal(&mut rng) as f32)
+        .collect()
+}
+
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir
+}
+
+// ---------------------------------------------------------------- registry
+
+#[test]
+fn registry_loads_lazily_and_reports_typed_errors() {
+    let dir = tmp_dir("registry_lazy");
+    lenet_engine(1)
+        .compiled()
+        .save(dir.join("lenet5.dcam"))
+        .unwrap();
+    std::fs::write(dir.join("corrupt.dcam"), b"not an artifact").unwrap();
+    std::fs::write(dir.join("ignored.txt"), b"not a model").unwrap();
+
+    let registry = ModelRegistry::open(&dir).unwrap();
+    assert_eq!(registry.len(), 2, "only *.dcam files are indexed");
+    assert_eq!(registry.loaded_count(), 0, "nothing read before first get");
+    let listed = registry.list();
+    assert!(listed.iter().all(|m| !m.loaded && m.model_name.is_none()));
+
+    // Lazy load on first get.
+    let engine = registry.get("lenet5").unwrap();
+    assert_eq!(engine.model_name(), "LeNet5");
+    assert_eq!(registry.loaded_count(), 1);
+    assert!(registry
+        .list()
+        .iter()
+        .any(|m| m.id == "lenet5" && m.loaded && m.dot_layers == Some(5)));
+
+    // Typed errors: unknown id vs corrupt artifact.
+    assert!(matches!(
+        registry.get("missing"),
+        Err(ServeError::ModelNotFound { model }) if model == "missing"
+    ));
+    assert!(matches!(
+        registry.get("corrupt"),
+        Err(ServeError::BadArtifact { model, .. }) if model == "corrupt"
+    ));
+}
+
+#[test]
+fn registry_evicts_least_recently_used() {
+    let dir = tmp_dir("registry_evict");
+    lenet_engine(2).compiled().save(dir.join("a.dcam")).unwrap();
+    lenet_engine(3).compiled().save(dir.join("b.dcam")).unwrap();
+    lenet_engine(4).compiled().save(dir.join("c.dcam")).unwrap();
+
+    let registry = ModelRegistry::open_with_capacity(&dir, 2).unwrap();
+    registry.get("a").unwrap();
+    registry.get("b").unwrap();
+    assert_eq!(registry.loaded_count(), 2);
+    // Touch `a` so `b` is the LRU, then load `c`.
+    registry.get("a").unwrap();
+    registry.get("c").unwrap();
+    assert_eq!(registry.loaded_count(), 2);
+    let loaded: Vec<String> = registry
+        .list()
+        .into_iter()
+        .filter(|m| m.loaded)
+        .map(|m| m.id)
+        .collect();
+    assert_eq!(loaded, vec!["a".to_string(), "c".to_string()]);
+    // The evicted entry transparently reloads.
+    assert_eq!(registry.get("b").unwrap().model_name(), "LeNet5");
+}
+
+#[test]
+fn in_memory_registration_is_never_evicted() {
+    let dir = tmp_dir("registry_memory");
+    lenet_engine(5)
+        .compiled()
+        .save(dir.join("disk.dcam"))
+        .unwrap();
+    let registry = ModelRegistry::open_with_capacity(&dir, 1).unwrap();
+    registry.register("mem", lenet_engine(6));
+    registry.get("disk").unwrap();
+    // Registering + loading exceeds capacity 1, but only file-backed
+    // engines are evictable, and "disk" is the only one.
+    registry.get("mem").unwrap();
+    assert!(registry.list().iter().any(|m| m.id == "mem" && m.loaded));
+}
+
+// ---------------------------------------------------------------- batching
+
+#[test]
+fn full_batch_dispatches_without_the_clock_moving() {
+    let clock = Arc::new(ManualClock::new());
+    let session = Session::with_clock(
+        Arc::new(lenet_engine(7)),
+        SessionConfig {
+            max_batch: 4,
+            max_wait: Duration::from_secs(3600),
+            queue_capacity: 64,
+        },
+        clock,
+    );
+    // Four submissions = one full batch; the hour-long max_wait proves
+    // dispatch came from occupancy, not the deadline.
+    let pendings: Vec<_> = (0..4)
+        .map(|i| session.submit(&[1, 28, 28], &image(100 + i)).unwrap())
+        .collect();
+    for p in pendings {
+        assert_eq!(p.wait().unwrap().len(), 10);
+    }
+    let stats = session.stats();
+    assert_eq!(stats.submitted, 4);
+    assert_eq!(stats.completed, 4);
+    assert_eq!(stats.batches, 1, "all four must coalesce");
+    assert_eq!(stats.mean_occupancy, 4.0);
+    assert_eq!(stats.max_occupancy, 4);
+}
+
+#[test]
+fn partial_batch_waits_for_the_simulated_deadline() {
+    let clock = Arc::new(ManualClock::new());
+    let session = Session::with_clock(
+        Arc::new(lenet_engine(8)),
+        SessionConfig {
+            max_batch: 16,
+            max_wait: Duration::from_millis(5),
+            queue_capacity: 64,
+        },
+        Arc::clone(&clock) as Arc<dyn deepcam_serve::Clock>,
+    );
+    let pending = session.submit(&[1, 28, 28], &image(200)).unwrap();
+    // Real time passes, simulated time does not: the partial batch must
+    // stay queued no matter how long we wait.
+    std::thread::sleep(Duration::from_millis(40));
+    assert!(pending.poll().is_none(), "dispatched before the deadline");
+    assert_eq!(session.stats().batches, 0);
+    // Advance past max_wait: the deadline path dispatches a batch of 1.
+    clock.advance(Duration::from_millis(6));
+    assert_eq!(pending.wait().unwrap().len(), 10);
+    let stats = session.stats();
+    assert_eq!(stats.batches, 1);
+    assert_eq!(stats.mean_occupancy, 1.0);
+}
+
+#[test]
+fn bounded_queue_rejects_with_typed_overload() {
+    let clock = Arc::new(ManualClock::new());
+    let session = Session::with_clock(
+        Arc::new(lenet_engine(9)),
+        SessionConfig {
+            max_batch: 64,
+            max_wait: Duration::from_secs(3600),
+            queue_capacity: 2,
+        },
+        clock,
+    );
+    // The frozen clock guarantees nothing drains: the third submission
+    // must hit the bound.
+    let _a = session.submit(&[1, 28, 28], &image(300)).unwrap();
+    let _b = session.submit(&[1, 28, 28], &image(301)).unwrap();
+    match session.submit(&[1, 28, 28], &image(302)) {
+        Err(ServeError::Overloaded { queued, capacity }) => {
+            assert_eq!(queued, 2);
+            assert_eq!(capacity, 2);
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    let stats = session.stats();
+    assert_eq!(stats.submitted, 2);
+    assert_eq!(stats.rejected, 1);
+}
+
+#[test]
+fn submit_validates_shape_before_queueing() {
+    let session = Session::new(Arc::new(lenet_engine(10)), SessionConfig::default());
+    // Wrong element count for LeNet5 (expects 1*28*28 = 784).
+    assert!(matches!(
+        session.submit(&[1, 10, 10], &[0.0; 100]),
+        Err(ServeError::InvalidRequest(_))
+    ));
+    // dims/data mismatch.
+    assert!(matches!(
+        session.submit(&[1, 28, 28], &[0.0; 3]),
+        Err(ServeError::InvalidRequest(_))
+    ));
+    // Empty images.
+    assert!(matches!(
+        session.submit(&[], &[]),
+        Err(ServeError::InvalidRequest(_))
+    ));
+    // Nothing bad reached the queue.
+    assert_eq!(session.stats().submitted, 0);
+    assert_eq!(session.queue_len(), 0);
+}
+
+#[test]
+fn shutdown_flushes_accepted_requests() {
+    let clock = Arc::new(ManualClock::new());
+    let session = Session::with_clock(
+        Arc::new(lenet_engine(11)),
+        SessionConfig {
+            max_batch: 64,
+            max_wait: Duration::from_secs(3600),
+            queue_capacity: 64,
+        },
+        clock,
+    );
+    // Queued but (with a frozen clock and a huge batch) never
+    // dispatchable — until shutdown flushes it.
+    let pending = session.submit(&[1, 28, 28], &image(400)).unwrap();
+    session.shutdown();
+    assert_eq!(pending.wait().unwrap().len(), 10);
+    assert!(matches!(
+        session.submit(&[1, 28, 28], &image(401)),
+        Err(ServeError::ShuttingDown)
+    ));
+}
+
+#[test]
+fn runtime_serves_multiple_models_and_tracks_stats_separately() {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register("m1", lenet_engine(12));
+    registry.register("m2", lenet_engine(13));
+    let runtime = Runtime::new(
+        registry,
+        SessionConfig {
+            max_batch: 2,
+            max_wait: Duration::from_millis(1),
+            queue_capacity: 64,
+        },
+    );
+    let img = image(500);
+    assert_eq!(runtime.infer("m1", &[1, 28, 28], &img).unwrap().len(), 10);
+    assert_eq!(runtime.infer("m1", &[1, 28, 28], &img).unwrap().len(), 10);
+    assert_eq!(runtime.infer("m2", &[1, 28, 28], &img).unwrap().len(), 10);
+    assert_eq!(runtime.stats("m1").unwrap().completed, 2);
+    assert_eq!(runtime.stats("m2").unwrap().completed, 1);
+    assert!(matches!(
+        runtime.stats("m3"),
+        Err(ServeError::ModelNotFound { .. })
+    ));
+    // Identical inputs through two independently compiled engines with
+    // different seeds should not produce identical logits — i.e. the
+    // runtime really routed to distinct models.
+    let a = runtime.infer("m1", &[1, 28, 28], &img).unwrap();
+    let b = runtime.infer("m2", &[1, 28, 28], &img).unwrap();
+    assert_ne!(a, b);
+}
+
+#[test]
+fn close_session_flushes_and_allows_recreation() {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register("m", lenet_engine(15));
+    let runtime = Runtime::new(registry, SessionConfig::default());
+    let img = image(700);
+    let first = runtime.infer("m", &[1, 28, 28], &img).unwrap();
+    assert!(runtime.close_session("m"));
+    assert!(!runtime.close_session("m"), "second close is a no-op");
+    // A fresh session recreates on demand and serves bit-identically;
+    // its counters start over (close retired the old session's stats).
+    let second = runtime.infer("m", &[1, 28, 28], &img).unwrap();
+    assert_eq!(first, second);
+    assert_eq!(runtime.stats("m").unwrap().completed, 1);
+}
+
+#[test]
+fn reloaded_artifact_serves_identically_through_a_session() {
+    // compile → save → registry-load → session micro-batcher must equal
+    // the in-memory engine's own logits bit-for-bit.
+    let dir = tmp_dir("session_artifact");
+    let engine = lenet_engine(14);
+    engine.compiled().save(dir.join("lenet5.dcam")).unwrap();
+    let registry = Arc::new(ModelRegistry::open(&dir).unwrap());
+    let runtime = Runtime::new(registry, SessionConfig::default());
+    let img = image(600);
+    let served = runtime.infer("lenet5", &[1, 28, 28], &img).unwrap();
+    let direct = engine
+        .infer(
+            &deepcam_tensor::Tensor::from_vec(
+                img.clone(),
+                deepcam_tensor::Shape::new(&[1, 1, 28, 28]),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    assert_eq!(served, direct.data());
+    // Compiled before save, decoded after load: value-identical too.
+    let reloaded = CompiledModel::load(dir.join("lenet5.dcam")).unwrap();
+    assert_eq!(engine.compiled(), &reloaded);
+}

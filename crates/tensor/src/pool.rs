@@ -75,21 +75,68 @@ pub enum Parallelism {
 
 impl Parallelism {
     /// Resolves to a concrete worker count (always ≥ 1).
+    ///
+    /// [`Parallelism::Auto`] honors `DEEPCAM_WORKERS` when it holds a
+    /// positive integer. An *invalid* value (`0`, `abc`, empty) falls
+    /// back to all available cores — loudly: a warning naming the bad
+    /// value is printed to stderr once per distinct value, so a typo'd
+    /// deployment never silently runs at the wrong width.
     pub fn resolve(self) -> usize {
         match self {
             Parallelism::Serial => 1,
             Parallelism::Fixed(n) => n.max(1),
-            Parallelism::Auto => std::env::var(WORKERS_ENV)
-                .ok()
-                .and_then(|v| v.trim().parse::<usize>().ok())
-                .filter(|&n| n > 0)
-                .unwrap_or_else(|| {
-                    std::thread::available_parallelism()
-                        .map(|p| p.get())
-                        .unwrap_or(1)
-                }),
+            Parallelism::Auto => {
+                let raw = std::env::var(WORKERS_ENV).ok();
+                let (workers, warning) = resolve_auto(raw.as_deref());
+                if let Some(msg) = warning {
+                    emit_env_warning_once(&msg);
+                }
+                workers
+            }
         }
     }
+}
+
+/// The [`Parallelism::Auto`] resolution rule, pure so both outcomes are
+/// unit-testable without touching the process environment: returns the
+/// worker count plus the warning to emit when `raw` is set but invalid.
+fn resolve_auto(raw: Option<&str>) -> (usize, Option<String>) {
+    let fallback = || {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    };
+    match raw {
+        None => (fallback(), None),
+        Some(raw) => match raw.trim().parse::<usize>().ok().filter(|&n| n > 0) {
+            Some(n) => (n, None),
+            None => (
+                fallback(),
+                Some(format!(
+                    "warning: ignoring invalid {WORKERS_ENV}={raw:?} (expected a positive \
+                     integer); falling back to all available cores"
+                )),
+            ),
+        },
+    }
+}
+
+/// Prints `msg` to stderr the first time it is seen; repeats are
+/// swallowed so a hot loop resolving [`Parallelism::Auto`] warns once
+/// per distinct bad value, not once per call. Returns whether it
+/// printed (the warning path's unit-test hook).
+fn emit_env_warning_once(msg: &str) -> bool {
+    static WARNED: OnceLock<Mutex<Vec<String>>> = OnceLock::new();
+    let mut seen = WARNED
+        .get_or_init(|| Mutex::new(Vec::new()))
+        .lock()
+        .expect("env warning lock");
+    if seen.iter().any(|m| m == msg) {
+        return false;
+    }
+    eprintln!("{msg}");
+    seen.push(msg.to_string());
+    true
 }
 
 impl serde::bin::BinCodec for Parallelism {
@@ -457,6 +504,42 @@ mod tests {
         assert_eq!(Parallelism::Fixed(3).resolve(), 3);
         assert_eq!(Parallelism::Fixed(0).resolve(), 1);
         assert!(Parallelism::Auto.resolve() >= 1);
+    }
+
+    #[test]
+    fn auto_accepts_valid_workers_env() {
+        assert_eq!(resolve_auto(Some("4")), (4, None));
+        assert_eq!(resolve_auto(Some("  2 ")), (2, None)); // whitespace ok
+        let (n, warning) = resolve_auto(None); // unset: all cores, silent
+        assert!(n >= 1);
+        assert!(warning.is_none());
+    }
+
+    #[test]
+    fn auto_falls_back_loudly_on_invalid_workers_env() {
+        for bad in ["0", "abc", "", " -3", "4.5"] {
+            let (n, warning) = resolve_auto(Some(bad));
+            // Fallback: same count as an unset variable, never 0.
+            assert_eq!(n, resolve_auto(None).0, "value {bad:?}");
+            assert!(n >= 1);
+            // Warning names the variable and the offending value.
+            let msg = warning.unwrap_or_else(|| panic!("no warning for {bad:?}"));
+            assert!(msg.contains(WORKERS_ENV), "{msg}");
+            assert!(msg.contains(&format!("{bad:?}")), "{msg}");
+        }
+    }
+
+    #[test]
+    fn invalid_workers_env_warning_is_one_time_per_value() {
+        // First sighting prints, repeats are swallowed; a different bad
+        // value gets its own warning.
+        let msg_a = "warning: test-only DEEPCAM_WORKERS value \"bogus-a\"";
+        let msg_b = "warning: test-only DEEPCAM_WORKERS value \"bogus-b\"";
+        assert!(emit_env_warning_once(msg_a));
+        assert!(!emit_env_warning_once(msg_a));
+        assert!(emit_env_warning_once(msg_b));
+        assert!(!emit_env_warning_once(msg_b));
+        assert!(!emit_env_warning_once(msg_a));
     }
 
     #[test]

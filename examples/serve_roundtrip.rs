@@ -1,0 +1,73 @@
+//! The serving stack in one pass: compile a LeNet5 to a `DCAM`
+//! artifact, index it in a [`ModelRegistry`], spawn the TCP server on
+//! an ephemeral port, and round-trip one inference through a real
+//! socket — asserting the served logits are **bit-identical** to the
+//! in-process engine.
+//!
+//! Run: `cargo run --release --example serve_roundtrip`
+//! (CI runs this as its serving-runtime smoke test.)
+
+use std::sync::Arc;
+
+use deepcam::accel::{DeepCamEngine, EngineConfig, HashPlan};
+use deepcam::models::scaled::scaled_lenet5;
+use deepcam::serve::{Client, ModelRegistry, Runtime, Server, ServerConfig, SessionConfig};
+use deepcam::tensor::rng::seeded_rng;
+use deepcam::tensor::{init, Shape};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Compile and save the artifact a deployment would ship.
+    let mut rng = seeded_rng(42);
+    let model = scaled_lenet5(&mut rng, 10);
+    let engine = DeepCamEngine::compile(
+        &model,
+        EngineConfig {
+            plan: HashPlan::Uniform(256),
+            ..EngineConfig::default()
+        },
+    )?;
+    let dir = std::env::temp_dir().join("deepcam-serve-roundtrip");
+    std::fs::create_dir_all(&dir)?;
+    let artifact = dir.join("lenet5.dcam");
+    engine.compiled().save(&artifact)?;
+    println!("saved artifact to {}", artifact.display());
+
+    // Registry → runtime → server, bound to an ephemeral port.
+    let registry = Arc::new(ModelRegistry::open(&dir)?);
+    let runtime = Arc::new(Runtime::new(registry, SessionConfig::default()));
+    let mut server = Server::bind("127.0.0.1:0", runtime, ServerConfig::default())?;
+    let addr = server.local_addr();
+    println!("serving on {addr}");
+
+    // A client on a real socket.
+    let mut client = Client::connect(addr)?;
+    let models = client.list_models()?;
+    println!(
+        "models: {:?}",
+        models.iter().map(|m| m.id.as_str()).collect::<Vec<_>>()
+    );
+    assert!(models.iter().any(|m| m.id == "lenet5"));
+
+    // One inference round trip, checked bit-for-bit against the
+    // in-process engine (micro-batching and the wire must be invisible).
+    let image = init::normal(&mut seeded_rng(7), Shape::new(&[1, 1, 28, 28]), 0.0, 1.0);
+    let served = client.infer("lenet5", &[1, 28, 28], image.data())?;
+    let direct = engine.infer(&image)?;
+    assert_eq!(
+        served,
+        direct.data(),
+        "served logits must be bit-identical to the local engine"
+    );
+    println!("served logits bit-identical to the in-process engine: {served:?}");
+
+    let stats = client.stats("lenet5")?;
+    println!(
+        "stats: {} submitted, {} completed over {} batch(es), p50 {:.3} ms",
+        stats.submitted, stats.completed, stats.batches, stats.p50_latency_ms
+    );
+    assert_eq!(stats.completed, 1);
+
+    server.shutdown();
+    std::fs::remove_file(&artifact).ok();
+    Ok(())
+}

@@ -13,6 +13,7 @@
 //! | [`hash`] | `deepcam-hash` | random projection, geometric dot-products, contexts |
 //! | [`cam`] | `deepcam-cam` | FeFET CAM array, sense amps, energy/area models |
 //! | [`accel`] | `deepcam-core` | the DeepCAM accelerator simulator |
+//! | [`serve`] | `deepcam-serve` | model registry, micro-batching sessions, TCP server |
 //! | [`baselines`] | `deepcam-baselines` | Eyeriss, CPU, and analog PIM baselines |
 //!
 //! # Quickstart
@@ -36,4 +37,5 @@ pub use deepcam_core as accel;
 pub use deepcam_data as data;
 pub use deepcam_hash as hash;
 pub use deepcam_models as models;
+pub use deepcam_serve as serve;
 pub use deepcam_tensor as tensor;

@@ -104,6 +104,37 @@ fn compilation_pipeline_reexport_path() {
 }
 
 #[test]
+fn serve_reexport_path() {
+    // The ISSUE 5 serving-runtime types must stay importable from
+    // `serve`: registry → runtime/session → protocol/server/client.
+    use deepcam::serve::{ModelRegistry, Runtime, ServeError, SessionConfig};
+    use std::sync::Arc;
+
+    let registry = Arc::new(ModelRegistry::new());
+    let mut rng = seeded_rng(3);
+    let model = scaled_lenet5(&mut rng, 10);
+    let engine = DeepCamEngine::compile(
+        &model,
+        EngineConfig {
+            plan: HashPlan::Uniform(256),
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap();
+    registry.register("lenet5", engine);
+    let runtime = Runtime::new(registry, SessionConfig::default());
+    let logits = runtime
+        .infer("lenet5", &[1, 28, 28], &vec![0.1; 784])
+        .unwrap();
+    assert_eq!(logits.len(), 10);
+    assert!(matches!(
+        runtime.infer("unknown", &[1, 28, 28], &vec![0.1; 784]),
+        Err(ServeError::ModelNotFound { .. })
+    ));
+    let _cfg: deepcam::serve::ServerConfig = deepcam::serve::ServerConfig::default();
+}
+
+#[test]
 fn baselines_reexport_path() {
     let spec = zoo::lenet5();
     assert!(Eyeriss::paper_config().run(&spec).total_cycles > 0);
