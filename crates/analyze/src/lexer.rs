@@ -1,0 +1,388 @@
+//! A minimal token-level Rust lexer.
+//!
+//! The lints only need to tell four things apart reliably: real code
+//! identifiers, punctuation, comments, and literal bodies (strings and
+//! chars, whose contents must never match a lint pattern). No parsing,
+//! no rustc internals — the same no-crates spirit as the vendored
+//! shims. The tricky cases are exactly the ones that would make a grep
+//! lie: nested block comments, raw strings with `#` fences, byte/char
+//! literals versus lifetimes, and numeric literals next to `..` ranges.
+
+/// What one token is. Literal and comment *contents* are retained only
+/// where a lint needs them (comments carry annotations).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `hamming_into`, …).
+    Ident(String),
+    /// One punctuation character (`::` arrives as two `:` tokens).
+    Punct(char),
+    /// `//…` or `/*…*/` comment, text included (annotation carrier).
+    Comment(String),
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`), body dropped.
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`), body dropped.
+    Char,
+    /// Lifetime (`'env`), name dropped.
+    Lifetime,
+    /// Numeric literal (`0x9E37`, `1.5e-3f32`), body dropped.
+    Num,
+}
+
+/// One token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    pub line: u32,
+    pub kind: TokKind,
+}
+
+impl Tok {
+    /// The identifier text, if this token is one.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The comment text, if this token is one.
+    pub fn comment(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Comment(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is exactly the punctuation `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// Lexes `source` into a token stream. Never fails: unterminated
+/// literals simply consume to end-of-file, which is good enough for
+/// lint scanning (rustc rejects such files long before CI runs us).
+pub fn lex(source: &str) -> Vec<Tok> {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, line: u32, kind: TokKind) {
+        self.out.push(Tok { line, kind });
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => {
+                    self.bump();
+                    self.string_body(0);
+                    self.push(line, TokKind::Str);
+                }
+                '\'' => self.char_or_lifetime(line),
+                'r' | 'b' | 'c' if self.literal_prefix() => {
+                    // b"…", r"…", r#"…"#, br#"…"#, c"…", b'…'
+                    let mut hashes = 0usize;
+                    let mut is_char = false;
+                    loop {
+                        match self.peek(0) {
+                            Some('r' | 'b' | 'c') => {
+                                self.bump();
+                            }
+                            Some('#') => {
+                                self.bump();
+                                hashes += 1;
+                            }
+                            Some('"') => {
+                                self.bump();
+                                break;
+                            }
+                            Some('\'') => {
+                                self.bump();
+                                is_char = true;
+                                break;
+                            }
+                            _ => break,
+                        }
+                    }
+                    if is_char {
+                        self.char_body();
+                        self.push(line, TokKind::Char);
+                    } else {
+                        self.string_body(hashes);
+                        self.push(line, TokKind::Str);
+                    }
+                }
+                c if c == '_' || c.is_alphabetic() => self.ident(line),
+                c if c.is_ascii_digit() => self.number(line),
+                _ => {
+                    self.bump();
+                    self.push(line, TokKind::Punct(c));
+                }
+            }
+        }
+        self.out
+    }
+
+    /// Whether the `r`/`b`/`c` at `pos` starts a literal (vs an ident
+    /// like `rows`). A raw identifier `r#foo` is treated as an ident.
+    fn literal_prefix(&self) -> bool {
+        let mut i = 1;
+        // Allow one more prefix letter (`br`, `rb` is invalid Rust but
+        // harmless to accept).
+        if matches!(self.peek(i), Some('r' | 'b')) {
+            i += 1;
+        }
+        match self.peek(i) {
+            Some('"' | '\'') => true,
+            Some('#') => {
+                // `r#"…"#` raw string vs `r#ident`. Skip the fence.
+                let mut j = i;
+                while self.peek(j) == Some('#') {
+                    j += 1;
+                }
+                self.peek(j) == Some('"')
+            }
+            _ => false,
+        }
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(line, TokKind::Comment(text));
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(line, TokKind::Comment(text));
+    }
+
+    /// Consumes a string body after the opening quote, honoring escape
+    /// sequences (cooked strings) or a `#` fence (raw strings).
+    fn string_body(&mut self, hashes: usize) {
+        while let Some(c) = self.bump() {
+            if c == '\\' && hashes == 0 {
+                self.bump();
+            } else if c == '"' {
+                if hashes == 0 {
+                    return;
+                }
+                let mut matched = 0;
+                while matched < hashes && self.peek(0) == Some('#') {
+                    self.bump();
+                    matched += 1;
+                }
+                if matched == hashes {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Consumes a char body after the opening quote.
+    fn char_body(&mut self) {
+        while let Some(c) = self.bump() {
+            if c == '\\' {
+                self.bump();
+            } else if c == '\'' {
+                return;
+            }
+        }
+    }
+
+    /// `'a'` / `'\n'` are chars; `'env` is a lifetime. The rule: a
+    /// backslash or a `'` right after the next char means char literal,
+    /// an identifier not closed by `'` means lifetime.
+    fn char_or_lifetime(&mut self, line: u32) {
+        self.bump(); // the opening '
+        match self.peek(0) {
+            Some('\\') => {
+                self.char_body();
+                self.push(line, TokKind::Char);
+            }
+            Some(c) if c == '_' || c.is_alphanumeric() => {
+                if self.peek(1) == Some('\'') {
+                    self.bump();
+                    self.bump();
+                    self.push(line, TokKind::Char);
+                } else {
+                    while matches!(self.peek(0), Some(c) if c == '_' || c.is_alphanumeric()) {
+                        self.bump();
+                    }
+                    self.push(line, TokKind::Lifetime);
+                }
+            }
+            _ => {
+                // `'('` and friends: a one-char literal.
+                self.char_body();
+                self.push(line, TokKind::Char);
+            }
+        }
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else if c == '#' && text == "r" {
+                // Raw identifier `r#type`: strip the fence, keep the name.
+                self.bump();
+                text.clear();
+            } else {
+                break;
+            }
+        }
+        self.push(line, TokKind::Ident(text));
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut seen_dot = false;
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                let was_exp = matches!(c, 'e' | 'E');
+                self.bump();
+                // `1e-3` / `1E+9`: the sign belongs to the literal.
+                if was_exp
+                    && matches!(self.peek(0), Some('+' | '-'))
+                    && matches!(self.peek(1), Some(d) if d.is_ascii_digit())
+                {
+                    self.bump();
+                }
+            } else if c == '.' && !seen_dot {
+                // `0.5` continues the literal; `0..10` does not.
+                match self.peek(1) {
+                    Some(d) if d.is_ascii_digit() => {
+                        seen_dot = true;
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            } else {
+                break;
+            }
+        }
+        self.push(line, TokKind::Num);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_their_contents() {
+        let src = r##"
+            // unsafe in a comment
+            /* panic! in /* nested */ block */
+            let s = "unsafe unwrap";
+            let r = r#"panic! "quoted" inside"#;
+            let b = b"unsafe";
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"unsafe".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn chars_versus_lifetimes() {
+        let toks = lex("fn f<'env>(c: char) { let x = 'a'; let y = '\\n'; let z = '\\''; }");
+        let lifetimes = toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        let chars = toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(lifetimes, 1);
+        assert_eq!(chars, 3);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let toks = lex("for i in 0..10 { a[i] = 1.5e-3f32; }");
+        // Both range dots survive as punctuation.
+        let dots = toks.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2);
+        let nums = toks.iter().filter(|t| t.kind == TokKind::Num).count();
+        assert_eq!(nums, 3); // 0, 10, 1.5e-3f32
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents() {
+        let ids = idents("let r#type = 1; raw_str(r#\"x\"#);");
+        assert!(ids.contains(&"type".to_string()));
+        assert!(ids.contains(&"raw_str".to_string()));
+    }
+}

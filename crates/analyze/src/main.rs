@@ -1,0 +1,63 @@
+//! CLI for the repo-invariant checker.
+//!
+//! ```text
+//! cargo run -p deepcam-analyze --           # report, exit 0
+//! cargo run -p deepcam-analyze -- --deny    # report, exit 2 on violations (CI mode)
+//! cargo run -p deepcam-analyze -- --root /path/to/checkout --deny
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --root needs a path");
+                    return ExitCode::from(64);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "deepcam-analyze: machine-check the workspace's declared invariants\n\n\
+                     USAGE: deepcam-analyze [--root <dir>] [--deny]\n\n\
+                     --root <dir>  workspace root to scan (default: this checkout)\n\
+                     --deny        exit 2 if any violation is found (CI mode)"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument {other:?} (see --help)");
+                return ExitCode::from(64);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(deepcam_analyze::default_root);
+    let violations = match deepcam_analyze::check_repo(&root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: failed to scan {}: {e}", root.display());
+            return ExitCode::from(66);
+        }
+    };
+    for v in &violations {
+        println!("{v}");
+    }
+    if violations.is_empty() {
+        eprintln!("deepcam-analyze: all declared invariants hold");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("deepcam-analyze: {} violation(s)", violations.len());
+        if deny {
+            ExitCode::from(2)
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}

@@ -1,0 +1,446 @@
+//! Per-file source model: the token stream plus the three structural
+//! facts every lint keys off — function spans, `#[cfg(test)]` spans,
+//! and `// analyze:` annotations.
+
+use crate::lexer::{lex, Tok, TokKind};
+
+/// An `// analyze:` directive attached to a function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Annotation {
+    /// `// analyze: alloc-free` — the A1 contract.
+    AllocFree,
+    /// `// analyze: allow(<lint>, "justification")` — suppresses that
+    /// lint inside the annotated function. The justification is
+    /// mandatory; an empty or missing one is itself a violation.
+    Allow {
+        lint: String,
+        justification: Option<String>,
+    },
+    /// Anything after `analyze:` the tool does not understand. Always a
+    /// violation: a typo'd annotation must never silently un-enforce a
+    /// contract.
+    Unknown(String),
+}
+
+/// One `fn` item: its name, where it starts, and which token range its
+/// body occupies.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    pub name: String,
+    pub line: u32,
+    /// Token index range of the body, `{` inclusive to `}` inclusive.
+    /// Empty for bodyless trait-method declarations.
+    pub body: std::ops::Range<usize>,
+    /// Annotations from the contiguous comment/attribute block directly
+    /// above the `fn` keyword, each with the line it was written on.
+    pub annotations: Vec<(u32, Annotation)>,
+}
+
+/// One lexed source file plus its structural facts.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Repo-relative path, `/`-separated.
+    pub rel: String,
+    pub tokens: Vec<Tok>,
+    pub functions: Vec<FnSpan>,
+    /// Token index ranges covered by `#[cfg(test)]` items (or items
+    /// under a `#[cfg(test)]` attribute directly).
+    test_spans: Vec<std::ops::Range<usize>>,
+}
+
+impl SourceFile {
+    pub fn parse(rel: String, source: &str) -> SourceFile {
+        let tokens = lex(source);
+        let test_spans = find_test_spans(&tokens);
+        let functions = find_functions(&tokens);
+        SourceFile {
+            rel,
+            tokens,
+            functions,
+            test_spans,
+        }
+    }
+
+    /// Whether token `idx` lies inside a `#[cfg(test)]` item.
+    pub fn is_test_code(&self, idx: usize) -> bool {
+        self.test_spans.iter().any(|r| r.contains(&idx))
+    }
+
+    /// The innermost function whose body contains token `idx`.
+    pub fn enclosing_fn(&self, idx: usize) -> Option<&FnSpan> {
+        self.functions
+            .iter()
+            .filter(|f| f.body.contains(&idx))
+            .min_by_key(|f| f.body.len())
+    }
+
+    /// The next significant (non-comment) token at or after `idx`.
+    pub fn next_significant(&self, idx: usize) -> Option<(usize, &Tok)> {
+        self.tokens[idx..]
+            .iter()
+            .enumerate()
+            .map(|(o, t)| (idx + o, t))
+            .find(|(_, t)| !matches!(t.kind, TokKind::Comment(_)))
+    }
+
+    /// The previous significant (non-comment) token strictly before `idx`.
+    pub fn prev_significant(&self, idx: usize) -> Option<(usize, &Tok)> {
+        self.tokens[..idx]
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, t)| !matches!(t.kind, TokKind::Comment(_)))
+    }
+
+    /// Whether the significant tokens ending just before `idx` are `::`.
+    pub fn preceded_by_path_sep(&self, idx: usize) -> bool {
+        match self.prev_significant(idx) {
+            Some((i, t)) if t.is_punct(':') => self
+                .prev_significant(i)
+                .is_some_and(|(_, t2)| t2.is_punct(':')),
+            _ => false,
+        }
+    }
+}
+
+/// Parses the text after `analyze:` in a comment.
+pub fn parse_annotation(text: &str) -> Option<Annotation> {
+    let body = text.trim_start_matches('/').trim();
+    let rest = body.strip_prefix("analyze:")?.trim();
+    if rest == "alloc-free" {
+        return Some(Annotation::AllocFree);
+    }
+    if let Some(args) = rest
+        .strip_prefix("allow(")
+        .and_then(|r| r.strip_suffix(')'))
+    {
+        let (lint, just) = match args.split_once(',') {
+            Some((l, j)) => (l.trim(), Some(j.trim())),
+            None => (args.trim(), None),
+        };
+        let justification = just.and_then(|j| {
+            let j = j.strip_prefix('"')?.strip_suffix('"')?.trim();
+            if j.is_empty() {
+                None
+            } else {
+                Some(j.to_string())
+            }
+        });
+        return Some(Annotation::Allow {
+            lint: lint.to_string(),
+            justification,
+        });
+    }
+    Some(Annotation::Unknown(rest.to_string()))
+}
+
+/// Collects `#[cfg(test)]` spans: the attribute's following item (a
+/// `mod`, `fn`, `use`, …) is test-only code.
+fn find_test_spans(tokens: &[Tok]) -> Vec<std::ops::Range<usize>> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && is_cfg_test_attr(tokens, i) {
+            if let Some(close) = matching(tokens, i + 1, '[', ']') {
+                let span = item_span(tokens, close + 1);
+                spans.push(span.clone());
+                i = span.end.max(close + 1);
+                continue;
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// Whether the attribute starting at `#` token `i` is `#[cfg(…test…)]`
+/// (or `#[test]`). `#[cfg(not(test))]` is production code, not test.
+fn is_cfg_test_attr(tokens: &[Tok], i: usize) -> bool {
+    let Some(close) = matching(tokens, i + 1, '[', ']') else {
+        return false;
+    };
+    let attr = &tokens[i + 1..close];
+    let has = |w: &str| attr.iter().any(|t| t.ident() == Some(w));
+    has("test") && !has("not")
+}
+
+/// The token span of the item starting at `start` (after its
+/// attributes): consumes further attributes, then everything up to the
+/// item's closing `}` or `;`.
+fn item_span(tokens: &[Tok], start: usize) -> std::ops::Range<usize> {
+    let mut i = start;
+    // Skip stacked attributes and comments.
+    loop {
+        match tokens.get(i) {
+            Some(t) if matches!(t.kind, TokKind::Comment(_)) => i += 1,
+            Some(t) if t.is_punct('#') => match matching(tokens, i + 1, '[', ']') {
+                Some(close) => i = close + 1,
+                None => break,
+            },
+            _ => break,
+        }
+    }
+    let mut j = i;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct('{') {
+            let end = matching(tokens, j, '{', '}').map_or(tokens.len(), |e| e + 1);
+            return start..end;
+        }
+        if t.is_punct(';') {
+            return start..j + 1;
+        }
+        j += 1;
+    }
+    start..tokens.len()
+}
+
+/// Index of the closer matching the first `open` at or after `from`.
+fn matching(tokens: &[Tok], from: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(from) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Finds every `fn` item, its body span, and the annotations written in
+/// the comment block directly above it.
+fn find_functions(tokens: &[Tok]) -> Vec<FnSpan> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.ident() != Some("fn") {
+            continue;
+        }
+        // `fn` as part of `Fn`/`FnOnce` bounds is a different ident, so
+        // this really is a function item or method; the name follows.
+        let Some(name_tok) = tokens.get(i + 1) else {
+            continue;
+        };
+        let Some(name) = name_tok.ident() else {
+            continue;
+        };
+        // Find the body `{` (or a `;` for bodyless declarations) at
+        // zero bracket depth after the signature.
+        let mut depth = 0i32;
+        let mut j = i + 2;
+        let mut body = 0..0;
+        while j < tokens.len() {
+            let tk = &tokens[j];
+            match tk.kind {
+                TokKind::Punct('(' | '[') => depth += 1,
+                TokKind::Punct(')' | ']') => depth -= 1,
+                TokKind::Punct('{') if depth == 0 => {
+                    let end = matching(tokens, j, '{', '}').map_or(tokens.len(), |e| e + 1);
+                    body = j..end;
+                    break;
+                }
+                TokKind::Punct(';') if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        out.push(FnSpan {
+            name: name.to_string(),
+            line: t.line,
+            body,
+            annotations: annotations_above(tokens, i),
+        });
+    }
+    out
+}
+
+/// Annotations in the contiguous comment/attribute block directly above
+/// token `fn_idx`. The walk skips backwards over comments, whole
+/// `#[…]` attributes (as one unit, so their inner identifiers cannot
+/// end the walk), `pub(…)` visibility groups and signature qualifiers.
+fn annotations_above(tokens: &[Tok], fn_idx: usize) -> Vec<(u32, Annotation)> {
+    const QUALIFIERS: &[&str] = &["pub", "const", "unsafe", "extern", "async"];
+    let mut out = Vec::new();
+    let mut i = fn_idx;
+    while i > 0 {
+        let t = &tokens[i - 1];
+        match &t.kind {
+            TokKind::Comment(text) => {
+                if let Some(ann) = parse_annotation(text) {
+                    out.push((t.line, ann));
+                }
+                i -= 1;
+            }
+            TokKind::Ident(w) if QUALIFIERS.contains(&w.as_str()) => i -= 1,
+            TokKind::Str => i -= 1, // extern "C"
+            // `pub(crate)` visibility: skip the group as one unit.
+            TokKind::Punct(')') => match matching_back(tokens, i - 1, ')', '(') {
+                Some(open) => i = open,
+                None => break,
+            },
+            // `#[…]` attribute: skip it as one unit.
+            TokKind::Punct(']') => match matching_back(tokens, i - 1, ']', '[') {
+                Some(open) if open > 0 && tokens[open - 1].is_punct('#') => i = open - 1,
+                _ => break,
+            },
+            _ => break,
+        }
+    }
+    out.reverse();
+    out
+}
+
+/// Index of the opener matching the closer at `close_idx`, scanning
+/// backwards.
+fn matching_back(tokens: &[Tok], close_idx: usize, close: char, open: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for i in (0..=close_idx).rev() {
+        if tokens[i].is_punct(close) {
+            depth += 1;
+        } else if tokens[i].is_punct(open) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn functions_and_bodies_are_found() {
+        let src = "
+            fn alpha() { let x = 1; }
+            struct S;
+            impl S {
+                pub fn beta(&self) -> usize { self.gamma() }
+                fn gamma(&self) -> usize { 2 }
+            }
+            trait T { fn decl(&self); }
+        ";
+        let f = SourceFile::parse("x.rs".into(), src);
+        let names: Vec<&str> = f.functions.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "beta", "gamma", "decl"]);
+        assert!(f.functions[3].body.is_empty(), "trait decl has no body");
+        // beta's body contains the gamma call site but not gamma's body.
+        let beta = &f.functions[1];
+        let gamma_body = &f.functions[2].body;
+        assert!(beta.body.end <= gamma_body.start);
+    }
+
+    #[test]
+    fn cfg_test_spans_cover_test_mods() {
+        let src = "
+            fn production() { danger(); }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn check() { danger(); }
+            }
+        ";
+        let f = SourceFile::parse("x.rs".into(), src);
+        let hits: Vec<usize> = f
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.ident() == Some("danger"))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(hits.len(), 2);
+        assert!(!f.is_test_code(hits[0]));
+        assert!(f.is_test_code(hits[1]));
+    }
+
+    #[test]
+    fn annotations_attach_to_the_next_fn() {
+        let src = "
+            // analyze: alloc-free
+            #[inline]
+            pub fn hot(out: &mut [f32]) { out[0] = 1.0; }
+
+            // analyze: allow(determinism, \"profiling only\")
+            fn timed() {}
+
+            // analyze: allow(determinism)
+            fn unjustified() {}
+
+            // analyze: frobnicate
+            fn typod() {}
+
+            fn plain() {}
+        ";
+        let f = SourceFile::parse("x.rs".into(), src);
+        let by_name = |n: &str| {
+            f.functions
+                .iter()
+                .find(|f| f.name == n)
+                .unwrap()
+                .annotations
+                .clone()
+        };
+        assert_eq!(by_name("hot")[0].1, Annotation::AllocFree);
+        assert_eq!(
+            by_name("timed")[0].1,
+            Annotation::Allow {
+                lint: "determinism".into(),
+                justification: Some("profiling only".into())
+            }
+        );
+        assert_eq!(
+            by_name("unjustified")[0].1,
+            Annotation::Allow {
+                lint: "determinism".into(),
+                justification: None
+            }
+        );
+        assert!(matches!(by_name("typod")[0].1, Annotation::Unknown(_)));
+        assert!(by_name("plain").is_empty());
+    }
+
+    #[test]
+    fn annotations_survive_ident_bearing_attributes() {
+        // The real hot-path functions sit under attributes like
+        // `#[allow(clippy::too_many_arguments)]`; the walk-back must
+        // treat the whole attribute as one skippable unit.
+        let src = "
+            // analyze: alloc-free
+            #[allow(clippy::too_many_arguments)]
+            #[inline]
+            pub(crate) fn kernel(a: usize, b: usize) -> usize { a + b }
+        ";
+        let f = SourceFile::parse("x.rs".into(), src);
+        assert_eq!(f.functions[0].annotations[0].1, Annotation::AllocFree);
+    }
+
+    #[test]
+    fn cfg_not_test_is_production() {
+        let src = "
+            #[cfg(not(test))]
+            fn shipping() { danger(); }
+        ";
+        let f = SourceFile::parse("x.rs".into(), src);
+        let idx = f
+            .tokens
+            .iter()
+            .position(|t| t.ident() == Some("danger"))
+            .unwrap();
+        assert!(!f.is_test_code(idx));
+    }
+
+    #[test]
+    fn doc_comment_mentions_are_not_annotations() {
+        let src = "
+            /// Run `cargo run -p deepcam-analyze` to check this.
+            fn documented() {}
+        ";
+        let f = SourceFile::parse("x.rs".into(), src);
+        assert!(f.functions[0].annotations.is_empty());
+    }
+}

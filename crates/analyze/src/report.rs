@@ -1,0 +1,105 @@
+//! Violation reporting types shared by the library, the CLI and the
+//! fixture tests.
+
+use std::fmt;
+
+/// Which invariant a violation breaks. `Annotation` (A0) is the
+/// checker's own hygiene lint: a malformed or unjustified
+/// `// analyze:` directive must fail loudly, never silently
+/// un-enforce a contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintId {
+    /// A0 — `// analyze:` directive hygiene.
+    Annotation,
+    /// A1 — no allocation tokens in `// analyze: alloc-free` functions.
+    AllocFree,
+    /// A2 — every `unsafe` carries a `// SAFETY:` comment and matches
+    /// the `ANALYZE_UNSAFE.md` registry.
+    UnsafeAudit,
+    /// A3 — no panic paths in the serve decode/read files.
+    PanicFree,
+    /// A4 — lowering entry points have exactly their declared call sites.
+    SingleLowering,
+    /// A5 — no wall-clock/env/host tokens in bit-exact kernel files.
+    Determinism,
+    /// A6 — thread creation only in the declared owner files.
+    ThreadCentralization,
+}
+
+impl LintId {
+    /// Short code used in CLI output (`A1`…`A6`, `A0` for hygiene).
+    pub fn code(self) -> &'static str {
+        match self {
+            LintId::Annotation => "A0",
+            LintId::AllocFree => "A1",
+            LintId::UnsafeAudit => "A2",
+            LintId::PanicFree => "A3",
+            LintId::SingleLowering => "A4",
+            LintId::Determinism => "A5",
+            LintId::ThreadCentralization => "A6",
+        }
+    }
+
+    /// The key used in `// analyze: allow(<key>, "…")` directives.
+    pub fn allow_key(self) -> &'static str {
+        match self {
+            LintId::Annotation => "annotation",
+            LintId::AllocFree => "alloc-free",
+            LintId::UnsafeAudit => "unsafe-audit",
+            LintId::PanicFree => "panic-free",
+            LintId::SingleLowering => "single-lowering",
+            LintId::Determinism => "determinism",
+            LintId::ThreadCentralization => "thread",
+        }
+    }
+
+    /// Resolves an allow key back to its lint.
+    pub fn from_allow_key(key: &str) -> Option<LintId> {
+        [
+            LintId::AllocFree,
+            LintId::UnsafeAudit,
+            LintId::PanicFree,
+            LintId::SingleLowering,
+            LintId::Determinism,
+            LintId::ThreadCentralization,
+        ]
+        .into_iter()
+        .find(|l| l.allow_key() == key)
+    }
+}
+
+/// One broken invariant at one source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Repo-relative `/`-separated path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    pub lint: LintId,
+    pub message: String,
+}
+
+impl Violation {
+    pub fn new(file: &str, line: u32, lint: LintId, message: String) -> Violation {
+        Violation {
+            file: file.to_string(),
+            line,
+            lint,
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}/{}] {}",
+            self.file,
+            self.line,
+            self.lint.code(),
+            self.lint.allow_key(),
+            self.message
+        )
+    }
+}

@@ -1,0 +1,222 @@
+//! Fixture corpus: one violating and one clean mini-repo per lint,
+//! asserting the exact violation count and `file:line` anchors. The
+//! fixture trees mimic the real layout (`crates/x/src/…`) so the
+//! production-scope rules are exercised too.
+
+use std::path::PathBuf;
+
+use deepcam_analyze::{check_dir, CallSiteRule, Config, LintId, Violation};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn run(name: &str, cfg: &Config) -> Vec<Violation> {
+    check_dir(&fixture(name), cfg).expect("scan fixture")
+}
+
+/// `(file, line)` anchors of the violations of one lint, in report order.
+fn at(v: &[Violation], lint: LintId) -> Vec<(String, u32)> {
+    v.iter()
+        .filter(|v| v.lint == lint)
+        .map(|v| (v.file.clone(), v.line))
+        .collect()
+}
+
+fn registry_cfg() -> Config {
+    Config {
+        unsafe_registry: "ANALYZE_UNSAFE.md",
+        ..Config::default()
+    }
+}
+
+#[test]
+fn a1_flags_every_allocation_token() {
+    let v = run("a1_bad", &Config::default());
+    assert_eq!(
+        at(&v, LintId::AllocFree),
+        vec![
+            ("crates/x/src/hot.rs".to_string(), 4),  // .push
+            ("crates/x/src/hot.rs".to_string(), 5),  // .to_vec
+            ("crates/x/src/hot.rs".to_string(), 6),  // .collect
+            ("crates/x/src/hot.rs".to_string(), 7),  // .clone
+            ("crates/x/src/hot.rs".to_string(), 9),  // Vec::new
+            ("crates/x/src/hot.rs".to_string(), 11), // format!
+        ]
+    );
+    assert_eq!(v.len(), 6, "only A1 fires: {v:?}");
+}
+
+#[test]
+fn a1_scratch_vec_and_unannotated_fns_are_clean() {
+    let v = run("a1_clean", &Config::default());
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn a2_flags_missing_safety_and_missing_registry() {
+    let v = run("a2_bad", &registry_cfg());
+    assert_eq!(
+        at(&v, LintId::UnsafeAudit),
+        vec![
+            ("crates/x/src/p.rs".to_string(), 3), // no SAFETY comment
+            ("crates/x/src/p.rs".to_string(), 3), // registry file absent
+        ]
+    );
+    assert_eq!(v.len(), 2);
+}
+
+#[test]
+fn a2_audited_and_registered_unsafe_is_clean() {
+    let v = run("a2_clean", &registry_cfg());
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn a2_flags_count_mismatch_and_stale_entry() {
+    let v = run("a2_mismatch", &registry_cfg());
+    let hits = at(&v, LintId::UnsafeAudit);
+    assert_eq!(
+        hits,
+        vec![
+            ("ANALYZE_UNSAFE.md".to_string(), 1), // stale q.rs entry
+            ("crates/x/src/p.rs".to_string(), 4), // declared 2, found 1
+        ]
+    );
+    assert_eq!(v.len(), 2);
+}
+
+#[test]
+fn a3_flags_indexing_unwrap_expect_and_panics_outside_tests() {
+    let cfg = Config {
+        panic_free_files: vec!["crates/x/src/decode.rs"],
+        ..Config::default()
+    };
+    let v = run("a3_bad", &cfg);
+    assert_eq!(
+        at(&v, LintId::PanicFree),
+        vec![
+            ("crates/x/src/decode.rs".to_string(), 2), // buf[0]
+            ("crates/x/src/decode.rs".to_string(), 3), // .unwrap()
+            ("crates/x/src/decode.rs".to_string(), 4), // .expect()
+            ("crates/x/src/decode.rs".to_string(), 6), // panic!
+        ]
+    );
+    assert_eq!(v.len(), 4, "the #[cfg(test)] unwrap must not fire: {v:?}");
+}
+
+#[test]
+fn a3_option_flow_and_justified_allow_are_clean() {
+    let cfg = Config {
+        panic_free_files: vec!["crates/x/src/decode.rs"],
+        ..Config::default()
+    };
+    let v = run("a3_clean", &cfg);
+    assert!(v.is_empty(), "{v:?}");
+}
+
+fn a4_cfg() -> Config {
+    Config {
+        call_sites: vec![CallSiteRule {
+            method: "lower",
+            expected: vec![("crates/x/src/a.rs", 1), ("crates/x/src/c.rs", 1)],
+        }],
+        ..Config::default()
+    }
+}
+
+#[test]
+fn a4_flags_extra_undeclared_and_stale_call_sites() {
+    let v = run("a4_bad", &a4_cfg());
+    assert_eq!(
+        at(&v, LintId::SingleLowering),
+        vec![
+            ("crates/x/src/a.rs".to_string(), 2), // declared 1, found 2
+            ("crates/x/src/b.rs".to_string(), 2), // undeclared file
+            ("crates/x/src/c.rs".to_string(), 1), // declared, found none
+        ]
+    );
+    assert_eq!(v.len(), 3);
+}
+
+#[test]
+fn a4_declared_sites_definitions_strings_and_tests_are_clean() {
+    let v = run("a4_clean", &a4_cfg());
+    assert!(v.is_empty(), "{v:?}");
+}
+
+fn a5_cfg() -> Config {
+    Config {
+        determinism_files: vec!["crates/x/src/kernel.rs"],
+        ..Config::default()
+    }
+}
+
+#[test]
+fn a5_flags_host_state_and_unjustified_allow_does_not_suppress() {
+    let v = run("a5_bad", &a5_cfg());
+    assert_eq!(
+        at(&v, LintId::Determinism),
+        vec![
+            ("crates/x/src/kernel.rs".to_string(), 4),  // Instant::now
+            ("crates/x/src/kernel.rs".to_string(), 5),  // env::var
+            ("crates/x/src/kernel.rs".to_string(), 6),  // println!
+            ("crates/x/src/kernel.rs".to_string(), 14), // available_parallelism
+        ]
+    );
+    // The bare `allow(determinism)` is itself a violation (A0) and the
+    // lint it tried to silence still fires (line 14 above).
+    assert_eq!(
+        at(&v, LintId::Annotation),
+        vec![("crates/x/src/kernel.rs".to_string(), 12)]
+    );
+    assert_eq!(v.len(), 5);
+}
+
+#[test]
+fn a5_pure_kernels_justified_allows_and_test_timing_are_clean() {
+    let v = run("a5_clean", &a5_cfg());
+    assert!(v.is_empty(), "{v:?}");
+}
+
+fn a6_cfg() -> Config {
+    Config {
+        thread_owner_files: vec!["crates/x/src/pool.rs"],
+        ..Config::default()
+    }
+}
+
+#[test]
+fn a6_flags_thread_creation_outside_owner_files() {
+    let v = run("a6_bad", &a6_cfg());
+    assert_eq!(
+        at(&v, LintId::ThreadCentralization),
+        vec![
+            ("crates/x/src/other.rs".to_string(), 2), // thread::spawn
+            ("crates/x/src/other.rs".to_string(), 3), // thread::Builder
+        ]
+    );
+    assert_eq!(v.len(), 2, "pool.rs spawns must be allowed: {v:?}");
+}
+
+#[test]
+fn a6_owner_spawns_scoped_spawns_and_test_spawns_are_clean() {
+    let v = run("a6_clean", &a6_cfg());
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn a0_flags_typos_unknown_lints_and_empty_justifications() {
+    let v = run("a0_bad", &Config::default());
+    assert_eq!(
+        at(&v, LintId::Annotation),
+        vec![
+            ("crates/x/src/ann.rs".to_string(), 1), // unknown directive
+            ("crates/x/src/ann.rs".to_string(), 4), // unknown lint key
+            ("crates/x/src/ann.rs".to_string(), 7), // empty justification
+        ]
+    );
+    assert_eq!(v.len(), 3);
+}

@@ -1,0 +1,8 @@
+// analyze: frobnicate
+pub fn typod() {}
+
+// analyze: allow(nonexistent-lint, "a reason")
+pub fn unknown_lint() {}
+
+// analyze: allow(determinism, "")
+pub fn empty_justification() {}

@@ -1,0 +1,12 @@
+// analyze: alloc-free
+pub fn hot(out: &mut Vec<f32>, names: &[String]) -> String {
+    let scratch = vec![0.0f32; 4]; // sanctioned one-time scratch
+    out.push(scratch[0]);
+    let copied = names.to_vec();
+    let doubled: Vec<f32> = scratch.iter().map(|x| x * 2.0).collect();
+    let joined = copied.clone();
+    let total: f32 = doubled.iter().sum();
+    let v: Vec<f32> = Vec::new();
+    drop(v);
+    format!("{total} {}", joined.len())
+}

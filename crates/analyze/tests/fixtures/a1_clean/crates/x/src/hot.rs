@@ -1,0 +1,13 @@
+// analyze: alloc-free
+pub fn hot(out: &mut [f32], scale: f32) {
+    let scratch = vec![0.0f32; out.len()]; // one-time scratch stays legal
+    for (o, s) in out.iter_mut().zip(scratch.iter()) {
+        *o = s + scale;
+    }
+}
+
+pub fn unannotated() -> Vec<u32> {
+    let mut v = Vec::new();
+    v.push(1);
+    v.clone()
+}

@@ -1,0 +1,9 @@
+pub fn copy(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len());
+    // SAFETY: the assert above guarantees equal lengths; both pointers
+    // come from distinct live borrows, so they are valid for
+    // `src.len()` bytes and cannot overlap.
+    unsafe {
+        std::ptr::copy_nonoverlapping(src.as_ptr(), dst.as_mut_ptr(), src.len());
+    }
+}

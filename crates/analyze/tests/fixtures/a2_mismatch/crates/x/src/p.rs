@@ -1,0 +1,7 @@
+pub fn copy(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len());
+    // SAFETY: lengths asserted equal; distinct borrows cannot overlap.
+    unsafe {
+        std::ptr::copy_nonoverlapping(src.as_ptr(), dst.as_mut_ptr(), src.len());
+    }
+}

@@ -1,0 +1,18 @@
+pub fn decode(buf: &[u8]) -> u8 {
+    let first = buf[0];
+    let second = buf.get(1).unwrap();
+    let third = buf.iter().next().expect("non-empty");
+    if first == 0 {
+        panic!("zero");
+    }
+    first + second + third
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(super::decode(&[1, 2, 3]), [6u8][0]);
+        Some(1u8).unwrap();
+    }
+}

@@ -1,0 +1,10 @@
+pub fn decode(buf: &[u8]) -> Option<u8> {
+    let first = buf.first()?;
+    let second = buf.get(1)?;
+    first.checked_add(*second)
+}
+
+// analyze: allow(panic-free, "length is checked by the caller's framing layer")
+pub fn decode_trusted(buf: &[u8]) -> u8 {
+    buf[0]
+}

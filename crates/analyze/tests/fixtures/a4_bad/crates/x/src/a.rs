@@ -1,0 +1,4 @@
+pub fn build(p: &Plan) {
+    p.lower();
+    p.lower();
+}

@@ -1,0 +1,3 @@
+pub fn sneak(p: &Plan) {
+    p.lower();
+}

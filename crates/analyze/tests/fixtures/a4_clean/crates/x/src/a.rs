@@ -1,0 +1,22 @@
+pub fn build(p: &Plan) {
+    p.lower();
+}
+
+pub fn mentions_without_calling() {
+    // A bare mention of lower in a comment, a string "lower()", or the
+    // method's own definition must not count as a call site.
+    let _name = "lower()";
+}
+
+fn lower() {
+    // The definition itself: `fn lower` is not a call.
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_calls_do_not_count() {
+        Plan::default().lower();
+        super::lower();
+    }
+}

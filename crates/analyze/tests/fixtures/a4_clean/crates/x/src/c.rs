@@ -1,0 +1,3 @@
+pub fn lower_via_path(p: &Plan) {
+    Plan::lower(p);
+}

@@ -1,0 +1,6 @@
+// Not under src/: integration tests are outside A4's production scope,
+// so this extra call site must not trip the registry.
+#[test]
+fn calls_freely() {
+    Plan::default().lower();
+}

@@ -1,0 +1,15 @@
+use std::time::Instant;
+
+pub fn kernel(x: &mut [f32]) {
+    let t0 = Instant::now();
+    let seed = std::env::var("SEED").unwrap_or_default();
+    println!("{seed} {:?}", t0.elapsed());
+    for v in x.iter_mut() {
+        *v *= 2.0;
+    }
+}
+
+// analyze: allow(determinism)
+pub fn unjustified_probe() -> usize {
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+}

@@ -1,0 +1,21 @@
+pub fn kernel(x: &mut [f32]) {
+    for v in x.iter_mut() {
+        *v *= 2.0;
+    }
+}
+
+// analyze: allow(determinism, "profiling timestamps only; never feeds the computed values")
+pub fn profiled_kernel(x: &mut [f32]) -> std::time::Duration {
+    let t0 = std::time::Instant::now();
+    kernel(x);
+    t0.elapsed()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let t0 = std::time::Instant::now();
+        println!("elapsed: {:?}", t0.elapsed());
+    }
+}

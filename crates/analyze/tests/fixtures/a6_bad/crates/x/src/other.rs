@@ -1,0 +1,5 @@
+pub fn sneaky_worker() {
+    std::thread::spawn(|| {});
+    let b = std::thread::Builder::new();
+    drop(b);
+}

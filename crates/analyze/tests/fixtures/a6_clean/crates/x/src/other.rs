@@ -1,0 +1,15 @@
+pub fn fan_out() {
+    // Scoped spawns borrow the pool's threads; only `thread::spawn` /
+    // `thread::Builder` (thread creation) are centralized.
+    std::thread::scope(|s| {
+        s.spawn(|| {});
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_spawn() {
+        std::thread::spawn(|| {}).join().ok();
+    }
+}

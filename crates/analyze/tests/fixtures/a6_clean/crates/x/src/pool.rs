@@ -1,0 +1,3 @@
+pub fn worker() -> std::thread::JoinHandle<()> {
+    std::thread::spawn(|| {})
+}

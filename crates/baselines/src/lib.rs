@@ -26,6 +26,10 @@
 //! assert!(report.total_cycles > 0);
 //! ```
 
+// Machine-checked by deepcam-analyze (lint A2): this crate holds no
+// unsafe code, and the compiler now enforces that it never grows any.
+#![forbid(unsafe_code)]
+
 pub mod cpu;
 pub mod eyeriss;
 pub mod pim;

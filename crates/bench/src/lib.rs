@@ -16,6 +16,10 @@
 //! | Table I (setup) | [`experiments::table1`] | `table1_setup` |
 //! | Table II (PIM comparison) | [`experiments::table2`] | `table2_pim_comparison` |
 
+// Machine-checked by deepcam-analyze (lint A2): this crate holds no
+// unsafe code, and the compiler now enforces that it never grows any.
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod guard;
 pub mod table;

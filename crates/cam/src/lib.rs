@@ -36,6 +36,10 @@
 //! # Ok::<(), deepcam_cam::CamError>(())
 //! ```
 
+// Machine-checked by deepcam-analyze (lint A2): this crate holds no
+// unsafe code, and the compiler now enforces that it never grows any.
+#![forbid(unsafe_code)]
+
 pub mod area;
 pub mod array;
 pub mod chunk;

@@ -847,6 +847,7 @@ fn calibrate_steps(
 /// bit-identical for every worker count — and the `Reference` path is
 /// bit-identical to the `Fast` one (`tests/hotpath_reference.rs`).
 #[allow(clippy::too_many_arguments)]
+// analyze: allow(determinism, "opt-in profiler timestamps only; the computed values never depend on the clock")
 fn dot_rows(
     rows: &Tensor,
     ct: &CompiledTile,
@@ -919,6 +920,7 @@ fn dot_rows(
 /// angle/cosine collapsed into the k+1-entry LUT computed at compile
 /// time.
 #[allow(clippy::too_many_arguments)]
+// analyze: alloc-free
 fn dot_rows_range(
     row_data: &[f32],
     n: usize,

@@ -32,6 +32,10 @@
 //! # Ok::<(), deepcam_core::CoreError>(())
 //! ```
 
+// Machine-checked by deepcam-analyze (lint A2): this crate holds no
+// unsafe code, and the compiler now enforces that it never grows any.
+#![forbid(unsafe_code)]
+
 pub mod analysis;
 pub mod ctxgen;
 pub mod dataflow;

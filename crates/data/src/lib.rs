@@ -34,6 +34,10 @@
 //! assert!(train.len() > 0 && test.len() > 0);
 //! ```
 
+// Machine-checked by deepcam-analyze (lint A2): this crate holds no
+// unsafe code, and the compiler now enforces that it never grows any.
+#![forbid(unsafe_code)]
+
 pub mod dataset;
 pub mod synth;
 

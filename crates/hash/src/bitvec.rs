@@ -263,6 +263,7 @@ fn sign_word(chunk: &[f32]) -> u64 {
 /// # Panics
 ///
 /// Panics when `out` has the wrong length.
+// analyze: alloc-free
 pub fn pack_signs_into(values: &[f32], out: &mut [u64]) {
     assert_eq!(
         out.len(),

@@ -33,6 +33,10 @@
 //! # Ok::<(), deepcam_hash::HashError>(())
 //! ```
 
+// Machine-checked by deepcam-analyze (lint A2): this crate holds no
+// unsafe code, and the compiler now enforces that it never grows any.
+#![forbid(unsafe_code)]
+
 pub mod bitvec;
 pub mod context;
 pub mod cosine;

@@ -211,6 +211,7 @@ impl PackedHashes {
     /// Panics when `query_words` is not exactly `words_per_row` long or
     /// `out` is not exactly `rows` long.
     #[inline]
+    // analyze: alloc-free
     pub fn hamming_into(&self, query_words: &[u64], out: &mut [u32]) {
         self.hamming_range_into(query_words, 0, self.rows, out);
     }
@@ -224,6 +225,7 @@ impl PackedHashes {
     /// Panics when the range is out of bounds or descending, when
     /// `query_words` is not exactly `words_per_row` long, or when `out`
     /// is not exactly `hi - lo` long.
+    // analyze: alloc-free
     pub fn hamming_range_into(&self, query_words: &[u64], lo: usize, hi: usize, out: &mut [u32]) {
         assert!(lo <= hi && hi <= self.rows, "row range {lo}..{hi} invalid");
         assert_eq!(

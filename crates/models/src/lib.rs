@@ -26,6 +26,10 @@
 //! assert!(macs > 380_000 && macs < 450_000, "got {macs}");
 //! ```
 
+// Machine-checked by deepcam-analyze (lint A2): this crate holds no
+// unsafe code, and the compiler now enforces that it never grows any.
+#![forbid(unsafe_code)]
+
 pub mod cnn;
 pub mod scaled;
 pub mod spec;

@@ -36,6 +36,7 @@ pub trait Clock: Send + Sync + 'static {
 pub struct SystemClock;
 
 impl Clock for SystemClock {
+    // analyze: allow(determinism, "this IS the clock boundary; everything else reads time through the Clock trait")
     fn now(&self) -> Instant {
         Instant::now()
     }
@@ -55,6 +56,7 @@ struct ManualState {
 
 impl ManualClock {
     /// A manual clock starting at "now" and frozen until advanced.
+    // analyze: allow(determinism, "one Instant::now to fix the epoch; simulated time only moves via advance()")
     pub fn new() -> Self {
         ManualClock {
             epoch: Instant::now(),

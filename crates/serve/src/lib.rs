@@ -50,6 +50,10 @@
 //! # Ok::<(), deepcam_serve::ServeError>(())
 //! ```
 
+// Machine-checked by deepcam-analyze (lint A2): this crate holds no
+// unsafe code, and the compiler now enforces that it never grows any.
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod clock;
 pub mod error;

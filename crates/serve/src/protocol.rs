@@ -400,7 +400,10 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame> {
         let step = remaining.min(READ_CHUNK);
         let start = payload.len();
         payload.resize(start + step, 0);
-        r.read_exact(&mut payload[start..])
+        let dst = payload
+            .get_mut(start..)
+            .ok_or_else(|| ServeError::Io("mid-frame read: chunk bounds".to_string()))?;
+        r.read_exact(dst)
             .map_err(|e| ServeError::Io(format!("mid-frame read ({remaining} bytes left): {e}")))?;
         remaining -= step;
     }

@@ -47,6 +47,16 @@ struct ServerShared {
     conns: Mutex<std::collections::HashMap<usize, TcpStream>>,
 }
 
+/// The tracked-connection table, recovering from a poisoned lock: a
+/// panicking connection thread must not take the server's shutdown
+/// path (or other connections) down with it, and the map of stream
+/// clones is valid under any interleaving of inserts/removes.
+fn lock_conns(
+    shared: &ServerShared,
+) -> std::sync::MutexGuard<'_, std::collections::HashMap<usize, TcpStream>> {
+    shared.conns.lock().unwrap_or_else(|p| p.into_inner())
+}
+
 /// A running TCP inference server. Shuts down on drop (or explicitly
 /// via [`Server::shutdown`]).
 pub struct Server {
@@ -83,7 +93,7 @@ impl Server {
         let accept_thread = std::thread::Builder::new()
             .name("deepcam-serve-accept".into())
             .spawn(move || accept_loop(&listener, &accept_shared))
-            .expect("spawn accept thread");
+            .map_err(|e| ServeError::Io(format!("spawn accept thread: {e}")))?;
         Ok(Server {
             addr,
             shared,
@@ -109,7 +119,7 @@ impl Server {
         }
         // Unblock connection readers first, then the accept loop (via a
         // throwaway connect so `incoming()` yields once more).
-        for (_, conn) in self.shared.conns.lock().expect("conn list lock").drain() {
+        for (_, conn) in lock_conns(&self.shared).drain() {
             let _ = conn.shutdown(Shutdown::Both);
         }
         let _ = TcpStream::connect(self.addr);
@@ -140,11 +150,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
         let _ = stream.set_nodelay(true);
         let conn_id = shared.next_conn_id.fetch_add(1, Ordering::SeqCst);
         if let Ok(clone) = stream.try_clone() {
-            shared
-                .conns
-                .lock()
-                .expect("conn list lock")
-                .insert(conn_id, clone);
+            lock_conns(shared).insert(conn_id, clone);
         }
         let conn_shared = Arc::clone(shared);
         // Connection threads are not joined: shutdown unblocks them by
@@ -154,11 +160,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
             .spawn(move || {
                 serve_connection(stream, &conn_shared);
                 // Release this connection's tracked clone (and its fd).
-                conn_shared
-                    .conns
-                    .lock()
-                    .expect("conn list lock")
-                    .remove(&conn_id);
+                lock_conns(&conn_shared).remove(&conn_id);
                 conn_shared.active.fetch_sub(1, Ordering::SeqCst);
             });
     }

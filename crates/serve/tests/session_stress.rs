@@ -1,0 +1,189 @@
+//! Concurrency stress for the micro-batching session: many client
+//! threads race `submit`/`wait` against the dispatcher (and against
+//! `shutdown`), checking that every accepted request resolves, every
+//! rejection is a typed error, batching never changes results, and the
+//! stats counters reconcile exactly. This is the suite the ThreadSanitizer
+//! CI leg runs under `-Zsanitizer=thread`; Miri runs a reduced set.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use deepcam_core::{DeepCamEngine, EngineConfig, HashPlan};
+use deepcam_models::scaled::scaled_lenet5;
+use deepcam_serve::{ServeError, Session, SessionConfig};
+use deepcam_tensor::rng::seeded_rng;
+
+fn lenet_engine(seed: u64) -> DeepCamEngine {
+    let mut rng = seeded_rng(seed);
+    let model = scaled_lenet5(&mut rng, 10);
+    DeepCamEngine::compile(
+        &model,
+        EngineConfig {
+            plan: HashPlan::Uniform(256),
+            ..EngineConfig::default()
+        },
+    )
+    .expect("compiles")
+}
+
+fn image(seed: u64) -> Vec<f32> {
+    let mut rng = seeded_rng(seed);
+    (0..784)
+        .map(|_| deepcam_tensor::rng::standard_normal(&mut rng) as f32)
+        .collect()
+}
+
+fn per_thread_iters(default: usize) -> usize {
+    if cfg!(miri) {
+        return 2;
+    }
+    std::env::var("DEEPCAM_STRESS_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[test]
+fn concurrent_submitters_complete_or_get_typed_overload() {
+    let session = Session::new(
+        Arc::new(lenet_engine(21)),
+        SessionConfig {
+            max_batch: 8,
+            max_wait: Duration::from_millis(1),
+            queue_capacity: 16,
+        },
+    );
+    let completed = AtomicUsize::new(0);
+    let rejected = AtomicUsize::new(0);
+    let threads = 4u64;
+    let iters = per_thread_iters(24);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let session = &session;
+            let completed = &completed;
+            let rejected = &rejected;
+            s.spawn(move || {
+                let img = image(900 + t);
+                for _ in 0..iters {
+                    match session.submit(&[1, 28, 28], &img) {
+                        Ok(pending) => {
+                            let logits = pending.wait().expect("accepted request resolves");
+                            assert_eq!(logits.len(), 10);
+                            completed.fetch_add(1, Ordering::SeqCst);
+                        }
+                        Err(ServeError::Overloaded { queued, capacity }) => {
+                            assert!(queued >= capacity, "typed overload must be truthful");
+                            rejected.fetch_add(1, Ordering::SeqCst);
+                            std::thread::yield_now();
+                        }
+                        Err(other) => panic!("unexpected submit error: {other:?}"),
+                    }
+                }
+            });
+        }
+    });
+    let stats = session.stats();
+    assert_eq!(stats.submitted, completed.load(Ordering::SeqCst) as u64);
+    assert_eq!(stats.completed, completed.load(Ordering::SeqCst) as u64);
+    assert_eq!(stats.rejected, rejected.load(Ordering::SeqCst) as u64);
+    assert_eq!(session.queue_len(), 0, "everything drained");
+}
+
+#[test]
+fn batched_results_are_bit_identical_to_the_lone_request() {
+    let session = Session::new(
+        Arc::new(lenet_engine(22)),
+        SessionConfig {
+            max_batch: 8,
+            max_wait: Duration::from_millis(1),
+            queue_capacity: 256,
+        },
+    );
+    let img = image(1000);
+    // A lone request (batch of 1) fixes the reference logits.
+    let reference = session
+        .submit(&[1, 28, 28], &img)
+        .expect("lone submit")
+        .wait()
+        .expect("lone request resolves");
+    // Racing duplicates of the same image coalesce into batches of every
+    // occupancy 1..=8 over the run; each answer must be bit-identical.
+    let iters = per_thread_iters(16);
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let session = &session;
+            let reference = &reference;
+            let img = &img;
+            s.spawn(move || {
+                for _ in 0..iters {
+                    let logits = session
+                        .submit(&[1, 28, 28], img)
+                        .expect("capacity 256 never overloads")
+                        .wait()
+                        .expect("resolves");
+                    assert_eq!(&logits, reference, "batching changed a result");
+                }
+            });
+        }
+    });
+    assert!(session.stats().max_occupancy >= 1);
+}
+
+#[test]
+fn shutdown_races_submitters_without_losing_accepted_requests() {
+    for round in 0..per_thread_iters(8) as u64 {
+        let session = Arc::new(Session::new(
+            Arc::new(lenet_engine(23)),
+            SessionConfig {
+                max_batch: 64,
+                max_wait: Duration::from_millis(1),
+                queue_capacity: 256,
+            },
+        ));
+        let accepted = AtomicUsize::new(0);
+        let resolved = AtomicUsize::new(0);
+        let refused = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for t in 0..3u64 {
+                let session = &session;
+                let accepted = &accepted;
+                let resolved = &resolved;
+                let refused = &refused;
+                s.spawn(move || {
+                    let img = image(1100 + round * 10 + t);
+                    loop {
+                        match session.submit(&[1, 28, 28], &img) {
+                            Ok(pending) => {
+                                accepted.fetch_add(1, Ordering::SeqCst);
+                                // Accepted before (or during) shutdown:
+                                // the flush guarantee says this resolves.
+                                let logits = pending.wait().expect("accepted => flushed");
+                                assert_eq!(logits.len(), 10);
+                                resolved.fetch_add(1, Ordering::SeqCst);
+                            }
+                            Err(ServeError::ShuttingDown) => {
+                                refused.fetch_add(1, Ordering::SeqCst);
+                                return;
+                            }
+                            Err(ServeError::Overloaded { .. }) => std::thread::yield_now(),
+                            Err(other) => panic!("unexpected submit error: {other:?}"),
+                        }
+                    }
+                });
+            }
+            // Let the submitters race for a moment, then pull the plug.
+            std::thread::sleep(Duration::from_millis(5));
+            session.shutdown();
+        });
+        assert_eq!(
+            accepted.load(Ordering::SeqCst),
+            resolved.load(Ordering::SeqCst),
+            "round {round}: an accepted request was dropped by shutdown"
+        );
+        assert!(
+            refused.load(Ordering::SeqCst) >= 3,
+            "round {round}: every thread must eventually observe ShuttingDown"
+        );
+    }
+}

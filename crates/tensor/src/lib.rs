@@ -28,6 +28,11 @@
 //! # Ok::<(), deepcam_tensor::TensorError>(())
 //! ```
 
+// The workspace's single unsafe block lives in `pool.rs` (see
+// ANALYZE_UNSAFE.md); inside any unsafe fn, each unsafe operation must
+// still be wrapped in its own audited `unsafe {}` block.
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod error;
 pub mod init;
 pub mod layer;

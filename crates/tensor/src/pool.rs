@@ -81,6 +81,7 @@ impl Parallelism {
     /// back to all available cores — loudly: a warning naming the bad
     /// value is printed to stderr once per distinct value, so a typo'd
     /// deployment never silently runs at the wrong width.
+    // analyze: allow(determinism, "DEEPCAM_WORKERS only picks the worker count; results are bit-identical at every width")
     pub fn resolve(self) -> usize {
         match self {
             Parallelism::Serial => 1,
@@ -100,6 +101,7 @@ impl Parallelism {
 /// The [`Parallelism::Auto`] resolution rule, pure so both outcomes are
 /// unit-testable without touching the process environment: returns the
 /// worker count plus the warning to emit when `raw` is set but invalid.
+// analyze: allow(determinism, "core-count fallback for Auto width; sharding never changes results")
 fn resolve_auto(raw: Option<&str>) -> (usize, Option<String>) {
     let fallback = || {
         std::thread::available_parallelism()
@@ -125,6 +127,7 @@ fn resolve_auto(raw: Option<&str>) -> (usize, Option<String>) {
 /// swallowed so a hot loop resolving [`Parallelism::Auto`] warns once
 /// per distinct bad value, not once per call. Returns whether it
 /// printed (the warning path's unit-test hook).
+// analyze: allow(determinism, "the loud-misconfiguration warning itself; stderr only, once per bad value")
 fn emit_env_warning_once(msg: &str) -> bool {
     static WARNED: OnceLock<Mutex<Vec<String>>> = OnceLock::new();
     let mut seen = WARNED

@@ -486,6 +486,7 @@ fn axpy_row(out: &mut [f32], a: f32, b_row: &[f32]) {
 /// # Panics
 ///
 /// Panics when a slice length disagrees with its stated dimensions.
+// analyze: alloc-free
 pub fn matmul_dense_into(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut [f32]) {
     assert_eq!(a.len(), m * k, "lhs buffer must be m*k");
     assert_eq!(b.len(), k * n, "rhs buffer must be k*n");

@@ -31,6 +31,10 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+// Machine-checked by deepcam-analyze (lint A2): this crate holds no
+// unsafe code, and the compiler now enforces that it never grows any.
+#![forbid(unsafe_code)]
+
 pub use deepcam_baselines as baselines;
 pub use deepcam_cam as cam;
 pub use deepcam_core as accel;

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Local runner for the dynamic-analysis CI legs (Miri + ThreadSanitizer)
+# over the pool/session stress suites. Both need a nightly toolchain
+# with extra components, which offline containers may not have — each
+# leg degrades to a clear SKIP instead of failing, so this script is
+# safe to run anywhere. CI runs the same commands unconditionally (see
+# .github/workflows/ci.yml, jobs `miri` and `tsan`).
+set -u
+
+cd "$(dirname "$0")/.."
+status=0
+
+have_nightly() { rustup run nightly rustc --version >/dev/null 2>&1; }
+
+echo "== leg 1: Miri (pool + session stress) =="
+if have_nightly && rustup component list --toolchain nightly 2>/dev/null \
+    | grep -q '^miri.*(installed)'; then
+  MIRIFLAGS=-Zmiri-disable-isolation \
+    cargo +nightly miri test -p deepcam-tensor --test pool_stress || status=1
+  MIRIFLAGS=-Zmiri-disable-isolation \
+    cargo +nightly miri test -p deepcam-serve --test session_stress || status=1
+else
+  echo "SKIP: nightly toolchain with miri not installed" \
+       "(rustup component add miri --toolchain nightly)"
+fi
+
+echo "== leg 2: ThreadSanitizer (pool + session stress) =="
+if have_nightly && rustup component list --toolchain nightly 2>/dev/null \
+    | grep -q '^rust-src.*(installed)'; then
+  target="$(rustc -vV | sed -n 's/^host: //p')"
+  RUSTFLAGS=-Zsanitizer=thread DEEPCAM_STRESS_ITERS=10 \
+    cargo +nightly test -Zbuild-std --target "$target" \
+      -p deepcam-tensor --test pool_stress || status=1
+  RUSTFLAGS=-Zsanitizer=thread DEEPCAM_STRESS_ITERS=10 \
+    cargo +nightly test -Zbuild-std --target "$target" \
+      -p deepcam-serve --test session_stress || status=1
+else
+  echo "SKIP: nightly toolchain with rust-src not installed" \
+       "(rustup component add rust-src --toolchain nightly)"
+fi
+
+echo "== fallback always available: seeded stress harnesses (stable) =="
+DEEPCAM_STRESS_ITERS="${DEEPCAM_STRESS_ITERS:-100}" \
+  cargo test -p deepcam-tensor --test pool_stress || status=1
+DEEPCAM_STRESS_ITERS="${DEEPCAM_STRESS_ITERS:-100}" \
+  cargo test -p deepcam-serve --test session_stress || status=1
+
+exit "$status"
