@@ -54,6 +54,13 @@ impl Config {
                 "crates/core/src/reference.rs",
                 "crates/hash/src/packed.rs",
                 "crates/hash/src/bitvec.rs",
+                // The SIMD kernel files are A5-bound; the dispatch layer
+                // (simd/mod.rs) is deliberately NOT — it is the one
+                // place allowed to read the DEEPCAM_SIMD env override,
+                // so kernels stay pure functions of their inputs.
+                "crates/hash/src/simd/scalar.rs",
+                "crates/hash/src/simd/x86.rs",
+                "crates/hash/src/simd/neon.rs",
                 "crates/tensor/src/tensor.rs",
                 "crates/tensor/src/ops/conv.rs",
                 "crates/tensor/src/ops/linear.rs",

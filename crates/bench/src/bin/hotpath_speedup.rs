@@ -3,7 +3,9 @@
 //! frozen pre-optimization datapath (`DeepCamEngine::infer_reference`,
 //! the "before") vs the production fast path (`DeepCamEngine::infer`,
 //! the "after"), single-threaded, and records the result with a
-//! per-dot-layer breakdown in `BENCH_hotpath.json`.
+//! per-dot-layer breakdown plus a per-kernel-variant sweep (every SIMD
+//! Hamming kernel the host detects, each re-gated for bit-identity) in
+//! `BENCH_hotpath.json`.
 //!
 //! Usage: `cargo run --release -p deepcam-bench --bin hotpath_speedup
 //! [--out PATH] [--images N] [--repeats R] [--force]`
@@ -18,7 +20,7 @@ use std::time::Instant;
 
 use deepcam_bench::guard::{self, median_millis};
 use deepcam_core::profile::{self, DotSample};
-use deepcam_core::{DeepCamEngine, EngineConfig, HashPlan};
+use deepcam_core::{simd, DeepCamEngine, EngineConfig, HashPlan};
 use deepcam_models::scaled::scaled_vgg11;
 use deepcam_tensor::rng::seeded_rng;
 use deepcam_tensor::{init, Parallelism, Shape, Tensor};
@@ -169,12 +171,37 @@ fn main() {
     // "Before": the frozen pre-rewrite datapath.
     let before_ms = time_pass(true);
     println!("reference (before): {before_ms:.1} ms");
-    // "After": the packed-tile + LUT kernels.
+    // "After": the packed-tile + LUT kernels on the default dispatch.
     let after_ms = time_pass(false);
     println!(
         "packed (after):     {after_ms:.1} ms  ({:.2}x vs reference)",
         before_ms / after_ms
     );
+
+    // Per-kernel-variant sweep: pin each detected Hamming kernel in the
+    // dispatch table and re-time the same fast path. Each variant is
+    // re-gated against the reference logits first, so a variant row in
+    // the JSON always denotes a bit-identical computation.
+    let default_variant = simd::active();
+    let mut variant_rows: Vec<(&'static str, f64)> = Vec::new();
+    for &v in simd::detected() {
+        simd::force_variant(v).expect("detected variant");
+        let pinned = engine.infer(&batch).expect("fast inference succeeds");
+        assert_eq!(
+            pinned.data(),
+            reference.data(),
+            "kernel variant {} must stay bit-identical to the reference",
+            v.name()
+        );
+        let ms = time_pass(false);
+        println!(
+            "  kernel {:<6}    {ms:.1} ms  ({:.2}x vs reference)",
+            v.name(),
+            before_ms / ms
+        );
+        variant_rows.push((v.name(), ms));
+    }
+    simd::force_variant(default_variant).expect("restore default variant");
 
     // Per-dot-layer breakdown via the engine profiler (one pass each).
     profile::enable();
@@ -200,6 +227,20 @@ fn main() {
     json.push_str(&format!("  \"before_ms\": {before_ms:.2},\n"));
     json.push_str(&format!("  \"after_ms\": {after_ms:.2},\n"));
     json.push_str(&format!("  \"speedup\": {:.3},\n", before_ms / after_ms));
+    json.push_str(&format!(
+        "  \"default_kernel\": \"{}\",\n",
+        default_variant.name()
+    ));
+    json.push_str("  \"kernel_variants\": [\n");
+    for (i, (name, ms)) in variant_rows.iter().enumerate() {
+        let comma = if i + 1 == variant_rows.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"variant\": \"{name}\", \"after_ms\": {ms:.2}, \
+             \"speedup_vs_reference\": {:.3}}}{comma}\n",
+            before_ms / ms
+        ));
+    }
+    json.push_str("  ],\n");
     json.push_str("  \"per_layer\": [\n");
     let layers = before_layers.len();
     for (i, b) in before_layers.iter().enumerate() {

@@ -2,12 +2,15 @@
 //!
 //! Storage is a [`PackedHashes`] slab plus an occupancy bitmap rather
 //! than a `Vec<Option<BitVec>>`: every stored word lives in one
-//! contiguous row-major allocation, so a search is a single linear
-//! XOR+popcount pass (the same microkernel the inference engine's weight
-//! tiles use) instead of a pointer chase through per-row heap vectors.
+//! contiguous row-major allocation, searched through the same dispatched
+//! XOR+popcount microkernel the inference engine's weight tiles use,
+//! instead of a pointer chase through per-row heap vectors. The
+//! occupancy bitmap doubles as an EIE-style skip index: a search walks
+//! it word by word, skipping 64 rows per all-zero word without touching
+//! the slab (the software twin of keeping empty match lines unsensed).
 //! The [`BitVec`] API is kept for construction and tests.
 
-use deepcam_hash::{BitVec, PackedHashes};
+use deepcam_hash::{low_mask, BitVec, PackedHashes};
 use deepcam_tensor::pool::{split_ranges, ThreadPool};
 use serde::{Deserialize, Serialize};
 
@@ -80,11 +83,6 @@ impl CamArray {
     /// Number of rows currently holding a word.
     pub fn occupied_rows(&self) -> usize {
         self.occupied.iter().map(|w| w.count_ones() as usize).sum()
-    }
-
-    /// Whether row `row` currently holds a word.
-    fn is_occupied(&self, row: usize) -> bool {
-        (self.occupied[row / 64] >> (row % 64)) & 1 == 1
     }
 
     /// Row utilization in `[0, 1]` — the quantity plotted in Fig. 9.
@@ -213,29 +211,69 @@ impl CamArray {
     /// Match-line evaluation for rows `lo..hi` (key width already
     /// validated). Row order within the range is preserved.
     ///
-    /// The whole range goes through the packed XOR+popcount microkernel
-    /// — one linear [`PackedHashes::hamming_range_into`] pass over the
-    /// slab, mirroring how every match line evaluates simultaneously in
-    /// the real array — then only occupied rows emit hits (empty rows
-    /// keep their match lines silent; distances computed for stale slab
-    /// rows are discarded).
+    /// The occupancy bitmap drives an EIE-style zero-run skip: the scan
+    /// walks one bitmap word (64 rows) at a time and an all-zero word is
+    /// skipped without touching the slab at all. Fully-occupied spans
+    /// take one linear [`PackedHashes::hamming_range_into`] pass —
+    /// mirroring how every match line evaluates simultaneously in the
+    /// real array — and partially-occupied spans visit only the set bits
+    /// through [`PackedHashes::hamming_row`], so stale slab rows are
+    /// never read (empty rows keep their match lines silent).
     fn search_rows(&self, key: &BitVec, lo: usize, hi: usize) -> Vec<SearchHit> {
         let word_bits = self.config.word_bits();
-        let mut dists = vec![0u32; hi - lo];
-        self.packed
-            .hamming_range_into(key.words(), lo, hi, &mut dists);
-        let mut hits = Vec::with_capacity(hi - lo);
-        for (offset, &d) in dists.iter().enumerate() {
-            let row = lo + offset;
-            if !self.is_occupied(row) {
-                continue;
-            }
+        let key_words = key.words();
+        if lo >= hi {
+            return Vec::new();
+        }
+        let words = lo / 64..hi.div_ceil(64);
+        let in_range = |wi: usize| {
+            let base = wi * 64;
+            let span_lo = lo.max(base) - base;
+            let span_hi = hi.min(base + 64) - base;
+            self.occupied[wi] & (low_mask(span_hi) & !low_mask(span_lo))
+        };
+        let occupied_in_range: usize = words
+            .clone()
+            .map(|wi| in_range(wi).count_ones() as usize)
+            .sum();
+        let mut hits = Vec::with_capacity(occupied_in_range);
+        let push = |hits: &mut Vec<SearchHit>, row: usize, d: u32| {
             let hamming = d as usize;
             hits.push(SearchHit {
                 row,
                 hamming,
                 sensed: self.config.sense.read(hamming, word_bits),
             });
+        };
+        let mut dists = [0u32; 64];
+        for wi in words {
+            let base = wi * 64;
+            let span_lo = lo.max(base) - base;
+            let span_hi = hi.min(base + 64) - base;
+            let span_mask = low_mask(span_hi) & !low_mask(span_lo);
+            let masked = self.occupied[wi] & span_mask;
+            if masked == 0 {
+                // Zero run: 64 rows skipped with one bitmap-word load.
+                continue;
+            }
+            if masked == span_mask {
+                // Dense span: one contiguous range pass over the slab.
+                let (rlo, rhi) = (base + span_lo, base + span_hi);
+                let span = &mut dists[..rhi - rlo];
+                self.packed.hamming_range_into(key_words, rlo, rhi, span);
+                for (off, &d) in span.iter().enumerate() {
+                    push(&mut hits, rlo + off, d);
+                }
+            } else {
+                // Sparse span: visit set bits only, in ascending row
+                // order (clearing the lowest set bit each step).
+                let mut m = masked;
+                while m != 0 {
+                    let row = base + m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    push(&mut hits, row, self.packed.hamming_row(row, key_words));
+                }
+            }
         }
         hits
     }
@@ -321,6 +359,44 @@ mod tests {
     fn sharded_search_validates_key_width() {
         let cam = CamArray::new(CamConfig::new(64, 512).unwrap());
         assert!(cam.search_sharded(&BitVec::zeros(256), 4).is_err());
+    }
+
+    #[test]
+    fn occupancy_skip_paths_agree_with_reference() {
+        // 256 rows = 4 bitmap words, one per skip path: word 0 dense
+        // (range-kernel pass), word 1 all-empty (zero-run skip), word 2
+        // sparse (per-set-bit visits), word 3 straddling a shard split.
+        let mut rng = seeded_rng(9);
+        let mut cam = CamArray::new(CamConfig::new(256, 256).unwrap());
+        let mut stored: Vec<Option<BitVec>> = vec![None; 256];
+        let mut occupy = |cam: &mut CamArray, stored: &mut Vec<Option<BitVec>>, row: usize| {
+            let w = random_word(256, &mut rng);
+            cam.write_row(row, w.clone()).unwrap();
+            stored[row] = Some(w);
+        };
+        for row in 0..64 {
+            occupy(&mut cam, &mut stored, row);
+        }
+        for row in [128, 131, 160, 190, 191] {
+            occupy(&mut cam, &mut stored, row);
+        }
+        for row in 200..220 {
+            occupy(&mut cam, &mut stored, row);
+        }
+        let key = BitVec::from_bools(&[true; 256]);
+        let expected: Vec<(usize, usize)> = stored
+            .iter()
+            .enumerate()
+            .filter_map(|(row, w)| w.as_ref().map(|w| (row, w.hamming(&key).unwrap())))
+            .collect();
+        let hits = cam.search(&key).unwrap();
+        let got: Vec<(usize, usize)> = hits.iter().map(|h| (h.row, h.hamming)).collect();
+        assert_eq!(got, expected);
+        // Sharded ranges slice bitmap words mid-span; results must agree.
+        for shards in [2usize, 3, 5, 13] {
+            let sharded = cam.search_sharded(&key, shards).unwrap();
+            assert_eq!(sharded, hits, "shards {shards}");
+        }
     }
 
     #[test]

@@ -11,6 +11,39 @@ use crate::Result;
 
 const WORD_BITS: usize = 64;
 
+/// Mask with the low `n` bits set (`n` saturates at 64).
+///
+/// **The** masked-tail primitive of the workspace: every place that
+/// needs "the valid bits of a partially-filled word" — prefix Hamming,
+/// prefix truncation, the packed-tile decode revalidation
+/// ([`crate::PackedHashes`]), the CAM occupancy-range masking — derives
+/// its mask from this one function, so a future width bug cannot
+/// diverge between the scalar and SIMD paths. (The SIMD kernels
+/// themselves need no tail mask at all: they rely on the trailing-zero
+/// invariant every builder here upholds.)
+#[inline]
+pub const fn low_mask(n: usize) -> u64 {
+    if n >= WORD_BITS {
+        !0u64
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// Mask of the *invalid* trailing bits of the last word of a
+/// `bits`-wide row: zero when the width fills its words exactly. The
+/// complement view of [`low_mask`] used to **check** the trailing-zero
+/// invariant (`word & tail_garbage_mask(bits) == 0`).
+#[inline]
+pub const fn tail_garbage_mask(bits: usize) -> u64 {
+    let rem = bits % WORD_BITS;
+    if rem == 0 {
+        0
+    } else {
+        !low_mask(rem)
+    }
+}
+
 /// A fixed-length packed bit vector.
 ///
 /// # Example
@@ -171,7 +204,7 @@ impl BitVec {
             .sum();
         let rem = k % WORD_BITS;
         if rem > 0 {
-            let mask = (1u64 << rem) - 1;
+            let mask = low_mask(rem);
             dist +=
                 ((self.words[full_words] ^ other.words[full_words]) & mask).count_ones() as usize;
         }
@@ -195,7 +228,7 @@ impl BitVec {
         out.words[..full_words].copy_from_slice(&self.words[..full_words]);
         let rem = k % WORD_BITS;
         if rem > 0 {
-            out.words[full_words] = self.words[full_words] & ((1u64 << rem) - 1);
+            out.words[full_words] = self.words[full_words] & low_mask(rem);
         }
         Ok(out)
     }
@@ -440,6 +473,30 @@ mod tests {
     fn pack_signs_into_rejects_wrong_buffer() {
         let mut words = vec![0u64; 1];
         pack_signs_into(&[1.0; 65], &mut words);
+    }
+
+    #[test]
+    fn mask_helpers_partition_the_word() {
+        for bits in [0usize, 1, 5, 63, 64, 65, 127, 128, 200, 256] {
+            let rem = bits % WORD_BITS;
+            // low_mask of the remainder and the garbage mask partition
+            // the 64-bit word exactly (garbage is empty at multiples).
+            if rem == 0 {
+                assert_eq!(tail_garbage_mask(bits), 0, "bits {bits}");
+            } else {
+                assert_eq!(
+                    low_mask(rem) ^ tail_garbage_mask(bits),
+                    !0u64,
+                    "bits {bits}"
+                );
+                assert_eq!(low_mask(rem) & tail_garbage_mask(bits), 0, "bits {bits}");
+                assert_eq!(low_mask(rem).count_ones() as usize, rem, "bits {bits}");
+            }
+        }
+        // Saturation: 64 (and beyond) keeps every bit.
+        assert_eq!(low_mask(64), !0u64);
+        assert_eq!(low_mask(200), !0u64);
+        assert_eq!(low_mask(0), 0);
     }
 
     #[test]

@@ -14,10 +14,12 @@
 //! Compared to a `Vec<BitVec>` (one heap allocation per row, a length
 //! field re-checked per comparison), the slab gives the Hamming
 //! microkernel [`PackedHashes::hamming_into`] a single linear pass over
-//! contiguous memory: XOR + popcount, 4×-unrolled over the word stride,
-//! with no per-row `Option`, no per-call length `Result`, and no tail
-//! masking in the loop — the *masked tail word is handled once at build
-//! time* by the trailing-zero invariant every [`BitVec`] builder upholds.
+//! contiguous memory through the runtime-dispatched kernel table in
+//! [`crate::simd`] (scalar 4×-unrolled fallback, AVX2 Harley–Seal,
+//! AVX-512 `VPOPCNTDQ`, NEON `vcnt`), with no per-row `Option`, no
+//! per-call length `Result`, and no tail masking in the loop — the
+//! *masked tail word is handled once at build time* by the
+//! trailing-zero invariant every [`BitVec`] builder upholds.
 //!
 //! This is the software twin of the data-layout argument in
 //! "Full-Stack Optimization for CAM-Only DNN Inference": packing and
@@ -202,9 +204,10 @@ impl PackedHashes {
     ///
     /// `query_words` must obey the [`BitVec`] trailing-zero invariant
     /// (every builder in this crate does), so no tail mask is applied in
-    /// the loop. The word loop is 4×-unrolled; widths that are a
-    /// multiple of 256 bits (the paper's chunk granularity) take only
-    /// the unrolled path.
+    /// the loop. The pass runs on the kernel the [`crate::simd`]
+    /// dispatch table selected for this host (scalar fallback, AVX2
+    /// Harley–Seal, AVX-512 `VPOPCNTDQ` or NEON `vcnt`) — every variant
+    /// is bit-identical to [`hamming_words`], the scalar oracle.
     ///
     /// # Panics
     ///
@@ -235,10 +238,27 @@ impl PackedHashes {
         );
         assert_eq!(out.len(), hi - lo, "output slot per row in range");
         let wpr = self.words_per_row;
-        let slab = &self.slab[lo * wpr..hi * wpr];
-        for (row_words, o) in slab.chunks_exact(wpr).zip(out.iter_mut()) {
-            *o = hamming_words(row_words, query_words);
-        }
+        crate::simd::hamming_range(&self.slab[lo * wpr..hi * wpr], wpr, query_words, out);
+    }
+
+    /// Hamming distance between row `row` and `query_words`, through the
+    /// same dispatched kernel as [`PackedHashes::hamming_into`] (the
+    /// single-row primitive of the occupancy-skip CAM scan, which visits
+    /// sparse survivors one at a time instead of the whole range).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `row` is out of range or `query_words` is not exactly
+    /// `words_per_row` long.
+    #[inline]
+    // analyze: alloc-free
+    pub fn hamming_row(&self, row: usize, query_words: &[u64]) -> u32 {
+        assert_eq!(
+            query_words.len(),
+            self.words_per_row,
+            "query width must match the tile stride"
+        );
+        crate::simd::hamming_pair(self.row_words(row), query_words)
     }
 }
 
@@ -272,9 +292,8 @@ impl serde::bin::BinCodec for PackedHashes {
         }
         // Re-assert the trailing-zero invariant every builder upholds:
         // the Hamming microkernel skips tail masking because of it.
-        let tail_bits = bits % WORD_BITS;
-        if tail_bits != 0 {
-            let mask = !0u64 << tail_bits;
+        let mask = crate::bitvec::tail_garbage_mask(bits);
+        if mask != 0 {
             for row in 0..rows {
                 if slab[row * words_per_row + words_per_row - 1] & mask != 0 {
                     return Err(serde::bin::BinError::Invalid(format!(
@@ -292,27 +311,27 @@ impl serde::bin::BinCodec for PackedHashes {
     }
 }
 
-/// XOR + popcount over two equal-length word slices, 4×-unrolled.
+/// XOR + popcount over two equal-length word slices — the **scalar
+/// oracle** every dispatched SIMD variant is differentially pinned to.
 ///
 /// Shared by the tile microkernel and any caller that already holds
 /// packed words (e.g. scratch query buffers built by
-/// [`pack_signs_into`](crate::bitvec::pack_signs_into)).
+/// [`pack_signs_into`](crate::bitvec::pack_signs_into)). The length
+/// contract is checked **once here, outside the word loop** — a
+/// `debug_assert!` would silently truncate to the shorter slice in
+/// release builds, reporting a plausible-but-wrong distance.
+///
+/// # Panics
+///
+/// Panics when `a` and `b` differ in length.
 #[inline]
 pub fn hamming_words(a: &[u64], b: &[u64]) -> u32 {
-    debug_assert_eq!(a.len(), b.len());
-    let mut acc = 0u32;
-    let mut chunks_a = a.chunks_exact(4);
-    let mut chunks_b = b.chunks_exact(4);
-    for (ca, cb) in chunks_a.by_ref().zip(chunks_b.by_ref()) {
-        acc += (ca[0] ^ cb[0]).count_ones()
-            + (ca[1] ^ cb[1]).count_ones()
-            + (ca[2] ^ cb[2]).count_ones()
-            + (ca[3] ^ cb[3]).count_ones();
-    }
-    for (&wa, &wb) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
-        acc += (wa ^ wb).count_ones();
-    }
-    acc
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "hamming_words requires equal-length slices"
+    );
+    crate::simd::scalar::hamming_pair(a, b)
 }
 
 #[cfg(test)]
@@ -418,6 +437,27 @@ mod tests {
                 .collect();
             let scalar: u32 = a.iter().zip(&b).map(|(x, y)| (x ^ y).count_ones()).sum();
             assert_eq!(hamming_words(&a, &b), scalar, "len {len}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn hamming_words_rejects_length_mismatch() {
+        // A release-build contract, not a debug_assert: truncating to the
+        // shorter slice would report a plausible-but-wrong distance.
+        hamming_words(&[0u64; 4], &[0u64; 3]);
+    }
+
+    #[test]
+    fn hamming_row_matches_range_kernel() {
+        let bits = 300;
+        let rows: Vec<BitVec> = (2..9).map(|s| patterned(bits, s)).collect();
+        let tile = PackedHashes::from_bitvecs(bits, &rows).unwrap();
+        let query = patterned(bits, 4);
+        let mut dists = vec![0u32; tile.rows()];
+        tile.hamming_into(query.words(), &mut dists);
+        for (row, &want) in dists.iter().enumerate() {
+            assert_eq!(tile.hamming_row(row, query.words()), want, "row {row}");
         }
     }
 

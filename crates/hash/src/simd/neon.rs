@@ -1,0 +1,74 @@
+//! AArch64 NEON Hamming kernels: `vcnt` byte popcount with pairwise
+//! widening accumulation.
+//!
+//! Selected at runtime by the dispatch table in [`super`]; the plain
+//! wrapper functions at the bottom are the only entries the table
+//! installs, and it installs them **only after**
+//! `is_aarch64_feature_detected!("neon")` returned true — that
+//! detection is the soundness argument for every `unsafe` here. Exact
+//! integer popcounts, bit-identical to the scalar oracle by
+//! construction and pinned by the per-width differential suite.
+
+#![cfg(target_arch = "aarch64")]
+
+use std::arch::aarch64::*;
+
+/// Unaligned 128-bit load of `words[at..at + 2]`.
+#[inline]
+#[target_feature(enable = "neon")]
+fn load128(words: &[u64], at: usize) -> uint64x2_t {
+    debug_assert!(at + 2 <= words.len());
+    // SAFETY: the debug_assert documents the caller contract (call
+    // sites advance `at` in bounds-checked strides of 2), the source is
+    // a live `&[u64]` allocation, and `vld1q_u64` tolerates unaligned
+    // addresses — this reads 16 in-bounds bytes.
+    unsafe { vld1q_u64(words.as_ptr().add(at)) }
+}
+
+/// Hamming distance between two equal-length word slices on NEON:
+/// XOR, `vcnt` per-byte popcount, pairwise-widening accumulate
+/// (`vpaddl` u8→u16→u32→u64); the odd tail word uses scalar
+/// `count_ones`.
+#[target_feature(enable = "neon")]
+fn pair_neon(a: &[u64], b: &[u64]) -> u32 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let mut acc = vdupq_n_u64(0);
+    let mut i = 0usize;
+    while i + 2 <= n {
+        let x = veorq_u64(load128(a, i), load128(b, i));
+        let bytes = vcntq_u8(vreinterpretq_u8_u64(x));
+        acc = vaddq_u64(acc, vpaddlq_u32(vpaddlq_u16(vpaddlq_u8(bytes))));
+        i += 2;
+    }
+    let mut total = (vgetq_lane_u64::<0>(acc) + vgetq_lane_u64::<1>(acc)) as u32;
+    while i < n {
+        total += (a[i] ^ b[i]).count_ones();
+        i += 1;
+    }
+    total
+}
+
+/// Range kernel on NEON: one [`pair_neon`] per contiguous row.
+#[target_feature(enable = "neon")]
+fn range_neon(slab: &[u64], wpr: usize, query: &[u64], out: &mut [u32]) {
+    for (row_words, o) in slab.chunks_exact(wpr).zip(out.iter_mut()) {
+        *o = pair_neon(row_words, query);
+    }
+}
+
+/// [`super::hamming_range`] entry for [`super::Variant::Neon`].
+pub(super) fn hamming_range_neon(slab: &[u64], wpr: usize, query: &[u64], out: &mut [u32]) {
+    // SAFETY: the dispatch table installs this wrapper only for
+    // `Variant::Neon`, which `detected()` lists solely after
+    // `is_aarch64_feature_detected!("neon")` returned true on this host.
+    unsafe { range_neon(slab, wpr, query, out) }
+}
+
+/// [`super::hamming_pair`] entry for [`super::Variant::Neon`].
+pub(super) fn hamming_pair_neon(a: &[u64], b: &[u64]) -> u32 {
+    // SAFETY: installed only for `Variant::Neon`, which `detected()`
+    // lists solely after `is_aarch64_feature_detected!("neon")`
+    // succeeded on this host.
+    unsafe { pair_neon(a, b) }
+}

@@ -1,0 +1,77 @@
+//! Scalar XOR+popcount kernels — the always-available fallback and the
+//! differential oracle every SIMD variant is tested against.
+//!
+//! `u64::count_ones` compiles to the hardware `popcnt` instruction on
+//! every target the workspace builds for (the `-C target-cpu=native`
+//! baseline), so "scalar" here means one word per operation, not a
+//! bit-twiddling loop. The word loop is 4×-unrolled; widths that are a
+//! multiple of 256 bits (the paper's chunk granularity) take only the
+//! unrolled path.
+
+/// Hamming distance of `query` against every `wpr`-word row of `slab`.
+///
+/// The slab/query/out contract (equal strides, one output slot per
+/// row) is validated once by the dispatch layer in
+/// [`super::hamming_range`] before any kernel runs.
+pub(crate) fn hamming_range(slab: &[u64], wpr: usize, query: &[u64], out: &mut [u32]) {
+    debug_assert_eq!(query.len(), wpr);
+    debug_assert_eq!(slab.len(), out.len() * wpr);
+    for (row_words, o) in slab.chunks_exact(wpr).zip(out.iter_mut()) {
+        *o = hamming_pair(row_words, query);
+    }
+}
+
+/// XOR + popcount over two equal-length word slices, 4×-unrolled.
+///
+/// Length equality is the caller's contract (checked by the public
+/// entry points [`crate::packed::hamming_words`] and
+/// [`super::hamming_pair`]); the `debug_assert!` documents it here.
+#[inline]
+pub(crate) fn hamming_pair(a: &[u64], b: &[u64]) -> u32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0u32;
+    let mut chunks_a = a.chunks_exact(4);
+    let mut chunks_b = b.chunks_exact(4);
+    for (ca, cb) in chunks_a.by_ref().zip(chunks_b.by_ref()) {
+        acc += (ca[0] ^ cb[0]).count_ones()
+            + (ca[1] ^ cb[1]).count_ones()
+            + (ca[2] ^ cb[2]).count_ones()
+            + (ca[3] ^ cb[3]).count_ones();
+    }
+    for (&wa, &wb) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+        acc += (wa ^ wb).count_ones();
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unrolled_equals_wordwise_reference() {
+        for len in [0usize, 1, 3, 4, 5, 7, 8, 16, 17] {
+            let a: Vec<u64> = (0..len as u64)
+                .map(|i| i.wrapping_mul(0x9E37_79B9))
+                .collect();
+            let b: Vec<u64> = (0..len as u64)
+                .map(|i| i.wrapping_mul(0x85EB_CA6B))
+                .collect();
+            let reference: u32 = a.iter().zip(&b).map(|(x, y)| (x ^ y).count_ones()).sum();
+            assert_eq!(hamming_pair(&a, &b), reference, "len {len}");
+        }
+    }
+
+    #[test]
+    fn range_is_one_pair_per_row() {
+        let wpr = 3;
+        let slab: Vec<u64> = (0..12u64).map(|i| i * 0x0101_0101).collect();
+        let query = vec![0xF0F0u64; wpr];
+        let mut out = vec![0u32; 4];
+        hamming_range(&slab, wpr, &query, &mut out);
+        for (row, &got) in out.iter().enumerate() {
+            let want = hamming_pair(&slab[row * wpr..(row + 1) * wpr], &query);
+            assert_eq!(got, want, "row {row}");
+        }
+    }
+}

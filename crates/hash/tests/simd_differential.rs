@@ -1,0 +1,137 @@
+//! Per-width scalar-vs-SIMD differential suite: every kernel variant the
+//! host detects must be **bitwise equal** to the scalar oracle
+//! (`hamming_words`) on every width — explicit boundary widths around
+//! the word, lane and Harley–Seal group sizes, plus randomized
+//! property-based sweeps.
+//!
+//! These tests gate the SIMD wave: a variant that disagrees with scalar
+//! on any input is a correctness bug, never a tolerance question —
+//! popcounts are exact integers.
+
+use deepcam_hash::packed::hamming_words;
+use deepcam_hash::simd::{detected, force_variant, hamming_pair_with, hamming_range_with, Variant};
+use deepcam_hash::{BitVec, PackedHashes};
+use proptest::prelude::*;
+
+/// The boundary widths (in bits) the suite must cover: 1, the word edges
+/// (63/64/65), the AVX2 lane and Harley–Seal group edges (255/256/257),
+/// and the full four-chunk CAM width.
+const BOUNDARY_BITS: [usize; 9] = [1, 63, 64, 65, 255, 256, 257, 512, 1024];
+
+/// Deterministic splittable word pattern (no RNG needed for the
+/// fixed-width sweeps).
+fn mixed_word(seed: u64, i: u64) -> u64 {
+    (seed.wrapping_add(i).wrapping_mul(0x9E37_79B9_7F4A_7C15)).rotate_left((i % 63) as u32)
+}
+
+fn patterned_bitvec(bits: usize, seed: u64) -> BitVec {
+    let bools: Vec<bool> = (0..bits)
+        .map(|i| mixed_word(seed, (i / 64) as u64) >> (i % 64) & 1 == 1)
+        .collect();
+    BitVec::from_bools(&bools)
+}
+
+#[test]
+fn every_detected_variant_matches_scalar_on_boundary_widths() {
+    for &bits in &BOUNDARY_BITS {
+        let rows: Vec<BitVec> = (0..17).map(|r| patterned_bitvec(bits, r as u64)).collect();
+        let tile = PackedHashes::from_bitvecs(bits, &rows).expect("equal widths");
+        let query = patterned_bitvec(bits, 777);
+        let wpr = tile.words_per_row();
+        let slab: Vec<u64> = (0..tile.rows())
+            .flat_map(|r| tile.row_words(r).iter().copied())
+            .collect();
+
+        // Scalar oracle, three independent routes that must agree: the
+        // BitVec reference, hamming_words, and the scalar range kernel.
+        let mut want = vec![0u32; tile.rows()];
+        hamming_range_with(Variant::Scalar, &slab, wpr, query.words(), &mut want);
+        for (r, row) in rows.iter().enumerate() {
+            assert_eq!(
+                want[r] as usize,
+                row.hamming(&query).unwrap(),
+                "bits {bits} row {r}"
+            );
+            assert_eq!(want[r], hamming_words(tile.row_words(r), query.words()));
+        }
+
+        for &v in detected() {
+            let mut got = vec![0u32; tile.rows()];
+            hamming_range_with(v, &slab, wpr, query.words(), &mut got);
+            assert_eq!(got, want, "bits {bits} variant {}", v.name());
+            for (r, &w) in want.iter().enumerate() {
+                assert_eq!(
+                    hamming_pair_with(v, tile.row_words(r), query.words()),
+                    w,
+                    "bits {bits} variant {} row {r}",
+                    v.name()
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_rows_match_scalar_on_every_variant(
+        bits in 1usize..700,
+        rows in 1usize..12,
+        seed in 0u64..10_000,
+    ) {
+        let words: Vec<BitVec> = (0..rows)
+            .map(|r| patterned_bitvec(bits, seed.wrapping_add(r as u64)))
+            .collect();
+        let tile = PackedHashes::from_bitvecs(bits, &words).unwrap();
+        let query = patterned_bitvec(bits, seed ^ 0xABCD);
+        let mut want = vec![0u32; rows];
+        tile.hamming_into(query.words(), &mut want);
+        // The dispatched pass must agree with the BitVec reference…
+        for (row, w) in words.iter().enumerate() {
+            prop_assert_eq!(want[row] as usize, w.hamming(&query).unwrap());
+        }
+        // …and every detected variant must agree bitwise with scalar.
+        for &v in detected() {
+            for (row, w) in words.iter().enumerate() {
+                let got = hamming_pair_with(v, tile.row_words(row), query.words());
+                prop_assert_eq!(got, want[row], "variant {} row {} ({:?})", v.name(), row, w.len());
+            }
+        }
+    }
+}
+
+#[test]
+fn forced_variants_drive_the_public_kernel() {
+    // force_variant repoints the dispatched entry points themselves; the
+    // results must be identical for every detected variant (flipping the
+    // active variant mid-run is benign by the bit-exactness contract).
+    let bits = 511;
+    let rows: Vec<BitVec> = (0..9)
+        .map(|r| patterned_bitvec(bits, 40 + r as u64))
+        .collect();
+    let tile = PackedHashes::from_bitvecs(bits, &rows).unwrap();
+    let query = patterned_bitvec(bits, 99);
+    let mut want = vec![0u32; rows.len()];
+    let initial = force_variant(Variant::Scalar).expect("scalar always detected");
+    tile.hamming_into(query.words(), &mut want);
+    for &v in detected() {
+        force_variant(v).expect("detected variant");
+        let mut got = vec![0u32; rows.len()];
+        tile.hamming_into(query.words(), &mut got);
+        assert_eq!(got, want, "variant {}", v.name());
+        for (row, &w) in want.iter().enumerate() {
+            assert_eq!(tile.hamming_row(row, query.words()), w);
+        }
+    }
+    let _ = force_variant(initial);
+}
+
+#[test]
+fn hamming_words_length_contract_is_checked_in_release() {
+    let caught = std::panic::catch_unwind(|| hamming_words(&[0u64; 3], &[0u64; 4]));
+    assert!(
+        caught.is_err(),
+        "mismatched lengths must panic, not truncate"
+    );
+}

@@ -8,6 +8,10 @@ use std::time::Duration;
 /// Bucket `i` covers `[2^(i-1), 2^i)` µs (bucket 0 is `< 1 µs`), so the
 /// footprint is constant no matter how many requests are recorded and a
 /// quantile is never more than 2× off — plenty for serving dashboards.
+/// The last bucket is a catch-all for `≥ 2^62 µs` (including durations
+/// whose microsecond count saturates `u64`), so quantiles landing there
+/// report the saturated bound `u64::MAX` µs rather than a value below a
+/// recorded latency; the 2× guarantee applies to every bucket below it.
 #[derive(Debug, Clone)]
 pub struct LatencyHistogram {
     counts: [u64; 64],
@@ -51,17 +55,31 @@ impl LatencyHistogram {
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                // Upper bound of bucket i in µs is 2^i (bucket 0: 1 µs).
-                return (1u128 << i) as f64 / 1000.0;
+                return bucket_upper_ms(i);
             }
         }
-        (1u128 << 63) as f64 / 1000.0
+        bucket_upper_ms(63)
     }
 }
 
 impl Default for LatencyHistogram {
     fn default() -> Self {
         LatencyHistogram::new()
+    }
+}
+
+/// Upper bound of bucket `i` in milliseconds. Bucket 63 is the
+/// catch-all `[2^62 µs, ∞)` — [`LatencyHistogram::record`] clamps both
+/// saturated `as_micros` conversions and `≥ 2^63 µs` samples into it —
+/// so its bound saturates at `u64::MAX` µs instead of `2^63` µs, which
+/// would sit *below* a recorded latency.
+#[inline]
+fn bucket_upper_ms(i: usize) -> f64 {
+    if i >= 63 {
+        u64::MAX as f64 / 1000.0
+    } else {
+        // Upper bound of bucket i in µs is 2^i (bucket 0: 1 µs).
+        (1u64 << i) as f64 / 1000.0
     }
 }
 
@@ -162,6 +180,25 @@ mod tests {
         h.record(Duration::from_secs(1 << 40));
         assert_eq!(h.total(), 2);
         assert!(h.quantile_ms(1.0) > 0.0);
+    }
+
+    #[test]
+    fn catch_all_bucket_bound_is_not_below_recorded_latency() {
+        let mut h = LatencyHistogram::new();
+        // as_micros = 2^53 · 10^6 > u64::MAX: the conversion saturates
+        // and the sample lands in the catch-all bucket. The reported
+        // bound must not undercut the actual (clamped) latency.
+        let huge = Duration::from_secs(1 << 53);
+        h.record(huge);
+        let clamped_ms = u64::MAX as f64 / 1000.0;
+        assert_eq!(h.quantile_ms(1.0), clamped_ms);
+        assert!(h.quantile_ms(1.0) >= clamped_ms);
+        // A sample in bucket 63's nominal range [2^62, 2^63) µs shares
+        // the saturated bound — the 2× guarantee stops below the
+        // catch-all, by design.
+        let mut h2 = LatencyHistogram::new();
+        h2.record(Duration::from_micros(1 << 62));
+        assert_eq!(h2.quantile_ms(1.0), clamped_ms);
     }
 
     #[test]

@@ -467,7 +467,9 @@ fn axpy_row(out: &mut [f32], a: f32, b_row: &[f32]) {
 /// Register-tiled dense GEMM: like [`matmul_into`] but **without** the
 /// zero-skip shortcut, which lets a 4-row × 32-column accumulator tile
 /// live in registers across the whole k walk (the skip's per-`(i,k)`
-/// branch would force accumulators back to memory).
+/// branch would force accumulators back to memory). Column and row
+/// tails reuse the same tile at narrower widths, so every output
+/// element — tail or not — is one serial ascending-k add chain.
 ///
 /// # Bit-exactness contract
 ///
@@ -525,31 +527,51 @@ pub fn matmul_dense_into(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out
             out[(i + 3) * n + jt..(i + 3) * n + jt + JT].copy_from_slice(&acc3);
             jt += JT;
         }
-        for j in jt..n {
-            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        let w = n - jt;
+        if w > 0 {
+            // Column tail (n % 32): the same 4-row register tile at
+            // runtime width `w` instead of a per-column scalar walk —
+            // the lanes stay independent add chains, and each output
+            // element still accumulates ascending in k in one serial
+            // chain, so the result is bit-identical to the scalar tail.
+            let mut acc0 = [0.0f32; JT];
+            let mut acc1 = [0.0f32; JT];
+            let mut acc2 = [0.0f32; JT];
+            let mut acc3 = [0.0f32; JT];
             for kk in 0..k {
-                let bv = b[kk * n + j];
-                s0 += a0_row[kk] * bv;
-                s1 += a1_row[kk] * bv;
-                s2 += a2_row[kk] * bv;
-                s3 += a3_row[kk] * bv;
+                let bv = &b[kk * n + jt..(kk + 1) * n];
+                let (x0, x1, x2, x3) = (a0_row[kk], a1_row[kk], a2_row[kk], a3_row[kk]);
+                for (l, &bvl) in bv.iter().enumerate() {
+                    acc0[l] += x0 * bvl;
+                    acc1[l] += x1 * bvl;
+                    acc2[l] += x2 * bvl;
+                    acc3[l] += x3 * bvl;
+                }
             }
-            out[i * n + j] = s0;
-            out[(i + 1) * n + j] = s1;
-            out[(i + 2) * n + j] = s2;
-            out[(i + 3) * n + j] = s3;
+            out[i * n + jt..(i + 1) * n].copy_from_slice(&acc0[..w]);
+            out[(i + 1) * n + jt..(i + 2) * n].copy_from_slice(&acc1[..w]);
+            out[(i + 2) * n + jt..(i + 3) * n].copy_from_slice(&acc2[..w]);
+            out[(i + 3) * n + jt..(i + 4) * n].copy_from_slice(&acc3[..w]);
         }
     }
-    // Remainder rows (m % 4): one dense row at a time.
+    // Remainder rows (m % 4): a 1-row register tile per column block —
+    // accumulators live in registers across the k walk instead of
+    // read-modify-writing `out` per (k, j). Same per-element add chain
+    // (ascending k), so bit-identical to the memory-accumulating form.
     for i in blocks * 4..m {
         let a_row = &a[i * k..(i + 1) * k];
-        let out_row = &mut out[i * n..(i + 1) * n];
-        out_row.fill(0.0);
-        for (kk, &av) in a_row.iter().enumerate() {
-            let b_row = &b[kk * n..(kk + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
-                *o += av * bv;
+        let mut jt = 0usize;
+        while jt < n {
+            let w = JT.min(n - jt);
+            let mut acc = [0.0f32; JT];
+            for (kk, &av) in a_row.iter().enumerate() {
+                let bv = &b[kk * n + jt..kk * n + jt + w];
+                for (l, &bvl) in bv.iter().enumerate() {
+                    acc[l] += av * bvl;
+                }
             }
+            out[i * n + jt..i * n + jt + w].copy_from_slice(&acc[..w]);
+            jt += JT;
         }
     }
 }

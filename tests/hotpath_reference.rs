@@ -117,6 +117,33 @@ fn variable_hash_plan_matches_reference() {
 }
 
 #[test]
+fn every_detected_simd_variant_matches_reference() {
+    // End-to-end gate for the kernel dispatch table: pin every variant
+    // the host detects (scalar always included — the CI
+    // `DEEPCAM_SIMD=scalar` leg runs this same suite with scalar as the
+    // ambient default) and require the full pipeline to reproduce the
+    // frozen reference bit for bit. Flipping the process-wide variant is
+    // benign even if other tests race this one: all variants compute
+    // identical bits, which is exactly what this test enforces.
+    use deepcam::hash::simd::{detected, force_variant};
+    let mut rng = seeded_rng(312);
+    let model = scaled_lenet5(&mut rng, 10);
+    let mut data_rng = seeded_rng(313);
+    let x = init::normal(&mut data_rng, Shape::new(&[2, 1, 28, 28]), 0.0, 1.0);
+    let initial = force_variant(*detected().first().expect("non-empty")).expect("detected");
+    for &variant in detected() {
+        force_variant(variant).expect("detected variant");
+        let cfg = EngineConfig {
+            plan: HashPlan::Uniform(512),
+            parallelism: Parallelism::Serial,
+            ..EngineConfig::default()
+        };
+        assert_paths_identical(&model, &x, cfg, &format!("lenet5 simd {}", variant.name()));
+    }
+    let _ = force_variant(initial);
+}
+
+#[test]
 fn sharded_fast_path_matches_serial_reference() {
     // Both axes at once: the reference (serial) pins the values, the
     // fast path must hit them at every worker count.

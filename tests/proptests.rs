@@ -173,6 +173,58 @@ proptest! {
     }
 
     #[test]
+    fn dense_gemm_bit_identical_to_zero_skip_kernel(
+        m in 1usize..10,
+        k in 1usize..12,
+        n in 1usize..70,
+        seed in 0u64..500,
+    ) {
+        // Random shapes deliberately straddle the kernel's 4-row blocks
+        // and 32-column register tiles (n < 70 exercises 0, 1 and 2 full
+        // tiles plus every tail width). Finite inputs → the dense kernel
+        // must agree with the historical zero-skip kernel bit for bit,
+        // on every dispatched column-tile path.
+        let mut rng = deepcam::tensor::rng::seeded_rng(seed);
+        let a = deepcam::tensor::init::normal(&mut rng, Shape::new(&[m, k]), 0.0, 1.0);
+        let b = deepcam::tensor::init::normal(&mut rng, Shape::new(&[k, n]), 0.0, 1.0);
+        let mut dense = vec![0.0f32; m * n];
+        let mut skip = vec![0.0f32; m * n];
+        deepcam::tensor::matmul_dense_into(a.data(), m, k, b.data(), n, &mut dense);
+        deepcam::tensor::matmul_into(a.data(), m, k, b.data(), n, &mut skip);
+        for (d, s) in dense.iter().zip(skip.iter()) {
+            prop_assert_eq!(d.to_bits(), s.to_bits());
+        }
+    }
+
+    #[test]
+    fn simd_dispatch_bitwise_equal_across_variants(
+        bits in 1usize..600,
+        rows in 1usize..10,
+        seed in 0u64..500,
+    ) {
+        use deepcam::hash::simd::{detected, hamming_pair_with, Variant};
+        use rand::RngExt;
+        let mut rng = deepcam::tensor::rng::seeded_rng(seed);
+        let mut make = || {
+            let bools: Vec<bool> = (0..bits).map(|_| rng.random::<bool>()).collect();
+            BitVec::from_bools(&bools)
+        };
+        let key = make();
+        for _ in 0..rows {
+            let row = make();
+            let want = hamming_pair_with(Variant::Scalar, row.words(), key.words());
+            prop_assert_eq!(want as usize, row.hamming(&key).unwrap());
+            for &v in detected() {
+                prop_assert_eq!(
+                    hamming_pair_with(v, row.words(), key.words()),
+                    want,
+                    "variant {}", v.name()
+                );
+            }
+        }
+    }
+
+    #[test]
     fn matmul_distributes_over_addition(
         a in proptest::collection::vec(-2.0f32..2.0, 6),
         b in proptest::collection::vec(-2.0f32..2.0, 6),
