@@ -68,6 +68,13 @@ impl Config {
                 "crates/bench/src/guard.rs",
                 "crates/serve/src/clock.rs",
                 "crates/serve/src/session.rs",
+                // The fault-tolerance surface is deadline- and
+                // retry-driven: every clock read goes through the Clock
+                // trait and every random draw through a seeded rng, so
+                // timeouts, backoff and fault plans replay exactly.
+                "crates/serve/src/server.rs",
+                "crates/serve/src/client.rs",
+                "crates/serve/src/chaos.rs",
             ],
             // A6: worker threads live in the pool; the TCP server owns
             // its accept/connection threads; the session owns its

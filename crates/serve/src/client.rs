@@ -1,40 +1,261 @@
-//! A small blocking client for the [`crate::server`] protocol — the
-//! counterpart examples and benches drive round-trips with.
+//! A blocking client for the [`crate::server`] protocol, with per-call
+//! socket timeouts and a deterministic retry policy.
+//!
+//! Retries are safe *because inference is pure*: `infer` is bit-exact
+//! and side-effect free, so re-sending a request whose reply was lost
+//! can never change a result. The policy therefore retries exactly the
+//! failures where the server's answer is "not now, nothing is wrong
+//! with the request": transport errors, [`ErrorKind::Overloaded`]
+//! backpressure, and [`ErrorKind::Draining`] shutdowns. Typed request
+//! errors (`NotFound`, `InvalidRequest`, …) fail fast — retrying them
+//! would just repeat the refusal.
 
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::Duration;
 
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::clock::{Clock, SystemClock};
 use crate::error::{Result, ServeError};
 use crate::protocol::{
-    decode_payload, encode_payload, read_frame, write_frame, Frame, Request, Response,
-    WireModelInfo, WireStats,
+    decode_payload, encode_payload, read_frame, write_frame, ErrorKind, Frame, Request, Response,
+    WireModelInfo, WireServerStats, WireStats,
 };
+
+/// When and how [`Client`] retries a failed call.
+///
+/// Backoff before attempt `n+1` is `min(base_backoff · 2ⁿ,
+/// max_backoff)` scaled by a jitter factor in `[0.5, 1.0)` drawn from
+/// a [`StdRng`] seeded with `seed` — the whole schedule is a pure
+/// function of the policy, so tests replay it exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). `1` means fail fast.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub base_backoff: Duration,
+    /// Ceiling the exponential backoff saturates at.
+    pub max_backoff: Duration,
+    /// Overall budget across all attempts and backoffs, measured from
+    /// the start of the call; `None` bounds the call only by
+    /// `max_attempts`.
+    pub overall_deadline: Option<Duration>,
+    /// Seed of the jitter stream.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// No retries: every failure surfaces on the first attempt.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            overall_deadline: None,
+            seed: 0,
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Four attempts, 10 ms base backoff capped at 1 s, 30 s overall.
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(1),
+            overall_deadline: Some(Duration::from_secs(30)),
+            seed: 0x5eed_cafe,
+        }
+    }
+}
+
+/// Jittered exponential backoff before retry number `attempt`
+/// (0-based). Pure: the same `(policy, attempt, rng state)` always
+/// produces the same delay.
+fn backoff_delay(policy: &RetryPolicy, attempt: u32, rng: &mut StdRng) -> Duration {
+    let doubled = policy
+        .base_backoff
+        .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX));
+    let capped = doubled.min(policy.max_backoff);
+    let jitter: f64 = rng.random_range(0.5f64..1.0);
+    capped.mul_f64(jitter)
+}
+
+/// Socket timeouts and retry behavior for a [`Client`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientConfig {
+    /// Per-read socket deadline (covers waiting for a reply frame).
+    pub read_timeout: Option<Duration>,
+    /// Per-write socket deadline.
+    pub write_timeout: Option<Duration>,
+    /// The retry policy; [`RetryPolicy::none`] by default, so plain
+    /// [`Client::connect`] behaves exactly like the pre-retry client.
+    pub retry: RetryPolicy,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            retry: RetryPolicy::none(),
+        }
+    }
+}
 
 /// A connected client speaking one request/response at a time.
 pub struct Client {
-    stream: TcpStream,
+    addrs: Vec<SocketAddr>,
+    cfg: ClientConfig,
+    clock: Arc<dyn Clock>,
+    rng: StdRng,
+    stream: Option<TcpStream>,
+    last_attempts: u32,
 }
 
 impl Client {
-    /// Connects to a running [`crate::server::Server`].
+    /// Connects to a running [`crate::server::Server`] with default
+    /// timeouts and no retries.
     ///
     /// # Errors
     ///
     /// Returns [`ServeError::Io`] when the connect fails.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
-        let stream =
-            TcpStream::connect(addr).map_err(|e| ServeError::Io(format!("connect: {e}")))?;
-        let _ = stream.set_nodelay(true);
-        Ok(Client { stream })
+        Client::connect_with(addr, ClientConfig::default())
     }
 
-    /// One request/response round trip.
+    /// Connects with explicit timeouts and retry policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] when the connect fails.
+    pub fn connect_with(addr: impl ToSocketAddrs, cfg: ClientConfig) -> Result<Client> {
+        Client::connect_with_clock(addr, cfg, Arc::new(SystemClock))
+    }
+
+    /// [`Client::connect_with`] with an explicit time source, so the
+    /// overall-deadline check can be driven from tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] when the connect fails.
+    pub fn connect_with_clock(
+        addr: impl ToSocketAddrs,
+        cfg: ClientConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Result<Client> {
+        let addrs: Vec<SocketAddr> = addr
+            .to_socket_addrs()
+            .map_err(|e| ServeError::Io(format!("resolve: {e}")))?
+            .collect();
+        if addrs.is_empty() {
+            return Err(ServeError::Io("address resolved to nothing".into()));
+        }
+        let rng = StdRng::seed_from_u64(cfg.retry.seed);
+        let mut client = Client {
+            addrs,
+            cfg,
+            clock,
+            rng,
+            stream: None,
+            last_attempts: 0,
+        };
+        client.ensure_connected()?;
+        Ok(client)
+    }
+
+    /// Attempts the most recent call made, including the successful
+    /// one — `1` when the first try succeeded. Exposed so retry tests
+    /// can assert the schedule actually ran.
+    pub fn last_call_attempts(&self) -> u32 {
+        self.last_attempts
+    }
+
+    /// Re-establishes the connection if the last call tore it down.
+    fn ensure_connected(&mut self) -> Result<&mut TcpStream> {
+        if self.stream.is_none() {
+            let mut last_err: Option<std::io::Error> = None;
+            for addr in &self.addrs {
+                match TcpStream::connect(addr) {
+                    Ok(s) => {
+                        let _ = s.set_nodelay(true);
+                        let _ = s.set_read_timeout(self.cfg.read_timeout);
+                        let _ = s.set_write_timeout(self.cfg.write_timeout);
+                        self.stream = Some(s);
+                        last_err = None;
+                        break;
+                    }
+                    Err(e) => last_err = Some(e),
+                }
+            }
+            if let Some(e) = last_err {
+                return Err(ServeError::Io(format!("connect: {e}")));
+            }
+        }
+        self.stream
+            .as_mut()
+            .ok_or_else(|| ServeError::Io("not connected".into()))
+    }
+
+    /// One wire round trip. Transport failures drop the stream so the
+    /// next attempt reconnects; a typed server error leaves the
+    /// (healthy) connection in place and surfaces as
+    /// [`ServeError::Remote`].
+    fn call_once(&mut self, request: &Request) -> Result<Response> {
+        let outcome: Result<Response> = (|| {
+            let stream = self.ensure_connected()?;
+            write_frame(stream, &encode_payload(request))?;
+            match read_frame(stream)? {
+                Frame::Payload(payload) => decode_payload(&payload),
+                Frame::Closed => Err(ServeError::Io(
+                    "server closed the connection mid-call".into(),
+                )),
+            }
+        })();
+        match outcome {
+            Ok(Response::Error { kind, message }) => Err(ServeError::Remote { kind, message }),
+            Ok(resp) => Ok(resp),
+            Err(e) => {
+                self.stream = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// One request/response round trip under the retry policy.
     fn call(&mut self, request: &Request) -> Result<Response> {
-        write_frame(&mut self.stream, &encode_payload(request))?;
-        match read_frame(&mut self.stream)? {
-            Frame::Payload(payload) => decode_payload(&payload),
-            Frame::Closed => Err(ServeError::Io(
-                "server closed the connection mid-call".into(),
-            )),
+        let deadline = self
+            .cfg
+            .retry
+            .overall_deadline
+            .and_then(|d| self.clock.now().checked_add(d));
+        let max_attempts = self.cfg.retry.max_attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            self.last_attempts = attempt;
+            let err = match self.call_once(request) {
+                Ok(resp) => return Ok(resp),
+                Err(e) => e,
+            };
+            if !is_retryable(&err) || attempt >= max_attempts {
+                return Err(err);
+            }
+            let delay = backoff_delay(&self.cfg.retry, attempt - 1, &mut self.rng);
+            if let Some(deadline) = deadline {
+                // Would the backoff alone blow the budget? Give up and
+                // surface the last failure rather than oversleeping.
+                match self.clock.now().checked_add(delay) {
+                    Some(resumes_at) if resumes_at <= deadline => {}
+                    _ => return Err(err),
+                }
+            }
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+            }
         }
     }
 
@@ -44,7 +265,7 @@ impl Client {
     /// # Errors
     ///
     /// [`ServeError::Remote`] carrying the server's typed error, or
-    /// transport errors.
+    /// transport errors (after the retry policy is exhausted).
     pub fn infer(&mut self, model: &str, dims: &[usize], data: &[f32]) -> Result<Vec<f32>> {
         match self.call(&Request::Infer {
             model: model.into(),
@@ -52,7 +273,6 @@ impl Client {
             data: data.to_vec(),
         })? {
             Response::Logits(logits) => Ok(logits),
-            Response::Error { kind, message } => Err(ServeError::Remote { kind, message }),
             other => Err(ServeError::Protocol(format!(
                 "expected Logits, got {other:?}"
             ))),
@@ -67,7 +287,6 @@ impl Client {
     pub fn list_models(&mut self) -> Result<Vec<WireModelInfo>> {
         match self.call(&Request::ListModels)? {
             Response::Models(models) => Ok(models),
-            Response::Error { kind, message } => Err(ServeError::Remote { kind, message }),
             other => Err(ServeError::Protocol(format!(
                 "expected Models, got {other:?}"
             ))),
@@ -84,10 +303,137 @@ impl Client {
             model: model.into(),
         })? {
             Response::Stats(stats) => Ok(stats),
-            Response::Error { kind, message } => Err(ServeError::Remote { kind, message }),
             other => Err(ServeError::Protocol(format!(
                 "expected Stats, got {other:?}"
             ))),
         }
+    }
+
+    /// Fetches the server's connection robustness counters.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Client::infer`].
+    pub fn server_stats(&mut self) -> Result<WireServerStats> {
+        match self.call(&Request::ServerStats)? {
+            Response::ServerStats(stats) => Ok(stats),
+            other => Err(ServeError::Protocol(format!(
+                "expected ServerStats, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// The retry gate: transport failures plus the two "not now" server
+/// answers. Everything else is a fact about the request and fails
+/// fast.
+fn is_retryable(e: &ServeError) -> bool {
+    match e {
+        ServeError::Io(_) => true,
+        ServeError::Remote { kind, .. } => {
+            matches!(kind, ErrorKind::Overloaded | ErrorKind::Draining)
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_for_a_seed() {
+        let policy = RetryPolicy::default();
+        let mut a = StdRng::seed_from_u64(policy.seed);
+        let mut b = StdRng::seed_from_u64(policy.seed);
+        for attempt in 0..6 {
+            assert_eq!(
+                backoff_delay(&policy, attempt, &mut a),
+                backoff_delay(&policy, attempt, &mut b)
+            );
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_within_jitter_bounds_and_caps() {
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(160),
+            overall_deadline: None,
+            seed: 7,
+        };
+        let mut rng = StdRng::seed_from_u64(policy.seed);
+        for attempt in 0..12 {
+            let nominal = policy
+                .base_backoff
+                .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+                .min(policy.max_backoff);
+            let d = backoff_delay(&policy, attempt, &mut rng);
+            // Jitter is in [0.5, 1.0); pad the bounds one nanosecond
+            // for `mul_f64`'s rounding.
+            assert!(
+                d + Duration::from_nanos(1) >= nominal.mul_f64(0.5),
+                "attempt {attempt}: {d:?}"
+            );
+            assert!(d <= nominal, "attempt {attempt}: {d:?} vs {nominal:?}");
+            if attempt >= 4 {
+                // 10 ms · 2⁴ = 160 ms hits the cap.
+                assert!(d < policy.max_backoff);
+            }
+        }
+    }
+
+    #[test]
+    fn huge_attempt_counts_saturate_instead_of_overflowing() {
+        let policy = RetryPolicy {
+            max_attempts: u32::MAX,
+            base_backoff: Duration::from_secs(1),
+            max_backoff: Duration::from_secs(5),
+            overall_deadline: None,
+            seed: 1,
+        };
+        let mut rng = StdRng::seed_from_u64(policy.seed);
+        let d = backoff_delay(&policy, 64, &mut rng);
+        assert!(d <= policy.max_backoff);
+    }
+
+    #[test]
+    fn retry_gate_matches_the_contract() {
+        assert!(is_retryable(&ServeError::Io("broken pipe".into())));
+        assert!(is_retryable(&ServeError::Remote {
+            kind: ErrorKind::Overloaded,
+            message: String::new(),
+        }));
+        assert!(is_retryable(&ServeError::Remote {
+            kind: ErrorKind::Draining,
+            message: String::new(),
+        }));
+        for kind in [
+            ErrorKind::NotFound,
+            ErrorKind::BadArtifact,
+            ErrorKind::InvalidRequest,
+            ErrorKind::Engine,
+            ErrorKind::Protocol,
+            ErrorKind::Internal,
+            ErrorKind::Timeout,
+        ] {
+            assert!(
+                !is_retryable(&ServeError::Remote {
+                    kind,
+                    message: String::new(),
+                }),
+                "{kind:?} must fail fast"
+            );
+        }
+        assert!(!is_retryable(&ServeError::Protocol("desync".into())));
+        assert!(!is_retryable(&ServeError::ShuttingDown));
+    }
+
+    #[test]
+    fn none_policy_is_single_attempt() {
+        let p = RetryPolicy::none();
+        assert_eq!(p.max_attempts, 1);
+        assert_eq!(p.base_backoff, Duration::ZERO);
     }
 }

@@ -34,8 +34,19 @@
 //!   latency.
 //! * [`server::Server`] / [`client::Client`] — a `std::net`-only TCP
 //!   server speaking the [`protocol`] frames (`Infer`, `ListModels`,
-//!   `Stats`), with per-connection limits and hostile-input-safe
-//!   decoding.
+//!   `Stats`, `ServerStats`), with per-connection limits and
+//!   hostile-input-safe decoding. Connections live under typed
+//!   deadlines (`read_timeout` reaps mid-frame stalls, `idle_timeout`
+//!   governs quiet keep-alives), shutdown is a two-phase graceful
+//!   drain, and the client retries transport faults, `Overloaded` and
+//!   `Draining` under a seeded deterministic
+//!   [`client::RetryPolicy`] — safe because inference is pure and
+//!   bit-exact.
+//! * [`chaos`] — deterministic fault injection: seeded
+//!   [`chaos::FaultPlan`]s replayed by a [`chaos::FaultStream`]
+//!   wrapper (partial I/O, injected errno faults, stalls, mid-frame
+//!   disconnects) and a [`chaos::run_soak`] harness that pins the
+//!   fault-tolerance contract against a live server.
 //!
 //! # Example
 //!
@@ -54,6 +65,7 @@
 // unsafe code, and the compiler now enforces that it never grows any.
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod client;
 pub mod clock;
 pub mod error;
@@ -63,10 +75,11 @@ pub mod server;
 pub mod session;
 pub mod stats;
 
-pub use client::Client;
+pub use chaos::{FaultOp, FaultPlan, FaultStream, SoakConfig, SoakReport};
+pub use client::{Client, ClientConfig, RetryPolicy};
 pub use clock::{Clock, ManualClock, SystemClock, Waker};
 pub use error::{Result, ServeError};
 pub use registry::{ModelInfo, ModelRegistry};
 pub use server::{Server, ServerConfig};
 pub use session::{Pending, Runtime, Session, SessionConfig};
-pub use stats::{LatencyHistogram, SessionStats};
+pub use stats::{LatencyHistogram, ServerStats, SessionStats};

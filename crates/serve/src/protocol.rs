@@ -19,10 +19,12 @@
 //! | `0` | `Request::Infer` | model id, per-image dims, f32 image data |
 //! | `1` | `Request::ListModels` | — |
 //! | `2` | `Request::Stats` | model id |
+//! | `3` | `Request::ServerStats` | — |
 //! | `0` | `Response::Logits` | f32 logits row |
 //! | `1` | `Response::Models` | id + residency per model |
 //! | `2` | `Response::Stats` | serving counters snapshot |
 //! | `3` | `Response::Error` | [`ErrorKind`] + message |
+//! | `4` | `Response::ServerStats` | server robustness counters |
 //!
 //! Decoding is hostile-input safe: truncation, unknown tags, trailing
 //! bytes, over-limit dims/lengths and dims/data mismatches all return
@@ -65,6 +67,8 @@ pub enum Request {
         /// Registry id of the model.
         model: String,
     },
+    /// Fetch the server's connection-level robustness counters.
+    ServerStats,
 }
 
 /// A server→client message.
@@ -84,6 +88,8 @@ pub enum Response {
         /// Human-readable detail.
         message: String,
     },
+    /// The robustness counters for a `ServerStats` request.
+    ServerStats(WireServerStats),
 }
 
 /// One registry entry on the wire.
@@ -119,8 +125,8 @@ pub struct WireStats {
 }
 
 /// Coarse error classes a [`Response::Error`] carries, so clients can
-/// react (retry on `Overloaded`, fail fast on `NotFound`) without
-/// parsing messages.
+/// react (retry on `Overloaded`/`Draining`, fail fast on `NotFound`)
+/// without parsing messages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ErrorKind {
     /// Unknown model id.
@@ -135,8 +141,17 @@ pub enum ErrorKind {
     Engine,
     /// The client violated the wire protocol.
     Protocol,
-    /// Anything else (shutdown, internal I/O).
+    /// Anything else (internal I/O).
     Internal,
+    /// The client stalled mid-frame past the server's `read_timeout`;
+    /// the server answers this once and hangs up. Idle connections at a
+    /// frame *boundary* never receive it.
+    Timeout,
+    /// The server is draining for graceful shutdown: requests already
+    /// in flight complete, requests arriving mid-drain get this.
+    /// Retryable — the computation is pure, and another replica (or the
+    /// restarted server) will produce a bit-identical answer.
+    Draining,
 }
 
 impl BinCodec for ErrorKind {
@@ -149,6 +164,8 @@ impl BinCodec for ErrorKind {
             ErrorKind::Engine => 4,
             ErrorKind::Protocol => 5,
             ErrorKind::Internal => 6,
+            ErrorKind::Timeout => 7,
+            ErrorKind::Draining => 8,
         });
     }
 
@@ -161,7 +178,45 @@ impl BinCodec for ErrorKind {
             4 => ErrorKind::Engine,
             5 => ErrorKind::Protocol,
             6 => ErrorKind::Internal,
+            7 => ErrorKind::Timeout,
+            8 => ErrorKind::Draining,
             other => return Err(BinError::Invalid(format!("ErrorKind tag {other}"))),
+        })
+    }
+}
+
+/// A [`crate::stats::ServerStats`] snapshot on the wire: the server's
+/// connection-level robustness counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WireServerStats {
+    /// Connections accepted into service.
+    pub accepted: u64,
+    /// Connections refused (over the limit, or arriving mid-drain).
+    pub refused: u64,
+    /// Connections reaped for stalling mid-frame past `read_timeout`.
+    pub timed_out: u64,
+    /// Wire-protocol violations answered with a typed error.
+    pub protocol_errors: u64,
+    /// Requests whose replies were delivered during a graceful drain.
+    pub drained: u64,
+}
+
+impl BinCodec for WireServerStats {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.accepted);
+        w.put_u64(self.refused);
+        w.put_u64(self.timed_out);
+        w.put_u64(self.protocol_errors);
+        w.put_u64(self.drained);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> BinResult<Self> {
+        Ok(WireServerStats {
+            accepted: r.get_u64()?,
+            refused: r.get_u64()?,
+            timed_out: r.get_u64()?,
+            protocol_errors: r.get_u64()?,
+            drained: r.get_u64()?,
         })
     }
 }
@@ -192,6 +247,7 @@ impl BinCodec for Request {
                 w.put_u8(2);
                 w.put_str(model);
             }
+            Request::ServerStats => w.put_u8(3),
         }
     }
 
@@ -230,6 +286,7 @@ impl BinCodec for Request {
             2 => Ok(Request::Stats {
                 model: decode_model_id(r)?,
             }),
+            3 => Ok(Request::ServerStats),
             other => Err(BinError::Invalid(format!("Request tag {other}"))),
         }
     }
@@ -297,6 +354,10 @@ impl BinCodec for Response {
                 kind.encode(w);
                 w.put_str(message);
             }
+            Response::ServerStats(stats) => {
+                w.put_u8(4);
+                stats.encode(w);
+            }
         }
     }
 
@@ -318,6 +379,7 @@ impl BinCodec for Response {
                 kind: BinCodec::decode(r)?,
                 message: r.get_str()?,
             }),
+            4 => Ok(Response::ServerStats(BinCodec::decode(r)?)),
             other => Err(BinError::Invalid(format!("Response tag {other}"))),
         }
     }
@@ -372,6 +434,22 @@ pub enum Frame {
     Closed,
 }
 
+/// Validates a decoded frame-length prefix *before* any allocation:
+/// zero and over-[`MAX_FRAME_BYTES`] lengths are protocol violations.
+/// Shared by [`read_frame`] and the server's deadline-aware reader.
+///
+/// # Errors
+///
+/// [`ServeError::Protocol`] for zero/over-limit lengths.
+pub fn check_frame_len(len: usize) -> Result<()> {
+    if len == 0 || len > MAX_FRAME_BYTES {
+        return Err(ServeError::Protocol(format!(
+            "frame length {len} outside 1..={MAX_FRAME_BYTES}"
+        )));
+    }
+    Ok(())
+}
+
 /// Reads one frame. The length prefix is validated against
 /// [`MAX_FRAME_BYTES`] *before* any payload allocation, and the payload
 /// buffer grows in 64 KiB steps as bytes arrive, so a
@@ -389,11 +467,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame> {
         Err(e) => return Err(e.into()),
     }
     let len = u32::from_le_bytes(prefix) as usize;
-    if len == 0 || len > MAX_FRAME_BYTES {
-        return Err(ServeError::Protocol(format!(
-            "frame length {len} outside 1..={MAX_FRAME_BYTES}"
-        )));
-    }
+    check_frame_len(len)?;
     let mut payload = Vec::with_capacity(len.min(READ_CHUNK));
     let mut remaining = len;
     while remaining > 0 {
@@ -420,9 +494,8 @@ pub fn classify(e: &ServeError) -> (ErrorKind, String) {
         ServeError::InvalidRequest(_) => ErrorKind::InvalidRequest,
         ServeError::Engine(_) => ErrorKind::Engine,
         ServeError::Protocol(_) => ErrorKind::Protocol,
-        ServeError::Io(_) | ServeError::ShuttingDown | ServeError::Remote { .. } => {
-            ErrorKind::Internal
-        }
+        ServeError::ShuttingDown => ErrorKind::Draining,
+        ServeError::Io(_) | ServeError::Remote { .. } => ErrorKind::Internal,
     };
     (kind, e.to_string())
 }
@@ -448,6 +521,7 @@ mod tests {
         roundtrip_request(&Request::Stats {
             model: "vgg11".into(),
         });
+        roundtrip_request(&Request::ServerStats);
     }
 
     #[test]
@@ -469,9 +543,24 @@ mod tests {
                 p50_latency_ms: 1.0,
                 p99_latency_ms: 9.5,
             }),
+            Response::ServerStats(WireServerStats {
+                accepted: 12,
+                refused: 3,
+                timed_out: 2,
+                protocol_errors: 1,
+                drained: 4,
+            }),
             Response::Error {
                 kind: ErrorKind::Overloaded,
                 message: "queue full".into(),
+            },
+            Response::Error {
+                kind: ErrorKind::Timeout,
+                message: "stalled mid-frame".into(),
+            },
+            Response::Error {
+                kind: ErrorKind::Draining,
+                message: "shutting down".into(),
             },
         ] {
             let bytes = encode_payload(&resp);
@@ -569,6 +658,14 @@ mod tests {
     }
 
     #[test]
+    fn check_frame_len_bounds() {
+        assert!(check_frame_len(1).is_ok());
+        assert!(check_frame_len(MAX_FRAME_BYTES).is_ok());
+        assert!(check_frame_len(0).is_err());
+        assert!(check_frame_len(MAX_FRAME_BYTES + 1).is_err());
+    }
+
+    #[test]
     fn write_frame_refuses_over_limit_payloads() {
         let mut sink = Vec::new();
         let huge = vec![0u8; MAX_FRAME_BYTES + 1];
@@ -594,7 +691,7 @@ mod tests {
                 ErrorKind::Overloaded,
             ),
             (ServeError::Protocol("p".into()), ErrorKind::Protocol),
-            (ServeError::ShuttingDown, ErrorKind::Internal),
+            (ServeError::ShuttingDown, ErrorKind::Draining),
         ];
         for (err, want) in cases {
             assert_eq!(classify(&err).0, want, "{err}");

@@ -35,6 +35,10 @@ pub struct ModelInfo {
     pub model_name: Option<String>,
     /// Dot layers compiled to CAM form (`None` until first load).
     pub dot_layers: Option<usize>,
+    /// Whether the artifact is negative-cached as corrupt: its last
+    /// load failed and the file has not changed since, so `get`s fail
+    /// fast without re-reading it.
+    pub quarantined: bool,
 }
 
 enum Source {
@@ -45,11 +49,24 @@ enum Source {
     Memory,
 }
 
+/// Negative-cache record of a corrupt artifact, keyed to the exact
+/// file state (length + mtime) whose load failed. A matching file on a
+/// later `get` fails fast without re-reading or re-parsing it; a file
+/// whose key changed (repaired, rewritten) gets a fresh load attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Quarantine {
+    len: u64,
+    mtime: Option<std::time::SystemTime>,
+    detail: String,
+}
+
 struct Entry {
     source: Source,
     engine: Option<Arc<DeepCamEngine>>,
     /// Eviction clock: registry tick of the last `get`.
     last_used: u64,
+    /// Set while the artifact is negative-cached as corrupt.
+    quarantine: Option<Quarantine>,
 }
 
 struct Inner {
@@ -143,6 +160,7 @@ impl ModelRegistry {
                 source: Source::File(path.clone()),
                 engine: None,
                 last_used: 0,
+                quarantine: None,
             });
         }
         Ok(inner.entries.len())
@@ -161,6 +179,7 @@ impl ModelRegistry {
                 source: Source::Memory,
                 engine: Some(Arc::clone(&engine)),
                 last_used: tick,
+                quarantine: None,
             },
         );
         engine
@@ -180,10 +199,14 @@ impl ModelRegistry {
     ///
     /// [`ServeError::ModelNotFound`] for unknown ids;
     /// [`ServeError::BadArtifact`] when the artifact fails to read,
-    /// decode or validate.
+    /// decode or validate — or when it is quarantined: a failed load
+    /// negative-caches the file's (length, mtime) key, and as long as
+    /// the file on disk still matches, later `get`s fail fast without
+    /// re-reading a broken multi-MiB artifact. Repairing the file
+    /// (which changes the key) clears the quarantine and reloads.
     pub fn get(&self, id: &str) -> Result<Arc<DeepCamEngine>> {
         // Fast path (and path lookup) under the lock.
-        let path = {
+        let (path, quarantine) = {
             let mut inner = self.inner.lock().expect("registry lock");
             inner.tick += 1;
             let tick = inner.tick;
@@ -198,20 +221,53 @@ impl ModelRegistry {
             let Source::File(path) = &entry.source else {
                 unreachable!("memory entries always hold their engine");
             };
-            path.clone()
+            (path.clone(), entry.quarantine.clone())
         };
+        // Quarantine check: one cheap stat instead of a full read when
+        // the file is still the exact bytes that failed last time.
+        let stat = std::fs::metadata(&path)
+            .ok()
+            .map(|m| (m.len(), m.modified().ok()));
+        if let (Some(q), Some((len, mtime))) = (&quarantine, &stat) {
+            if q.len == *len && q.mtime == *mtime {
+                return Err(ServeError::BadArtifact {
+                    model: id.into(),
+                    detail: format!("quarantined: {}", q.detail),
+                });
+            }
+        }
         // Slow path: disk read + decode with no locks held.
-        let engine = Arc::new(
-            DeepCamEngine::load(&path).map_err(|e| ServeError::BadArtifact {
-                model: id.into(),
-                detail: e.to_string(),
-            })?,
-        );
+        let loaded = DeepCamEngine::load(&path).map_err(|e| ServeError::BadArtifact {
+            model: id.into(),
+            detail: e.to_string(),
+        });
+        let engine = match loaded {
+            Ok(engine) => Arc::new(engine),
+            Err(e) => {
+                // Negative-cache this exact file state (when it could
+                // be keyed) so the broken artifact is not re-parsed on
+                // every request.
+                if let Some((len, mtime)) = stat {
+                    let detail = match &e {
+                        ServeError::BadArtifact { detail, .. } => detail.clone(),
+                        other => other.to_string(),
+                    };
+                    let mut inner = self.inner.lock().expect("registry lock");
+                    if let Some(entry) = inner.entries.get_mut(id) {
+                        entry.quarantine = Some(Quarantine { len, mtime, detail });
+                    }
+                }
+                return Err(e);
+            }
+        };
         let mut inner = self.inner.lock().expect("registry lock");
         inner.tick += 1;
         let tick = inner.tick;
         if let Some(entry) = inner.entries.get_mut(id) {
             entry.last_used = tick;
+            // A successful load from this file state supersedes any
+            // stale quarantine.
+            entry.quarantine = None;
             // A racing loader may have cached first; share its engine
             // so every caller holds the same instance.
             if let Some(existing) = &entry.engine {
@@ -259,6 +315,7 @@ impl ModelRegistry {
                 loaded: e.engine.is_some(),
                 model_name: e.engine.as_ref().map(|eng| eng.model_name().to_string()),
                 dot_layers: e.engine.as_ref().map(|eng| eng.dot_layers()),
+                quarantined: e.quarantine.is_some(),
             })
             .collect()
     }

@@ -6,17 +6,54 @@
 //! requests coalesce in the per-model micro-batchers. Per-connection
 //! limits (frame size, image size, connection count) are enforced
 //! before any allocation or engine work.
+//!
+//! # Connection lifecycle
+//!
+//! Each connection distinguishes three ways of "not sending bytes":
+//!
+//! - **Idle at a frame boundary** — no bytes of the next frame have
+//!   arrived. Governed by [`ServerConfig::idle_timeout`] (default:
+//!   wait forever); hitting it closes the connection quietly.
+//! - **Stalled mid-frame** — the first byte of a frame arrived but the
+//!   rest didn't within [`ServerConfig::read_timeout`]. This is the
+//!   slow-loris shape: the connection is answered once with a typed
+//!   [`ErrorKind::Timeout`] frame and hung up, so a half-frame peer
+//!   can never pin a connection thread against `max_connections`.
+//! - **Not reading replies** — a zero-window peer stalling reply
+//!   writes is reaped by [`ServerConfig::write_timeout`].
+//!
+//! # Graceful drain
+//!
+//! [`Server::shutdown`] is a two-phase drain: the accept gate starts
+//! refusing with [`ErrorKind::Draining`], in-flight requests complete
+//! through the session flush and their replies are written (bounded by
+//! [`ServerConfig::drain_timeout`]), then every remaining stream is
+//! hard-closed and the accept thread joined.
 
+use std::io::Read;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
+use crate::clock::{Clock, SystemClock};
 use crate::error::{Result, ServeError};
 use crate::protocol::{
-    classify, decode_payload, encode_payload, read_frame, write_frame, ErrorKind, Frame, Request,
-    Response, WireModelInfo, WireStats,
+    check_frame_len, classify, decode_payload, encode_payload, write_frame, ErrorKind, Request,
+    Response, WireModelInfo, WireServerStats, WireStats,
 };
 use crate::session::Runtime;
+use crate::stats::{ServerCounters, ServerStats};
+
+/// Payload chunk size the deadline-aware reader grows by (allocation
+/// tracks received bytes, not the claimed length — same contract as
+/// `protocol::read_frame`).
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Write timeout for refusal frames: long enough for any cooperating
+/// peer, short enough that a zero-window peer only pins the detached
+/// refusal thread briefly.
+const REFUSE_WRITE_TIMEOUT: Duration = Duration::from_millis(250);
 
 /// Server limits and knobs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,12 +61,33 @@ pub struct ServerConfig {
     /// Most simultaneously served connections; excess connects receive
     /// an `Overloaded` error frame and are closed.
     pub max_connections: usize,
+    /// Mid-frame deadline: once the first byte of a frame arrives, the
+    /// rest must follow within this budget or the connection is
+    /// answered with [`ErrorKind::Timeout`] and closed. `None` disables
+    /// the deadline (a half-frame peer can then pin its thread).
+    pub read_timeout: Option<Duration>,
+    /// Per-write deadline on reply frames; a peer that stops reading
+    /// (zero window) is reaped instead of pinning the thread. `None`
+    /// blocks forever.
+    pub write_timeout: Option<Duration>,
+    /// How long a connection may sit with *no* bytes of a next frame
+    /// before being closed quietly. `None` (default) waits forever —
+    /// idle-at-boundary is a healthy keep-alive connection.
+    pub idle_timeout: Option<Duration>,
+    /// Phase-one budget of [`Server::shutdown`]: how long in-flight
+    /// requests get to complete and write their replies before the
+    /// hard close.
+    pub drain_timeout: Duration,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             max_connections: 64,
+            read_timeout: Some(Duration::from_secs(10)),
+            write_timeout: Some(Duration::from_secs(10)),
+            idle_timeout: None,
+            drain_timeout: Duration::from_secs(5),
         }
     }
 }
@@ -37,9 +95,18 @@ impl Default for ServerConfig {
 struct ServerShared {
     runtime: Arc<Runtime>,
     cfg: ServerConfig,
+    clock: Arc<dyn Clock>,
     shutdown: AtomicBool,
+    /// Latched by [`Server::shutdown`] before the drain wait: the
+    /// accept gate refuses, and frames already buffered on live
+    /// connections are answered with [`ErrorKind::Draining`].
+    draining: AtomicBool,
     active: AtomicUsize,
+    /// Requests currently between frame receipt and reply write. The
+    /// drain wait in [`Server::shutdown`] blocks on this reaching 0.
+    busy: AtomicUsize,
     next_conn_id: AtomicUsize,
+    counters: ServerCounters,
     /// Clones of live connection streams keyed by connection id, kept
     /// so shutdown can unblock their reader threads. Each connection
     /// removes its own entry on exit, so the map (and its file
@@ -67,7 +134,8 @@ pub struct Server {
 
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts
-    /// accepting connections against `runtime`.
+    /// accepting connections against `runtime`, reading deadlines from
+    /// the system clock.
     ///
     /// # Errors
     ///
@@ -77,6 +145,22 @@ impl Server {
         runtime: Arc<Runtime>,
         cfg: ServerConfig,
     ) -> Result<Server> {
+        Server::bind_with_clock(addr, runtime, cfg, Arc::new(SystemClock))
+    }
+
+    /// [`Server::bind`] with an explicit time source, so deadline and
+    /// drain behavior can be driven deterministically from tests via
+    /// [`crate::clock::ManualClock`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] when the bind fails.
+    pub fn bind_with_clock(
+        addr: impl ToSocketAddrs,
+        runtime: Arc<Runtime>,
+        cfg: ServerConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Result<Server> {
         let listener = TcpListener::bind(addr).map_err(|e| ServeError::Io(format!("bind: {e}")))?;
         let addr = listener
             .local_addr()
@@ -84,9 +168,13 @@ impl Server {
         let shared = Arc::new(ServerShared {
             runtime,
             cfg,
+            clock,
             shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
             active: AtomicUsize::new(0),
+            busy: AtomicUsize::new(0),
             next_conn_id: AtomicUsize::new(0),
+            counters: ServerCounters::default(),
             conns: Mutex::new(std::collections::HashMap::new()),
         });
         let accept_shared = Arc::clone(&shared);
@@ -111,12 +199,31 @@ impl Server {
         self.shared.active.load(Ordering::SeqCst)
     }
 
-    /// Stops accepting, unblocks every connection thread, and joins the
-    /// accept loop. Idempotent; also runs on drop.
+    /// A snapshot of the connection robustness counters.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.counters.snapshot()
+    }
+
+    /// Two-phase graceful drain. Phase 1: stop admitting work (the
+    /// accept gate refuses with [`ErrorKind::Draining`], frames
+    /// arriving on live connections are answered likewise) and wait up
+    /// to [`ServerConfig::drain_timeout`] for in-flight requests to
+    /// complete through the session flush and write their replies.
+    /// Phase 2: hard-close every remaining stream, unblock and join
+    /// the accept loop. Idempotent; also runs on drop.
     pub fn shutdown(&mut self) {
-        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+        if self.shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
+        self.shared.draining.store(true, Ordering::SeqCst);
+        let start = self.shared.clock.now();
+        while self.shared.busy.load(Ordering::SeqCst) > 0
+            && self.shared.clock.now().saturating_duration_since(start)
+                < self.shared.cfg.drain_timeout
+        {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        self.shared.shutdown.store(true, Ordering::SeqCst);
         // Unblock connection readers first, then the accept loop (via a
         // throwaway connect so `incoming()` yields once more).
         for (_, conn) in lock_conns(&self.shared).drain() {
@@ -141,12 +248,27 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
             return;
         }
         let Ok(stream) = stream else { continue };
+        if shared.draining.load(Ordering::SeqCst) {
+            shared.counters.inc_refused();
+            refuse_connection(
+                stream,
+                ErrorKind::Draining,
+                "server is draining for shutdown".into(),
+            );
+            continue;
+        }
         let previous = shared.active.fetch_add(1, Ordering::SeqCst);
         if previous >= shared.cfg.max_connections {
             shared.active.fetch_sub(1, Ordering::SeqCst);
-            refuse_connection(stream, previous);
+            shared.counters.inc_refused();
+            refuse_connection(
+                stream,
+                ErrorKind::Overloaded,
+                format!("server at its connection limit ({previous} active)"),
+            );
             continue;
         }
+        shared.counters.inc_accepted();
         let _ = stream.set_nodelay(true);
         let conn_id = shared.next_conn_id.fetch_add(1, Ordering::SeqCst);
         if let Ok(clone) = stream.try_clone() {
@@ -166,29 +288,210 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
     }
 }
 
-/// Best-effort `Overloaded` reply to a connection over the limit.
-fn refuse_connection(mut stream: TcpStream, active: usize) {
-    let resp = Response::Error {
-        kind: ErrorKind::Overloaded,
-        message: format!("server at its connection limit ({active} active)"),
+/// Best-effort typed refusal to a connection the accept gate rejected.
+///
+/// The frame is written from a short-lived detached thread under
+/// [`REFUSE_WRITE_TIMEOUT`], so a zero-window peer can never stall
+/// `accept_loop` itself (the accept thread used to write this frame
+/// inline and block). If the thread cannot be spawned the stream just
+/// drops — a hang-up is an acceptable refusal.
+fn refuse_connection(stream: TcpStream, kind: ErrorKind, message: String) {
+    let _ = stream.set_write_timeout(Some(REFUSE_WRITE_TIMEOUT));
+    let _ = stream.set_read_timeout(Some(REFUSE_WRITE_TIMEOUT));
+    let _ = std::thread::Builder::new()
+        .name("deepcam-serve-refuse".into())
+        .spawn(move || {
+            let mut stream = stream;
+            let payload = encode_payload(&Response::Error { kind, message });
+            let _ = write_frame(&mut stream, &payload);
+            // Half-close, then briefly drain whatever the peer was
+            // mid-way through sending. A hard close here would race
+            // the peer's own write: the resulting RST can discard the
+            // refusal frame before the peer reads it. The drain is
+            // bounded (read timeout x iteration cap) so a trickling
+            // peer cannot pin this thread.
+            let _ = stream.shutdown(Shutdown::Write);
+            let mut sink = [0u8; 1024];
+            for _ in 0..8 {
+                match stream.read(&mut sink) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {}
+                }
+            }
+        });
+}
+
+/// What one attempt to read a frame from a connection produced.
+enum ConnRead {
+    /// A complete frame payload.
+    Frame(Vec<u8>),
+    /// Clean EOF at a frame boundary.
+    Closed,
+    /// No bytes arrived within `idle_timeout` at a frame boundary.
+    Idle,
+    /// Mid-frame deadline (`read_timeout`) exceeded: the slow-loris
+    /// shape, answered with [`ErrorKind::Timeout`].
+    Stalled,
+    /// Malformed length prefix: answered once, then hang-up.
+    Protocol(ServeError),
+    /// Mid-frame EOF or hard socket error: close quietly.
+    Io,
+}
+
+/// Outcome of arming the socket read timer against a frame deadline.
+enum Arm {
+    Armed,
+    Expired,
+    Failed,
+}
+
+/// Points the socket's read timer at what remains of `deadline`
+/// according to `clock` (or disarms it when there is no deadline).
+fn arm_read_timer(stream: &TcpStream, deadline: Option<Instant>, clock: &dyn Clock) -> Arm {
+    let remaining = match deadline {
+        None => None,
+        Some(deadline) => {
+            let left = deadline.saturating_duration_since(clock.now());
+            if left.is_zero() {
+                return Arm::Expired;
+            }
+            Some(left)
+        }
     };
-    let _ = write_frame(&mut stream, &encode_payload(&resp));
-    let _ = stream.shutdown(Shutdown::Both);
+    match stream.set_read_timeout(remaining) {
+        Ok(()) => Arm::Armed,
+        Err(_) => Arm::Failed,
+    }
+}
+
+/// True for the error kinds a socket read timer produces.
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads one frame under the connection-lifecycle deadlines.
+///
+/// Waiting for the *first* byte of a frame runs under `idle_timeout`
+/// (None = forever). The moment the first byte arrives, a per-frame
+/// deadline of `read_timeout` is armed and re-armed with the remaining
+/// budget after every partial read — a peer trickling one byte per
+/// interval cannot reset it, which is what makes the slow-loris test
+/// deterministic.
+fn read_one_frame(stream: &mut TcpStream, shared: &ServerShared) -> ConnRead {
+    // Phase 1: the 4-byte length prefix.
+    if stream.set_read_timeout(shared.cfg.idle_timeout).is_err() {
+        return ConnRead::Io;
+    }
+    let mut prefix = [0u8; 4];
+    let mut got = 0usize;
+    let mut deadline: Option<Instant> = None;
+    let mut mid_frame = false;
+    while got < prefix.len() {
+        let Some(buf) = prefix.get_mut(got..) else {
+            return ConnRead::Io;
+        };
+        match stream.read(buf) {
+            Ok(0) => {
+                return if got == 0 {
+                    ConnRead::Closed
+                } else {
+                    ConnRead::Io
+                };
+            }
+            Ok(n) => {
+                got += n;
+                if !mid_frame {
+                    // First byte of a frame: arm the mid-frame deadline.
+                    mid_frame = true;
+                    deadline = shared
+                        .cfg
+                        .read_timeout
+                        .and_then(|t| shared.clock.now().checked_add(t));
+                }
+                match arm_read_timer(stream, deadline, shared.clock.as_ref()) {
+                    Arm::Armed => {}
+                    Arm::Expired => return ConnRead::Stalled,
+                    Arm::Failed => return ConnRead::Io,
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(&e) => {
+                return if got == 0 {
+                    ConnRead::Idle
+                } else {
+                    ConnRead::Stalled
+                };
+            }
+            Err(_) => return ConnRead::Io,
+        }
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if let Err(e) = check_frame_len(len) {
+        return ConnRead::Protocol(e);
+    }
+    // Phase 2: the payload, under the same frame deadline. Allocation
+    // grows with received bytes (READ_CHUNK steps), never the claimed
+    // length — the same hostile-prefix contract as `read_frame`.
+    let mut payload: Vec<u8> = Vec::with_capacity(len.min(READ_CHUNK));
+    while payload.len() < len {
+        let start = payload.len();
+        let step = (len - start).min(READ_CHUNK);
+        payload.resize(start + step, 0);
+        let Some(buf) = payload.get_mut(start..) else {
+            return ConnRead::Io;
+        };
+        match stream.read(buf) {
+            Ok(0) => return ConnRead::Io,
+            Ok(n) => {
+                payload.truncate(start + n);
+                match arm_read_timer(stream, deadline, shared.clock.as_ref()) {
+                    Arm::Armed => {}
+                    Arm::Expired => return ConnRead::Stalled,
+                    Arm::Failed => return ConnRead::Io,
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+                payload.truncate(start);
+            }
+            Err(e) if is_timeout(&e) => return ConnRead::Stalled,
+            Err(_) => return ConnRead::Io,
+        }
+    }
+    ConnRead::Frame(payload)
 }
 
 /// One connection's request/response loop.
 fn serve_connection(mut stream: TcpStream, shared: &Arc<ServerShared>) {
+    if stream.set_write_timeout(shared.cfg.write_timeout).is_err() {
+        return;
+    }
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        let payload = match read_frame(&mut stream) {
-            Ok(Frame::Payload(p)) => p,
-            // Clean close at a frame boundary: done.
-            Ok(Frame::Closed) => return,
+        let payload = match read_one_frame(&mut stream, shared) {
+            ConnRead::Frame(p) => p,
+            // Clean close at a frame boundary, or an idle connection
+            // past its welcome: done, quietly.
+            ConnRead::Closed | ConnRead::Idle => return,
+            // Slow-loris: answer once with the typed timeout, hang up.
+            ConnRead::Stalled => {
+                shared.counters.inc_timed_out();
+                let resp = Response::Error {
+                    kind: ErrorKind::Timeout,
+                    message: "connection stalled mid-frame past read_timeout".into(),
+                };
+                let _ = write_frame(&mut stream, &encode_payload(&resp));
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            }
             // A bad length prefix desyncs the stream: answer once (the
             // typed-error contract) and hang up.
-            Err(e @ ServeError::Protocol(_)) => {
+            ConnRead::Protocol(e) => {
+                shared.counters.inc_protocol_errors();
                 let (kind, message) = classify(&e);
                 let _ = write_frame(
                     &mut stream,
@@ -197,34 +500,63 @@ fn serve_connection(mut stream: TcpStream, shared: &Arc<ServerShared>) {
                 let _ = stream.shutdown(Shutdown::Both);
                 return;
             }
-            Err(_) => return,
+            ConnRead::Io => return,
         };
+        // Count this request in-flight *before* checking the drain
+        // flag, so the drain wait can never observe `busy == 0` while
+        // a received frame is slipping into the runtime.
+        shared.busy.fetch_add(1, Ordering::SeqCst);
+        if shared.draining.load(Ordering::SeqCst) {
+            shared.busy.fetch_sub(1, Ordering::SeqCst);
+            let resp = Response::Error {
+                kind: ErrorKind::Draining,
+                message: "server is draining for shutdown".into(),
+            };
+            let _ = write_frame(&mut stream, &encode_payload(&resp));
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
         // Frame boundaries are intact here, so a garbage *payload* is
         // answered and the connection keeps serving.
         let response = match decode_payload::<Request>(&payload) {
-            Ok(request) => handle_request(&shared.runtime, request),
+            Ok(request) => handle_request(shared, request),
             Err(e) => {
+                shared.counters.inc_protocol_errors();
                 let (kind, message) = classify(&e);
                 Response::Error { kind, message }
             }
         };
-        if write_frame(&mut stream, &encode_payload(&response)).is_err() {
+        let wrote = write_frame(&mut stream, &encode_payload(&response)).is_ok();
+        let was_draining = shared.draining.load(Ordering::SeqCst);
+        // Decrement *after* the reply write: the drain wait holds until
+        // in-flight replies are on the wire, not merely computed.
+        shared.busy.fetch_sub(1, Ordering::SeqCst);
+        if was_draining {
+            if wrote {
+                shared.counters.inc_drained();
+            }
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+        if !wrote {
             return;
         }
     }
 }
 
 /// Executes one decoded request against the runtime.
-fn handle_request(runtime: &Runtime, request: Request) -> Response {
+fn handle_request(shared: &ServerShared, request: Request) -> Response {
     let outcome = match request {
         // The decode already enforced dims/data consistency and size
         // caps; the session re-validates against the model's expected
         // image size.
-        Request::Infer { model, dims, data } => {
-            runtime.infer(&model, &dims, &data).map(Response::Logits)
-        }
+        Request::Infer { model, dims, data } => shared
+            .runtime
+            .infer(&model, &dims, &data)
+            .map(Response::Logits),
         Request::ListModels => Ok(Response::Models(
-            runtime
+            shared
+                .runtime
                 .list()
                 .into_iter()
                 .map(|m| WireModelInfo {
@@ -233,7 +565,7 @@ fn handle_request(runtime: &Runtime, request: Request) -> Response {
                 })
                 .collect(),
         )),
-        Request::Stats { model } => runtime.stats(&model).map(|s| {
+        Request::Stats { model } => shared.runtime.stats(&model).map(|s| {
             Response::Stats(WireStats {
                 submitted: s.submitted,
                 completed: s.completed,
@@ -246,6 +578,16 @@ fn handle_request(runtime: &Runtime, request: Request) -> Response {
                 p99_latency_ms: s.p99_latency_ms,
             })
         }),
+        Request::ServerStats => {
+            let s = shared.counters.snapshot();
+            Ok(Response::ServerStats(WireServerStats {
+                accepted: s.accepted,
+                refused: s.refused,
+                timed_out: s.timed_out,
+                protocol_errors: s.protocol_errors,
+                drained: s.drained,
+            }))
+        }
     };
     outcome.unwrap_or_else(|e| {
         let (kind, message) = classify(&e);

@@ -112,6 +112,21 @@ impl Pending {
         self.rx.recv().unwrap_or(Err(ServeError::ShuttingDown))
     }
 
+    /// Blocks up to `timeout` for the reply. `None` means the request
+    /// is still in flight (and this `Pending` stays usable — callers
+    /// under a deadline can keep polling or give up without losing the
+    /// reply channel); `Some` carries the same outcomes as
+    /// [`Pending::wait`].
+    pub fn wait_timeout(&self, timeout: std::time::Duration) -> Option<Result<Vec<f32>>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => Some(result),
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => None,
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                Some(Err(ServeError::ShuttingDown))
+            }
+        }
+    }
+
     /// Non-blocking probe: `None` while the request is still queued or
     /// in flight.
     pub fn poll(&self) -> Option<Result<Vec<f32>>> {

@@ -1,6 +1,8 @@
 //! Per-session serving counters: request/batch counts, occupancy, and
-//! a fixed-footprint latency histogram for p50/p99.
+//! a fixed-footprint latency histogram for p50/p99 — plus the
+//! server-level connection robustness counters.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// A 64-bucket power-of-two latency histogram over microseconds.
@@ -140,6 +142,72 @@ pub struct SessionStats {
     pub p99_latency_ms: f64,
 }
 
+/// Shared connection-lifecycle counters the server's accept and
+/// connection threads bump concurrently.
+///
+/// All increments are `Relaxed`: the counters are monotonic telemetry,
+/// never used to synchronize, so a snapshot taken mid-flight may lag a
+/// concurrent increment but can never tear or go backwards.
+#[derive(Debug, Default)]
+pub(crate) struct ServerCounters {
+    accepted: AtomicU64,
+    refused: AtomicU64,
+    timed_out: AtomicU64,
+    protocol_errors: AtomicU64,
+    drained: AtomicU64,
+}
+
+impl ServerCounters {
+    pub(crate) fn inc_accepted(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn inc_refused(&self) {
+        self.refused.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn inc_timed_out(&self) {
+        self.timed_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn inc_protocol_errors(&self) {
+        self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn inc_drained(&self) {
+        self.drained.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            refused: self.refused.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            drained: self.drained.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time snapshot of the server's connection robustness
+/// counters — what happened to every socket the listener ever saw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Connections accepted into a connection thread.
+    pub accepted: u64,
+    /// Connections refused at the accept gate (over `max_connections`,
+    /// or arriving mid-drain).
+    pub refused: u64,
+    /// Connections reaped for stalling mid-frame past `read_timeout`
+    /// (answered with [`crate::protocol::ErrorKind::Timeout`]).
+    pub timed_out: u64,
+    /// Malformed frames (bad length prefix or undecodable payload).
+    pub protocol_errors: u64,
+    /// In-flight requests whose replies were delivered during a
+    /// graceful drain.
+    pub drained: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,6 +267,53 @@ mod tests {
         let mut h2 = LatencyHistogram::new();
         h2.record(Duration::from_micros(1 << 62));
         assert_eq!(h2.quantile_ms(1.0), clamped_ms);
+    }
+
+    #[test]
+    fn server_counters_start_zero_and_count_independently() {
+        let c = ServerCounters::default();
+        assert_eq!(c.snapshot(), ServerStats::default());
+        c.inc_accepted();
+        c.inc_accepted();
+        c.inc_refused();
+        c.inc_timed_out();
+        c.inc_protocol_errors();
+        c.inc_drained();
+        let s = c.snapshot();
+        assert_eq!(
+            s,
+            ServerStats {
+                accepted: 2,
+                refused: 1,
+                timed_out: 1,
+                protocol_errors: 1,
+                drained: 1,
+            }
+        );
+    }
+
+    #[test]
+    fn server_counters_survive_concurrent_increments() {
+        use std::sync::Arc;
+        let c = Arc::new(ServerCounters::default());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc_accepted();
+                        c.inc_drained();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("counter thread");
+        }
+        let s = c.snapshot();
+        assert_eq!(s.accepted, 4000);
+        assert_eq!(s.drained, 4000);
+        assert_eq!(s.refused, 0);
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! The chaos soak: seeded fault plans thrown at a live server.
+//!
+//! Every plan is a pure function of its seed — a failing iteration is
+//! replayable from its seed alone. The contract asserted per plan:
+//! the server never panics, every reply that *does* complete is
+//! bit-identical to in-process inference, and a clean client still
+//! round-trips immediately after the chaos connection.
+//!
+//! `DEEPCAM_STRESS_ITERS` scales the plan count (CI runs a small count
+//! in the build-test matrix and a larger one beside the sanitizer
+//! legs); Miri runs a reduced set through the same code.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use deepcam_core::{DeepCamEngine, EngineConfig, HashPlan};
+use deepcam_models::scaled::scaled_lenet5;
+use deepcam_serve::chaos::{run_soak, SoakConfig};
+use deepcam_serve::{Client, ModelRegistry, Runtime, Server, ServerConfig, SessionConfig};
+use deepcam_tensor::rng::seeded_rng;
+
+fn lenet_engine(seed: u64) -> DeepCamEngine {
+    let mut rng = seeded_rng(seed);
+    let model = scaled_lenet5(&mut rng, 10);
+    DeepCamEngine::compile(
+        &model,
+        EngineConfig {
+            plan: HashPlan::Uniform(256),
+            ..EngineConfig::default()
+        },
+    )
+    .expect("compiles")
+}
+
+fn image(seed: u64) -> Vec<f32> {
+    let mut rng = seeded_rng(seed);
+    (0..784)
+        .map(|_| deepcam_tensor::rng::standard_normal(&mut rng) as f32)
+        .collect()
+}
+
+fn soak_plans(default: usize) -> usize {
+    if cfg!(miri) {
+        return 2;
+    }
+    std::env::var("DEEPCAM_STRESS_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[test]
+fn seeded_chaos_soak_never_corrupts_service() {
+    let plans = soak_plans(100);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register("lenet", lenet_engine(77));
+    let runtime = Arc::new(Runtime::new(
+        Arc::clone(&registry),
+        SessionConfig::default(),
+    ));
+    let mut server = Server::bind(
+        "127.0.0.1:0",
+        Arc::clone(&runtime),
+        ServerConfig {
+            // Short enough that injected stalls and mid-frame
+            // disconnects are reaped quickly, long enough that a
+            // trickled-but-progressing frame completes.
+            read_timeout: Some(Duration::from_millis(250)),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    // Reference logits straight through the runtime — the soak holds
+    // every completed chaos reply to these, bit for bit.
+    let images: Vec<Vec<f32>> = (0..4).map(|i| image(900 + i)).collect();
+    let expected: Vec<Vec<f32>> = images
+        .iter()
+        .map(|img| {
+            runtime
+                .infer("lenet", &[1, 28, 28], img)
+                .expect("reference inference")
+        })
+        .collect();
+
+    let report = run_soak(
+        addr,
+        &SoakConfig {
+            plans,
+            base_seed: 0xC4A0_5000,
+            model: "lenet".into(),
+            dims: vec![1, 28, 28],
+            images: images.clone(),
+            expected: expected.clone(),
+            reply_timeout: Duration::from_secs(10),
+        },
+    )
+    .expect("soak harness ran");
+
+    assert_eq!(report.plans_run, plans);
+    assert_eq!(report.mismatched, 0, "served logits diverged: {report:?}");
+    assert_eq!(
+        report.clean_failures, 0,
+        "a clean client failed after chaos: {report:?}"
+    );
+    assert_eq!(
+        report.completed + report.typed_errors + report.aborted,
+        plans,
+        "tallies must partition the plans: {report:?}"
+    );
+    assert!(report.completed > 0, "no plan ever completed: {report:?}");
+
+    // Liveness: chaos connections must not linger server-side. Each
+    // plan opened exactly one chaos and one clean connection, all of
+    // which close client-side, so the server drains to zero.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while server.active_connections() > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(
+        server.active_connections(),
+        0,
+        "chaos connections leaked server-side"
+    );
+    let stats = server.stats();
+    assert_eq!(stats.accepted, 2 * plans as u64, "{stats:?}");
+    assert_eq!(stats.refused, 0, "{stats:?}");
+
+    // Final bit-exactness check through the real client.
+    let mut client = Client::connect(addr).expect("clean client");
+    let img = images.first().expect("images");
+    let exp = expected.first().expect("expected");
+    let logits = client
+        .infer("lenet", &[1, 28, 28], img)
+        .expect("round trip");
+    assert_eq!(&logits, exp, "post-soak serving diverged");
+    drop(client);
+    server.shutdown();
+}

@@ -8,9 +8,10 @@
 use std::io::Write;
 use std::net::TcpStream;
 use std::sync::Arc;
+use std::time::Duration;
 
 use deepcam_serve::protocol::{
-    decode_payload, encode_payload, read_frame, write_frame, Frame, Request, Response,
+    decode_payload, encode_payload, read_frame, write_frame, ErrorKind, Frame, Request, Response,
     MAX_FRAME_BYTES, MAX_IMAGE_ELEMS, MAX_MODEL_ID_BYTES,
 };
 use deepcam_serve::{
@@ -189,5 +190,70 @@ fn server_survives_hostile_connections() {
         }
         other => panic!("expected remote NotFound, got {other:?}"),
     }
+    server.shutdown();
+}
+
+/// One clean `ListModels` round trip proving the server still serves.
+fn assert_still_serves(addr: std::net::SocketAddr) {
+    let mut client = Client::connect(addr).expect("fresh connection");
+    assert!(client.list_models().expect("clean round trip").is_empty());
+}
+
+/// The slow-loris shape at the protocol level: a length prefix plus a
+/// few payload bytes, then silence. The connection must be reaped
+/// within `read_timeout` with a typed `Timeout` frame — not pinned
+/// forever against `max_connections` — and the server must keep
+/// serving afterwards.
+#[test]
+fn half_frame_then_stall_is_reaped_with_a_typed_timeout() {
+    let registry = Arc::new(ModelRegistry::new());
+    let runtime = Arc::new(Runtime::new(registry, SessionConfig::default()));
+    let cfg = ServerConfig {
+        read_timeout: Some(Duration::from_millis(200)),
+        ..ServerConfig::default()
+    };
+    let mut server = Server::bind("127.0.0.1:0", runtime, cfg).unwrap();
+    let addr = server.local_addr();
+
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(&10u32.to_le_bytes()).unwrap();
+    s.write_all(&[1, 2, 3]).unwrap(); // 3 of 10 promised bytes, then stall
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    match read_frame(&mut s) {
+        Ok(Frame::Payload(p)) => match decode_payload::<Response>(&p).unwrap() {
+            Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::Timeout),
+            other => panic!("expected Timeout error frame, got {other:?}"),
+        },
+        other => panic!("expected typed timeout frame, got {other:?}"),
+    }
+    // After the typed answer the server hangs up.
+    assert!(matches!(read_frame(&mut s), Ok(Frame::Closed) | Err(_)));
+    assert!(server.stats().timed_out >= 1);
+
+    assert_still_serves(addr);
+    server.shutdown();
+}
+
+/// A client that sends the length prefix and then disconnects before
+/// any payload byte: a mid-frame EOF the server closes quietly, and
+/// which must never take the server down.
+#[test]
+fn disconnect_between_prefix_and_payload_is_survived() {
+    let registry = Arc::new(ModelRegistry::new());
+    let runtime = Arc::new(Runtime::new(registry, SessionConfig::default()));
+    let mut server = Server::bind("127.0.0.1:0", runtime, ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    for _ in 0..8 {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(&64u32.to_le_bytes()).unwrap();
+        drop(s); // hang up with the frame half-promised
+        assert_still_serves(addr);
+    }
+    // Mid-frame EOFs are I/O hangups, not protocol violations or
+    // timeouts — the robustness counters must agree.
+    let stats = server.stats();
+    assert_eq!(stats.timed_out, 0);
+    assert_eq!(stats.protocol_errors, 0);
     server.shutdown();
 }

@@ -117,6 +117,78 @@ fn in_memory_registration_is_never_evicted() {
     assert!(registry.list().iter().any(|m| m.id == "mem" && m.loaded));
 }
 
+#[test]
+fn corrupt_artifacts_are_quarantined_until_repaired() {
+    let dir = tmp_dir("registry_quarantine");
+    std::fs::write(dir.join("broken.dcam"), b"definitely not an artifact").unwrap();
+    let registry = ModelRegistry::open(&dir).unwrap();
+
+    // First get reads the file and fails with the real decode error.
+    let first_detail = match registry.get("broken") {
+        Err(ServeError::BadArtifact { detail, .. }) => detail,
+        Err(other) => panic!("expected BadArtifact, got {other:?}"),
+        Ok(_) => panic!("expected BadArtifact, got a loaded engine"),
+    };
+    assert!(
+        !first_detail.starts_with("quarantined: "),
+        "first failure must come from an actual read: {first_detail}"
+    );
+
+    // Second get fails fast off the negative cache — the quarantined
+    // prefix proves the broken file was not re-read and re-parsed.
+    match registry.get("broken") {
+        Err(ServeError::BadArtifact { detail, .. }) => {
+            assert!(detail.starts_with("quarantined: "), "{detail}");
+            assert!(detail.contains(&first_detail), "{detail}");
+        }
+        Err(other) => panic!("expected quarantined BadArtifact, got {other:?}"),
+        Ok(_) => panic!("expected quarantined BadArtifact, got a loaded engine"),
+    }
+    assert!(registry
+        .list()
+        .iter()
+        .any(|m| m.id == "broken" && m.quarantined && !m.loaded));
+
+    // Repairing the file on disk (its length/mtime key changes) clears
+    // the quarantine and the model loads.
+    lenet_engine(20)
+        .compiled()
+        .save(dir.join("broken.dcam"))
+        .unwrap();
+    assert_eq!(registry.get("broken").unwrap().model_name(), "LeNet5");
+    assert!(registry
+        .list()
+        .iter()
+        .any(|m| m.id == "broken" && !m.quarantined && m.loaded));
+}
+
+#[test]
+fn quarantine_rekeys_when_a_still_corrupt_file_changes() {
+    let dir = tmp_dir("registry_requarantine");
+    std::fs::write(dir.join("bad.dcam"), b"corrupt v1").unwrap();
+    let registry = ModelRegistry::open(&dir).unwrap();
+    assert!(registry.get("bad").is_err());
+
+    // Rewrite with *different* corrupt bytes: the old key no longer
+    // matches, so the registry re-reads (no "quarantined:" prefix),
+    // fails again, and re-quarantines against the new key.
+    std::fs::write(dir.join("bad.dcam"), b"still corrupt, but longer").unwrap();
+    match registry.get("bad") {
+        Err(ServeError::BadArtifact { detail, .. }) => {
+            assert!(!detail.starts_with("quarantined: "), "{detail}");
+        }
+        Err(other) => panic!("expected BadArtifact, got {other:?}"),
+        Ok(_) => panic!("expected BadArtifact, got a loaded engine"),
+    }
+    match registry.get("bad") {
+        Err(ServeError::BadArtifact { detail, .. }) => {
+            assert!(detail.starts_with("quarantined: "), "{detail}");
+        }
+        Err(other) => panic!("expected quarantined BadArtifact, got {other:?}"),
+        Ok(_) => panic!("expected quarantined BadArtifact, got a loaded engine"),
+    }
+}
+
 // ---------------------------------------------------------------- batching
 
 #[test]

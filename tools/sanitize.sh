@@ -45,4 +45,10 @@ DEEPCAM_STRESS_ITERS="${DEEPCAM_STRESS_ITERS:-100}" \
 DEEPCAM_STRESS_ITERS="${DEEPCAM_STRESS_ITERS:-100}" \
   cargo test -p deepcam-serve --test session_stress || status=1
 
+echo "== leg 3: chaos soak (seeded fault injection, stable) =="
+# Mirrors the CI `chaos` job at a local-friendly depth. Every plan is
+# a pure function of its seed, so any failure replays exactly.
+DEEPCAM_STRESS_ITERS="${DEEPCAM_STRESS_ITERS:-150}" \
+  cargo test -p deepcam-serve --test chaos_soak || status=1
+
 exit "$status"
