@@ -42,9 +42,15 @@ impl Config {
     /// The DeepCAM repository's declared invariants.
     pub fn repo() -> Config {
         Config {
-            // A3: the serve decode path (wire → Request) and the server
-            // read loop — the code hostile bytes reach first.
-            panic_free_files: vec!["crates/serve/src/protocol.rs", "crates/serve/src/server.rs"],
+            // A3: the serve decode path (wire → Request), the server
+            // read loop, and the epoll readiness loop — the code
+            // hostile bytes reach first.
+            panic_free_files: vec![
+                "crates/serve/src/protocol.rs",
+                "crates/serve/src/server.rs",
+                "crates/serve/src/event_loop.rs",
+                "crates/serve/src/poll.rs",
+            ],
             // A5: the bit-exact kernel files (hot path + frozen
             // reference), the pool/guard host probes, and the clock
             // boundary. Host state is reachable from these files only
@@ -75,14 +81,24 @@ impl Config {
                 "crates/serve/src/server.rs",
                 "crates/serve/src/client.rs",
                 "crates/serve/src/chaos.rs",
+                // The readiness core: every deadline in the event loop
+                // is computed from `shared.clock`, and the syscall
+                // wrappers in poll.rs take explicit timeouts — neither
+                // file may reach for host time or env state itself.
+                // The one env read (DEEPCAM_SERVE_CORE) lives in
+                // core_select.rs, which is deliberately NOT listed.
+                "crates/serve/src/event_loop.rs",
+                "crates/serve/src/poll.rs",
             ],
             // A6: worker threads live in the pool; the TCP server owns
             // its accept/connection threads; the session owns its
-            // dispatcher. Nothing else may create threads.
+            // dispatcher; the event loop owns its single epoll thread.
+            // Nothing else may create threads.
             thread_owner_files: vec![
                 "crates/tensor/src/pool.rs",
                 "crates/serve/src/server.rs",
                 "crates/serve/src/session.rs",
+                "crates/serve/src/event_loop.rs",
             ],
             call_sites: vec![
                 // `ModelSpec::dot_layers` has exactly one production
@@ -116,6 +132,9 @@ impl Config {
                         ("crates/bench/src/experiments/fig10.rs", 1),
                         ("crates/bench/src/experiments/table2.rs", 1),
                         ("crates/bench/src/bin/tuner.rs", 1),
+                        // The open-loop sweep stands up a real server
+                        // per (core, conns) cell.
+                        ("crates/bench/src/bin/serve_throughput.rs", 1),
                     ],
                 },
             ],

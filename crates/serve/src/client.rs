@@ -20,8 +20,9 @@ use rand::{RngExt, SeedableRng};
 use crate::clock::{Clock, SystemClock};
 use crate::error::{Result, ServeError};
 use crate::protocol::{
-    decode_payload, encode_payload, read_frame, write_frame, ErrorKind, Frame, Request, Response,
-    WireModelInfo, WireServerStats, WireStats,
+    decode_payload, decode_payload_v2, encode_payload, encode_payload_v2, read_frame, write_frame,
+    ErrorKind, Frame, Request, Response, WireModelInfo, WireServerStats, WireStats,
+    CONNECTION_SCOPED_ID, MAX_PROTOCOL_VERSION, PROTOCOL_V1, PROTOCOL_V2,
 };
 
 /// When and how [`Client`] retries a failed call.
@@ -94,6 +95,12 @@ pub struct ClientConfig {
     /// The retry policy; [`RetryPolicy::none`] by default, so plain
     /// [`Client::connect`] behaves exactly like the pre-retry client.
     pub retry: RetryPolicy,
+    /// Highest protocol version to offer the server.
+    /// [`PROTOCOL_V1`] (the default) skips the handshake entirely and
+    /// speaks the original wire format; `>= 2` sends a `Hello` on each
+    /// (re)connect and frames requests under whatever version the
+    /// server answers with.
+    pub version: u32,
 }
 
 impl Default for ClientConfig {
@@ -102,6 +109,7 @@ impl Default for ClientConfig {
             read_timeout: Some(Duration::from_secs(30)),
             write_timeout: Some(Duration::from_secs(30)),
             retry: RetryPolicy::none(),
+            version: PROTOCOL_V1,
         }
     }
 }
@@ -113,6 +121,10 @@ pub struct Client {
     clock: Arc<dyn Clock>,
     rng: StdRng,
     stream: Option<TcpStream>,
+    /// Version negotiated on the current stream; `None` until the
+    /// handshake (or the v1 short-circuit) has run.
+    negotiated: Option<u32>,
+    next_request_id: u64,
     last_attempts: u32,
 }
 
@@ -161,10 +173,18 @@ impl Client {
             clock,
             rng,
             stream: None,
+            negotiated: None,
+            next_request_id: 0,
             last_attempts: 0,
         };
         client.ensure_connected()?;
         Ok(client)
+    }
+
+    /// The protocol version the current connection speaks, when one is
+    /// established and (if requested) negotiated.
+    pub fn negotiated_version(&self) -> Option<u32> {
+        self.negotiated
     }
 
     /// Attempts the most recent call made, including the successful
@@ -174,9 +194,12 @@ impl Client {
         self.last_attempts
     }
 
-    /// Re-establishes the connection if the last call tore it down.
+    /// Re-establishes the connection if the last call tore it down,
+    /// re-running the version handshake on every fresh stream (a
+    /// reconnect may land on a different server).
     fn ensure_connected(&mut self) -> Result<&mut TcpStream> {
         if self.stream.is_none() {
+            self.negotiated = None;
             let mut last_err: Option<std::io::Error> = None;
             for addr in &self.addrs {
                 match TcpStream::connect(addr) {
@@ -195,9 +218,50 @@ impl Client {
                 return Err(ServeError::Io(format!("connect: {e}")));
             }
         }
+        if self.negotiated.is_none() {
+            let version = if self.cfg.version > PROTOCOL_V1 {
+                self.handshake()?
+            } else {
+                PROTOCOL_V1
+            };
+            self.negotiated = Some(version);
+        }
         self.stream
             .as_mut()
             .ok_or_else(|| ServeError::Io("not connected".into()))
+    }
+
+    /// The v1-framed `Hello` exchange on a fresh stream.
+    fn handshake(&mut self) -> Result<u32> {
+        let offered = self.cfg.version;
+        let stream = self
+            .stream
+            .as_mut()
+            .ok_or_else(|| ServeError::Io("not connected".into()))?;
+        write_frame(
+            stream,
+            &encode_payload(&Request::Hello {
+                max_version: offered,
+            }),
+        )?;
+        match read_frame(stream)? {
+            Frame::Payload(payload) => match decode_payload::<Response>(&payload)? {
+                Response::Hello { version } if version >= PROTOCOL_V1 && version <= offered => {
+                    Ok(version)
+                }
+                Response::Hello { version } => Err(ServeError::Protocol(format!(
+                    "server negotiated unsupported protocol version {version} (offered up to \
+                     {offered})"
+                ))),
+                Response::Error { kind, message } => Err(ServeError::Remote { kind, message }),
+                other => Err(ServeError::Protocol(format!(
+                    "expected Hello, got {other:?}"
+                ))),
+            },
+            Frame::Closed => Err(ServeError::Io(
+                "server closed the connection during the version handshake".into(),
+            )),
+        }
     }
 
     /// One wire round trip. Transport failures drop the stream so the
@@ -206,13 +270,44 @@ impl Client {
     /// [`ServeError::Remote`].
     fn call_once(&mut self, request: &Request) -> Result<Response> {
         let outcome: Result<Response> = (|| {
-            let stream = self.ensure_connected()?;
-            write_frame(stream, &encode_payload(request))?;
-            match read_frame(stream)? {
-                Frame::Payload(payload) => decode_payload(&payload),
-                Frame::Closed => Err(ServeError::Io(
-                    "server closed the connection mid-call".into(),
-                )),
+            self.ensure_connected()?;
+            let version = self.negotiated.unwrap_or(PROTOCOL_V1);
+            let req_id = self.next_request_id;
+            if version >= PROTOCOL_V2 {
+                self.next_request_id = self.next_request_id.wrapping_add(1);
+            }
+            let stream = self
+                .stream
+                .as_mut()
+                .ok_or_else(|| ServeError::Io("not connected".into()))?;
+            if version >= PROTOCOL_V2 {
+                write_frame(stream, &encode_payload_v2(req_id, request))?;
+                match read_frame(stream)? {
+                    Frame::Payload(payload) => {
+                        let (id, resp) = decode_payload_v2::<Response>(&payload)?;
+                        // Connection-scoped errors (timeouts, drains)
+                        // carry the sentinel id; this client has one
+                        // request outstanding, so both attributions
+                        // answer it.
+                        if id != req_id && id != CONNECTION_SCOPED_ID {
+                            return Err(ServeError::Protocol(format!(
+                                "reply carries request id {id}, expected {req_id}"
+                            )));
+                        }
+                        Ok(resp)
+                    }
+                    Frame::Closed => Err(ServeError::Io(
+                        "server closed the connection mid-call".into(),
+                    )),
+                }
+            } else {
+                write_frame(stream, &encode_payload(request))?;
+                match read_frame(stream)? {
+                    Frame::Payload(payload) => decode_payload(&payload),
+                    Frame::Closed => Err(ServeError::Io(
+                        "server closed the connection mid-call".into(),
+                    )),
+                }
             }
         })();
         match outcome {
@@ -320,6 +415,162 @@ impl Client {
             other => Err(ServeError::Protocol(format!(
                 "expected ServerStats, got {other:?}"
             ))),
+        }
+    }
+}
+
+/// A pipelining protocol-v2 client: many requests in flight on one
+/// connection, replies keyed by request id.
+///
+/// [`MuxClient::submit`] writes a request and returns immediately with
+/// its id; [`MuxClient::recv`] blocks for the *next* reply, which —
+/// this being the whole point of v2 — may answer any outstanding id.
+/// Pair them however the workload likes (a fixed window, fire-all-
+/// then-drain, one reader thread). No retry machinery: a pipelined
+/// stream has no safe notion of "re-send just this one", so transport
+/// errors surface raw and the caller reconnects.
+pub struct MuxClient {
+    stream: TcpStream,
+    version: u32,
+    next_id: u64,
+}
+
+impl MuxClient {
+    /// Connects and negotiates protocol v2 with default timeouts.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the connect fails, and
+    /// [`ServeError::Protocol`] when the server only speaks v1 —
+    /// multiplexing is meaningless without request ids.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<MuxClient> {
+        MuxClient::connect_with(
+            addr,
+            Some(Duration::from_secs(30)),
+            Some(Duration::from_secs(30)),
+        )
+    }
+
+    /// [`MuxClient::connect`] with explicit socket timeouts.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MuxClient::connect`].
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        read_timeout: Option<Duration>,
+        write_timeout: Option<Duration>,
+    ) -> Result<MuxClient> {
+        let mut last_err: Option<std::io::Error> = None;
+        let mut stream: Option<TcpStream> = None;
+        for addr in addr
+            .to_socket_addrs()
+            .map_err(|e| ServeError::Io(format!("resolve: {e}")))?
+        {
+            match TcpStream::connect(addr) {
+                Ok(s) => {
+                    stream = Some(s);
+                    last_err = None;
+                    break;
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        let stream = match (stream, last_err) {
+            (Some(s), _) => s,
+            (None, Some(e)) => return Err(ServeError::Io(format!("connect: {e}"))),
+            (None, None) => return Err(ServeError::Io("address resolved to nothing".into())),
+        };
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(read_timeout);
+        let _ = stream.set_write_timeout(write_timeout);
+        let mut client = MuxClient {
+            stream,
+            version: PROTOCOL_V1,
+            next_id: 0,
+        };
+        write_frame(
+            &mut client.stream,
+            &encode_payload(&Request::Hello {
+                max_version: MAX_PROTOCOL_VERSION,
+            }),
+        )?;
+        let version = match read_frame(&mut client.stream)? {
+            Frame::Payload(payload) => match decode_payload::<Response>(&payload)? {
+                Response::Hello { version } => version,
+                Response::Error { kind, message } => {
+                    return Err(ServeError::Remote { kind, message })
+                }
+                other => {
+                    return Err(ServeError::Protocol(format!(
+                        "expected Hello, got {other:?}"
+                    )))
+                }
+            },
+            Frame::Closed => {
+                return Err(ServeError::Io(
+                    "server closed the connection during the version handshake".into(),
+                ))
+            }
+        };
+        if version < PROTOCOL_V2 {
+            return Err(ServeError::Protocol(format!(
+                "server negotiated protocol version {version}; multiplexing requires v2"
+            )));
+        }
+        client.version = version;
+        Ok(client)
+    }
+
+    /// The version the server answered the handshake with.
+    pub fn negotiated_version(&self) -> u32 {
+        self.version
+    }
+
+    /// Writes one request frame and returns its request id without
+    /// waiting for the reply.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on transport failure; the connection is then
+    /// unusable.
+    pub fn submit(&mut self, request: &Request) -> Result<u64> {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1);
+        write_frame(&mut self.stream, &encode_payload_v2(id, request))?;
+        Ok(id)
+    }
+
+    /// [`MuxClient::submit`] for the common inference case.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MuxClient::submit`].
+    pub fn submit_infer(&mut self, model: &str, dims: &[usize], data: &[f32]) -> Result<u64> {
+        self.submit(&Request::Infer {
+            model: model.into(),
+            dims: dims.to_vec(),
+            data: data.to_vec(),
+        })
+    }
+
+    /// Blocks for the next reply frame, whichever outstanding request
+    /// it answers. Connection-scoped frames (timeouts, drain notices)
+    /// come back under [`CONNECTION_SCOPED_ID`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] on transport failure or server hang-up,
+    /// [`ServeError::Protocol`] on an undecodable reply. A typed
+    /// server error is **not** an `Err` here — it is a
+    /// `(id, Response::Error { .. })` value, because it answers one
+    /// request while others remain in flight.
+    pub fn recv(&mut self) -> Result<(u64, Response)> {
+        match read_frame(&mut self.stream)? {
+            Frame::Payload(payload) => decode_payload_v2::<Response>(&payload),
+            Frame::Closed => Err(ServeError::Io(
+                "server closed the connection with replies outstanding".into(),
+            )),
         }
     }
 }

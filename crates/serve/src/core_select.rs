@@ -1,0 +1,206 @@
+//! Selection of the server's connection core: the readiness-polling
+//! epoll event loop (Linux) or the portable thread-per-connection
+//! fallback.
+//!
+//! Resolution order mirrors `DEEPCAM_SIMD`: an explicit
+//! [`CoreSelect`] in [`crate::ServerConfig`] wins outright (benches
+//! sweep both cores regardless of the environment); `CoreSelect::Auto`
+//! consults the `DEEPCAM_SERVE_CORE` environment variable
+//! (`auto`/`threads`/`epoll`), and unset/`auto` picks the platform
+//! default — epoll where available, threads elsewhere. Every
+//! misconfiguration (unknown value, `epoll` on a non-Linux host)
+//! degrades with a once-per-message stderr warning rather than an
+//! error: both cores serve bit-identical replies, so the choice is
+//! purely operational.
+//!
+//! This module deliberately owns the only `DEEPCAM_SERVE_CORE` read in
+//! the crate and is excluded from the A5 determinism file set for it;
+//! the private `resolve_env` is pure so every outcome is unit-testable
+//! without touching the process environment.
+
+use std::sync::{Mutex, OnceLock};
+
+/// Environment variable overriding the connection core.
+pub const SERVE_CORE_ENV: &str = "DEEPCAM_SERVE_CORE";
+
+/// The connection core requested by configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CoreSelect {
+    /// Defer to `DEEPCAM_SERVE_CORE`, then the platform default.
+    #[default]
+    Auto,
+    /// Force the thread-per-connection core.
+    Threads,
+    /// Force the epoll readiness core (falls back to threads with a
+    /// warning on hosts without epoll).
+    Epoll,
+}
+
+/// The connection core a server actually runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerCore {
+    /// One blocking reader thread per connection (portable).
+    Threads,
+    /// One event-loop thread multiplexing every connection (Linux).
+    Epoll,
+}
+
+impl ServerCore {
+    /// Stable lowercase name (bench JSON, logs).
+    pub fn name(self) -> &'static str {
+        match self {
+            ServerCore::Threads => "threads",
+            ServerCore::Epoll => "epoll",
+        }
+    }
+}
+
+/// Whether the epoll core can run on this build target.
+pub const fn epoll_available() -> bool {
+    cfg!(target_os = "linux")
+}
+
+const fn platform_default() -> ServerCore {
+    if epoll_available() {
+        ServerCore::Epoll
+    } else {
+        ServerCore::Threads
+    }
+}
+
+/// Pure resolution of (config selection, env value) to the running
+/// core plus the warning to emit when the request cannot be honored.
+fn resolve_env(select: CoreSelect, raw: Option<&str>) -> (ServerCore, Option<String>) {
+    let requested = match select {
+        CoreSelect::Threads => Some(ServerCore::Threads),
+        CoreSelect::Epoll => Some(ServerCore::Epoll),
+        CoreSelect::Auto => match raw.map(str::trim) {
+            None => None,
+            Some("") | Some("auto") => None,
+            Some("threads") => Some(ServerCore::Threads),
+            Some("epoll") => Some(ServerCore::Epoll),
+            Some(_) => {
+                return (
+                    platform_default(),
+                    Some(format!(
+                        "warning: ignoring unknown {SERVE_CORE_ENV}={:?} (expected auto, \
+                         threads or epoll); using the {} core",
+                        raw.unwrap_or(""),
+                        platform_default().name()
+                    )),
+                );
+            }
+        },
+    };
+    match requested {
+        None => (platform_default(), None),
+        Some(ServerCore::Threads) => (ServerCore::Threads, None),
+        Some(ServerCore::Epoll) if epoll_available() => (ServerCore::Epoll, None),
+        Some(ServerCore::Epoll) => (
+            ServerCore::Threads,
+            Some(format!(
+                "warning: the epoll serve core requires Linux; falling back to the threads \
+                 core (replies are bit-identical either way; set {SERVE_CORE_ENV}=threads \
+                 to silence this)"
+            )),
+        ),
+    }
+}
+
+/// Resolves the core a [`crate::Server`] bind should run, reading
+/// `DEEPCAM_SERVE_CORE` only when the config says [`CoreSelect::Auto`]
+/// and warning (once per distinct message) when a request degrades.
+pub(crate) fn resolve(select: CoreSelect) -> ServerCore {
+    let raw = match select {
+        CoreSelect::Auto => std::env::var(SERVE_CORE_ENV).ok(),
+        _ => None,
+    };
+    let (core, warning) = resolve_env(select, raw.as_deref());
+    if let Some(msg) = warning {
+        emit_env_warning_once(&msg);
+    }
+    core
+}
+
+/// Prints `msg` to stderr once per distinct message (same discipline
+/// as the `DEEPCAM_SIMD` / `DEEPCAM_WORKERS` warnings).
+fn emit_env_warning_once(msg: &str) {
+    static WARNED: OnceLock<Mutex<Vec<String>>> = OnceLock::new();
+    let mut seen = WARNED
+        .get_or_init(|| Mutex::new(Vec::new()))
+        .lock()
+        .expect("serve core warning lock");
+    if seen.iter().any(|m| m == msg) {
+        return;
+    }
+    eprintln!("{msg}");
+    seen.push(msg.to_string());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_config_ignores_env() {
+        let (core, warn) = resolve_env(CoreSelect::Threads, Some("epoll"));
+        assert_eq!(core, ServerCore::Threads);
+        assert!(warn.is_none());
+        if epoll_available() {
+            let (core, warn) = resolve_env(CoreSelect::Epoll, Some("threads"));
+            assert_eq!(core, ServerCore::Epoll);
+            assert!(warn.is_none());
+        }
+    }
+
+    #[test]
+    fn auto_consults_env_then_platform_default() {
+        let (core, warn) = resolve_env(CoreSelect::Auto, None);
+        assert_eq!(core, platform_default());
+        assert!(warn.is_none());
+        let (core, warn) = resolve_env(CoreSelect::Auto, Some("auto"));
+        assert_eq!(core, platform_default());
+        assert!(warn.is_none());
+        let (core, warn) = resolve_env(CoreSelect::Auto, Some("threads"));
+        assert_eq!(core, ServerCore::Threads);
+        assert!(warn.is_none());
+        if epoll_available() {
+            let (core, warn) = resolve_env(CoreSelect::Auto, Some("epoll"));
+            assert_eq!(core, ServerCore::Epoll);
+            assert!(warn.is_none());
+        }
+    }
+
+    #[test]
+    fn unknown_env_value_warns_and_falls_back() {
+        let (core, warn) = resolve_env(CoreSelect::Auto, Some("iouring"));
+        assert_eq!(core, platform_default());
+        let msg = warn.expect("warning");
+        assert!(msg.contains("DEEPCAM_SERVE_CORE"), "{msg}");
+        assert!(msg.contains("iouring"), "{msg}");
+    }
+
+    #[test]
+    fn whitespace_env_value_is_auto() {
+        let (core, warn) = resolve_env(CoreSelect::Auto, Some("  "));
+        assert_eq!(core, platform_default());
+        assert!(warn.is_none());
+        let (core, warn) = resolve_env(CoreSelect::Auto, Some(" threads "));
+        assert_eq!(core, ServerCore::Threads);
+        assert!(warn.is_none());
+    }
+
+    #[cfg(not(target_os = "linux"))]
+    #[test]
+    fn epoll_request_degrades_off_linux() {
+        let (core, warn) = resolve_env(CoreSelect::Epoll, None);
+        assert_eq!(core, ServerCore::Threads);
+        assert!(warn.expect("warning").contains("requires Linux"));
+    }
+
+    #[test]
+    fn core_names_are_stable() {
+        assert_eq!(ServerCore::Threads.name(), "threads");
+        assert_eq!(ServerCore::Epoll.name(), "epoll");
+    }
+}

@@ -41,7 +41,15 @@
 //!   drain, and the client retries transport faults, `Overloaded` and
 //!   `Draining` under a seeded deterministic
 //!   [`client::RetryPolicy`] — safe because inference is pure and
-//!   bit-exact.
+//!   bit-exact. Two interchangeable connection cores sit behind
+//!   [`server::ServerConfig::core`] (see [`core_select`]): the
+//!   portable thread-per-connection core, and on Linux a
+//!   dependency-free epoll readiness loop ([`poll`] + `event_loop`)
+//!   that multiplexes every connection on one thread and serves
+//!   protocol-v2 clients many requests in flight per socket.
+//! * [`client::MuxClient`] — the pipelining counterpart: negotiates
+//!   protocol v2 and keys replies by request id, so callers keep many
+//!   requests outstanding on one connection.
 //! * [`chaos`] — deterministic fault injection: seeded
 //!   [`chaos::FaultPlan`]s replayed by a [`chaos::FaultStream`]
 //!   wrapper (partial I/O, injected errno faults, stalls, mid-frame
@@ -61,14 +69,21 @@
 //! # Ok::<(), deepcam_serve::ServeError>(())
 //! ```
 
-// Machine-checked by deepcam-analyze (lint A2): this crate holds no
-// unsafe code, and the compiler now enforces that it never grows any.
-#![forbid(unsafe_code)]
+// Machine-checked by deepcam-analyze (lint A2): every unsafe block in
+// this crate lives in `poll` (the audited epoll/eventfd syscall
+// wrappers), carries a `// SAFETY:` justification, and is registered
+// in ANALYZE_UNSAFE.md. `deny` (not `forbid`) so exactly that module
+// can opt in with `#![allow(unsafe_code)]`; everything else stays
+// compiler-enforced safe.
+#![deny(unsafe_code)]
 
 pub mod chaos;
 pub mod client;
 pub mod clock;
+pub mod core_select;
 pub mod error;
+mod event_loop;
+pub mod poll;
 pub mod protocol;
 pub mod registry;
 pub mod server;
@@ -76,8 +91,9 @@ pub mod session;
 pub mod stats;
 
 pub use chaos::{FaultOp, FaultPlan, FaultStream, SoakConfig, SoakReport};
-pub use client::{Client, ClientConfig, RetryPolicy};
+pub use client::{Client, ClientConfig, MuxClient, RetryPolicy};
 pub use clock::{Clock, ManualClock, SystemClock, Waker};
+pub use core_select::{epoll_available, CoreSelect, ServerCore, SERVE_CORE_ENV};
 pub use error::{Result, ServeError};
 pub use registry::{ModelInfo, ModelRegistry};
 pub use server::{Server, ServerConfig};

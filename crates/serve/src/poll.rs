@@ -1,0 +1,347 @@
+//! Audited raw-syscall wrappers for the Linux readiness-polling core.
+//!
+//! The workspace vendors no crates, so `epoll` and `eventfd` are
+//! reached through `extern "C"` declarations against the C library —
+//! the same no-dependency discipline as `deepcam-tensor`'s
+//! `ThreadPool`. Every `unsafe` block in this file is a single FFI
+//! call with a `// SAFETY:` comment and is registered in
+//! `ANALYZE_UNSAFE.md`; the rest of the crate stays
+//! `deny(unsafe_code)`.
+//!
+//! The wrappers are deliberately thin and panic-free: they own their
+//! file descriptors ([`Epoll`], [`EventFd`] close on drop), translate
+//! every failing return into [`std::io::Error`], and expose only the
+//! calls the event loop needs — create, ctl, wait, and an `eventfd`
+//! wake channel. Edge-triggered modes are not exposed: the event loop
+//! is level-triggered on purpose (a missed wakeup re-arms itself on
+//! the next `epoll_wait`, so there is no starvation proof to carry).
+#![allow(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+#![cfg(target_os = "linux")]
+
+use std::io;
+use std::os::fd::RawFd;
+
+use std::os::raw::{c_int, c_uint, c_void};
+
+// The C library entry points. Names and ABI are pinned by the Linux
+// man pages (epoll_create1(2), epoll_ctl(2), epoll_wait(2),
+// eventfd(2)); glibc and musl both export them with these signatures.
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn close(fd: c_int) -> c_int;
+}
+
+/// Readiness for reading (`EPOLLIN`).
+pub const EPOLLIN: u32 = 0x001;
+/// Readiness for writing (`EPOLLOUT`).
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition (`EPOLLERR`); always reported, never requested.
+pub const EPOLLERR: u32 = 0x008;
+/// Hang-up (`EPOLLHUP`); always reported, never requested.
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer closed its writing half (`EPOLLRDHUP`).
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+
+/// One readiness record, ABI-compatible with the kernel's
+/// `struct epoll_event`. The x86-64 kernel declares it packed (a
+/// 12-byte struct); other architectures use natural alignment.
+#[derive(Clone, Copy)]
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+pub struct EpollEvent {
+    /// Bitmask of `EPOLL*` readiness flags.
+    pub events: u32,
+    /// Caller-chosen token identifying the registered fd.
+    pub data: u64,
+}
+
+impl EpollEvent {
+    /// A zeroed record, used to fill the `epoll_wait` output buffer.
+    pub const fn zeroed() -> EpollEvent {
+        EpollEvent { events: 0, data: 0 }
+    }
+
+    /// The readiness bitmask (reads through the possibly-packed field).
+    pub fn events(&self) -> u32 {
+        self.events
+    }
+
+    /// The registration token (reads through the possibly-packed field).
+    pub fn token(&self) -> u64 {
+        self.data
+    }
+}
+
+/// Closes a raw fd, ignoring the result: this runs on drop paths where
+/// there is no caller to report to, and the fd is never reused after.
+fn close_fd(fd: RawFd) {
+    // SAFETY: `fd` was returned by a successful `epoll_create1` or
+    // `eventfd` call and is owned exclusively by the wrapper being
+    // dropped, so it is open here and closed exactly once.
+    unsafe {
+        close(fd);
+    }
+}
+
+/// An owned epoll instance.
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    /// Creates a close-on-exec epoll instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns the OS error when the kernel refuses (fd exhaustion).
+    pub fn new() -> io::Result<Epoll> {
+        // SAFETY: `epoll_create1` takes no pointers; any flag value is
+        // safe to pass and errors surface as a -1 return checked below.
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Epoll { fd })
+    }
+
+    /// Registers `fd` for `interest` events, reported with `token`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the OS error (`EEXIST`, `EBADF`, ...) on failure.
+    pub fn add(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, interest, token)
+    }
+
+    /// Changes the registered interest/token for `fd`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the OS error (`ENOENT`, `EBADF`, ...) on failure.
+    pub fn modify(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, interest, token)
+    }
+
+    /// Deregisters `fd`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the OS error (`ENOENT`, `EBADF`, ...) on failure.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        let mut event = EpollEvent {
+            events: interest,
+            data: token,
+        };
+        // SAFETY: `event` is a live, properly initialized EpollEvent
+        // for the duration of the call; the kernel only reads it (and
+        // ignores it entirely for EPOLL_CTL_DEL). `self.fd` is the
+        // epoll fd owned by this struct.
+        let rc = unsafe { epoll_ctl(self.fd, op, fd, &mut event) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Blocks until readiness or `timeout_ms` (`None` = wait forever),
+    /// filling `events` from the front. Returns how many records are
+    /// valid. `EINTR` is retried internally.
+    ///
+    /// # Errors
+    ///
+    /// Returns the OS error when the wait itself fails (`EBADF`).
+    pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: Option<u32>) -> io::Result<usize> {
+        if events.is_empty() {
+            return Ok(0);
+        }
+        let max = c_int::try_from(events.len()).unwrap_or(c_int::MAX);
+        let timeout = match timeout_ms {
+            None => -1,
+            Some(ms) => c_int::try_from(ms).unwrap_or(c_int::MAX),
+        };
+        loop {
+            // SAFETY: `events` is a live mutable slice of `max`
+            // initialized EpollEvent records, so the kernel writes at
+            // most `max` records into memory we exclusively borrow.
+            // `self.fd` is the epoll fd owned by this struct.
+            let rc = unsafe { epoll_wait(self.fd, events.as_mut_ptr(), max, timeout) };
+            if rc >= 0 {
+                return Ok(rc as usize);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        close_fd(self.fd);
+    }
+}
+
+/// A nonblocking `eventfd` wake channel: any thread may
+/// [`signal`](EventFd::signal) it, and the event loop both polls it
+/// for readability and [`drain`](EventFd::drain)s it once woken.
+pub struct EventFd {
+    fd: RawFd,
+}
+
+impl EventFd {
+    /// Creates a close-on-exec, nonblocking eventfd with counter 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns the OS error when the kernel refuses (fd exhaustion).
+    pub fn new() -> io::Result<EventFd> {
+        // SAFETY: `eventfd` takes no pointers; any initval/flags are
+        // safe to pass and errors surface as a -1 return checked below.
+        let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(EventFd { fd })
+    }
+
+    /// The raw fd, for registering with an [`Epoll`].
+    pub fn raw_fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Wakes any `epoll_wait` watching this eventfd. Best-effort and
+    /// infallible from the caller's view: a full counter (`EAGAIN`)
+    /// already guarantees the watcher is wakeable.
+    pub fn signal(&self) {
+        let one: u64 = 1;
+        // SAFETY: writes exactly 8 bytes from a live local u64, the
+        // size eventfd(2) requires; the fd is open for the lifetime of
+        // `self` and `write` is thread-safe per POSIX.
+        let _ = unsafe { write(self.fd, (&raw const one).cast::<c_void>(), 8) };
+    }
+
+    /// Consumes all pending wake signals (resets the counter), so a
+    /// level-triggered poll stops reporting this fd readable.
+    pub fn drain(&self) {
+        let mut count: u64 = 0;
+        // SAFETY: reads exactly 8 bytes into a live local u64, the
+        // size eventfd(2) requires; the fd is open for the lifetime of
+        // `self` and nonblocking, so the call cannot hang.
+        let _ = unsafe { read(self.fd, (&raw mut count).cast::<c_void>(), 8) };
+    }
+}
+
+impl Drop for EventFd {
+    fn drop(&mut self) {
+        close_fd(self.fd);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn eventfd_signals_and_drains_through_epoll() {
+        let ep = Epoll::new().expect("epoll");
+        let efd = EventFd::new().expect("eventfd");
+        ep.add(efd.raw_fd(), EPOLLIN, 7).expect("add");
+
+        let mut events = [EpollEvent::zeroed(); 4];
+        // Nothing signaled yet: a zero-timeout wait reports nothing.
+        assert_eq!(ep.wait(&mut events, Some(0)).expect("wait"), 0);
+
+        efd.signal();
+        efd.signal();
+        let n = ep.wait(&mut events, Some(1000)).expect("wait");
+        assert_eq!(n, 1);
+        let ev = events[0];
+        assert_eq!(ev.token(), 7);
+        assert_ne!(ev.events() & EPOLLIN, 0);
+
+        // Drain resets the counter; the level-triggered report stops.
+        efd.drain();
+        assert_eq!(ep.wait(&mut events, Some(0)).expect("wait"), 0);
+    }
+
+    #[test]
+    fn socket_readiness_reports_registered_token() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let mut client = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        server.set_nonblocking(true).expect("nonblocking");
+
+        let ep = Epoll::new().expect("epoll");
+        use std::os::fd::AsRawFd;
+        ep.add(server.as_raw_fd(), EPOLLIN | EPOLLRDHUP, 42)
+            .expect("add");
+
+        let mut events = [EpollEvent::zeroed(); 4];
+        assert_eq!(ep.wait(&mut events, Some(0)).expect("wait"), 0);
+
+        client.write_all(b"ping").expect("write");
+        let n = ep.wait(&mut events, Some(1000)).expect("wait");
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 42);
+        assert_ne!(events[0].events() & EPOLLIN, 0);
+
+        let mut server = server;
+        let mut buf = [0u8; 8];
+        assert_eq!(server.read(&mut buf).expect("read"), 4);
+
+        // Interest can be rewritten and removed.
+        ep.modify(server.as_raw_fd(), EPOLLIN | EPOLLOUT, 43)
+            .expect("modify");
+        let n = ep.wait(&mut events, Some(1000)).expect("wait");
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 43);
+        assert_ne!(events[0].events() & EPOLLOUT, 0);
+        ep.delete(server.as_raw_fd()).expect("delete");
+        assert_eq!(ep.wait(&mut events, Some(0)).expect("wait"), 0);
+    }
+
+    #[test]
+    fn peer_hangup_is_reported() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+
+        let ep = Epoll::new().expect("epoll");
+        use std::os::fd::AsRawFd;
+        ep.add(server.as_raw_fd(), EPOLLIN | EPOLLRDHUP, 9)
+            .expect("add");
+        drop(client);
+
+        let mut events = [EpollEvent::zeroed(); 4];
+        let n = ep.wait(&mut events, Some(1000)).expect("wait");
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 9);
+        assert_ne!(
+            events[0].events() & (EPOLLRDHUP | EPOLLHUP | EPOLLIN),
+            0,
+            "hangup must surface as readable/rdhup"
+        );
+    }
+}

@@ -20,11 +20,39 @@
 //! | `1` | `Request::ListModels` | — |
 //! | `2` | `Request::Stats` | model id |
 //! | `3` | `Request::ServerStats` | — |
+//! | `4` | `Request::Hello` | highest protocol version the client speaks |
 //! | `0` | `Response::Logits` | f32 logits row |
 //! | `1` | `Response::Models` | id + residency per model |
 //! | `2` | `Response::Stats` | serving counters snapshot |
 //! | `3` | `Response::Error` | [`ErrorKind`] + message |
 //! | `4` | `Response::ServerStats` | server robustness counters |
+//! | `5` | `Response::Hello` | protocol version the connection will speak |
+//!
+//! # Protocol versions and multiplexing
+//!
+//! Two wire versions share the framing above:
+//!
+//! - **v1** (the original): a frame payload is exactly one encoded
+//!   message. Strictly request→reply in order — at most one request is
+//!   outstanding per connection.
+//! - **v2**: every payload after the handshake is a little-endian
+//!   `u64` *request id* followed by the v1 encoding of the message.
+//!   Clients choose ids and may pipeline many requests; the server
+//!   echoes each reply under the request's id, and replies may arrive
+//!   **out of order** (the epoll core completes them as the
+//!   micro-batcher finishes). Connection-scoped errors that answer no
+//!   particular request (`Timeout`, a malformed length prefix) carry
+//!   the reserved [`CONNECTION_SCOPED_ID`].
+//!
+//! Negotiation is first-frame sniffing, so v1 clients need no changes:
+//! a connection's first frame either is a v1-encoded
+//! [`Request::Hello`] carrying the client's highest version — answered
+//! with a v1-encoded [`Response::Hello`] choosing
+//! `min(client_max, 2)` ([`negotiate_version`]), after which the
+//! connection speaks the chosen version — or it is any other frame,
+//! which locks the connection to v1 for its lifetime. A `Hello`
+//! advertising version 0, or arriving after negotiation, is a protocol
+//! error.
 //!
 //! Decoding is hostile-input safe: truncation, unknown tags, trailing
 //! bytes, over-limit dims/lengths and dims/data mismatches all return
@@ -44,6 +72,17 @@ pub const MAX_DIMS: usize = 8;
 pub const MAX_IMAGE_ELEMS: usize = 1 << 22;
 /// Longest model id accepted on the wire, in bytes.
 pub const MAX_MODEL_ID_BYTES: usize = 256;
+/// The original strictly-ordered request→reply protocol.
+pub const PROTOCOL_V1: u32 = 1;
+/// The multiplexed protocol: request-id-prefixed payloads, replies may
+/// arrive out of order.
+pub const PROTOCOL_V2: u32 = 2;
+/// Highest protocol version this build speaks.
+pub const MAX_PROTOCOL_VERSION: u32 = PROTOCOL_V2;
+/// Reserved v2 request id for connection-scoped errors that answer no
+/// particular request (mid-frame [`ErrorKind::Timeout`], malformed
+/// length prefixes). Clients must not send it.
+pub const CONNECTION_SCOPED_ID: u64 = u64::MAX;
 /// Payload chunk size frame reads grow by (allocation tracks received
 /// bytes, not the claimed length).
 const READ_CHUNK: usize = 64 * 1024;
@@ -69,6 +108,14 @@ pub enum Request {
     },
     /// Fetch the server's connection-level robustness counters.
     ServerStats,
+    /// Version handshake: must be a connection's first frame when
+    /// sent. The server answers with [`Response::Hello`] choosing
+    /// `min(max_version, MAX_PROTOCOL_VERSION)`; version 0 is a
+    /// protocol error.
+    Hello {
+        /// Highest protocol version the client speaks (≥ 1).
+        max_version: u32,
+    },
 }
 
 /// A server→client message.
@@ -90,6 +137,12 @@ pub enum Response {
     },
     /// The robustness counters for a `ServerStats` request.
     ServerStats(WireServerStats),
+    /// Handshake reply: the protocol version every subsequent frame on
+    /// this connection speaks.
+    Hello {
+        /// Negotiated version (`min(client max, MAX_PROTOCOL_VERSION)`).
+        version: u32,
+    },
 }
 
 /// One registry entry on the wire.
@@ -248,6 +301,10 @@ impl BinCodec for Request {
                 w.put_str(model);
             }
             Request::ServerStats => w.put_u8(3),
+            Request::Hello { max_version } => {
+                w.put_u8(4);
+                w.put_u32(*max_version);
+            }
         }
     }
 
@@ -287,6 +344,9 @@ impl BinCodec for Request {
                 model: decode_model_id(r)?,
             }),
             3 => Ok(Request::ServerStats),
+            4 => Ok(Request::Hello {
+                max_version: r.get_u32()?,
+            }),
             other => Err(BinError::Invalid(format!("Request tag {other}"))),
         }
     }
@@ -358,6 +418,10 @@ impl BinCodec for Response {
                 w.put_u8(4);
                 stats.encode(w);
             }
+            Response::Hello { version } => {
+                w.put_u8(5);
+                w.put_u32(*version);
+            }
         }
     }
 
@@ -380,6 +444,9 @@ impl BinCodec for Response {
                 message: r.get_str()?,
             }),
             4 => Ok(Response::ServerStats(BinCodec::decode(r)?)),
+            5 => Ok(Response::Hello {
+                version: r.get_u32()?,
+            }),
             other => Err(BinError::Invalid(format!("Response tag {other}"))),
         }
     }
@@ -404,6 +471,49 @@ pub fn decode_payload<T: BinCodec>(payload: &[u8]) -> Result<T> {
     r.finish()
         .map_err(|e| ServeError::Protocol(e.to_string()))?;
     Ok(msg)
+}
+
+/// Encodes one message as a protocol-v2 payload: the request id
+/// followed by the v1 encoding (no frame prefix).
+pub fn encode_payload_v2<T: BinCodec>(request_id: u64, msg: &T) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u64(request_id);
+    msg.encode(&mut w);
+    w.into_bytes()
+}
+
+/// Decodes a protocol-v2 payload into its request id and message,
+/// rejecting trailing bytes.
+///
+/// # Errors
+///
+/// [`ServeError::Protocol`] on any malformed payload (including one
+/// too short to carry the id).
+pub fn decode_payload_v2<T: BinCodec>(payload: &[u8]) -> Result<(u64, T)> {
+    let mut r = Reader::new(payload);
+    let id = r
+        .get_u64()
+        .map_err(|e| ServeError::Protocol(format!("v2 request id: {e}")))?;
+    let msg = T::decode(&mut r).map_err(|e| ServeError::Protocol(e.to_string()))?;
+    r.finish()
+        .map_err(|e| ServeError::Protocol(e.to_string()))?;
+    Ok((id, msg))
+}
+
+/// Picks the version a connection speaks from the client's advertised
+/// maximum: `min(client_max, MAX_PROTOCOL_VERSION)`, or a typed
+/// protocol error for the nonsensical version 0.
+///
+/// # Errors
+///
+/// [`ServeError::Protocol`] when `client_max` is 0.
+pub fn negotiate_version(client_max: u32) -> Result<u32> {
+    if client_max == 0 {
+        return Err(ServeError::Protocol(
+            "Hello advertises protocol version 0 (versions start at 1)".to_string(),
+        ));
+    }
+    Ok(client_max.min(MAX_PROTOCOL_VERSION))
 }
 
 /// Writes one frame (length prefix + payload) and flushes.
@@ -522,6 +632,62 @@ mod tests {
             model: "vgg11".into(),
         });
         roundtrip_request(&Request::ServerStats);
+        roundtrip_request(&Request::Hello { max_version: 2 });
+        roundtrip_request(&Request::Hello {
+            max_version: u32::MAX,
+        });
+    }
+
+    #[test]
+    fn hello_response_round_trips() {
+        let resp = Response::Hello { version: 2 };
+        let back: Response = decode_payload(&encode_payload(&resp)).expect("decodes");
+        assert_eq!(resp, back);
+    }
+
+    #[test]
+    fn v2_payloads_round_trip_with_their_ids() {
+        for id in [0u64, 1, 42, u64::MAX - 1, CONNECTION_SCOPED_ID] {
+            let req = Request::Stats { model: "m".into() };
+            let bytes = encode_payload_v2(id, &req);
+            let (back_id, back): (u64, Request) = decode_payload_v2(&bytes).expect("decodes");
+            assert_eq!(back_id, id);
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn v2_decode_rejects_short_and_trailing_payloads() {
+        // Too short to even carry the id.
+        for len in 0..8 {
+            let bytes = vec![0u8; len];
+            assert!(matches!(
+                decode_payload_v2::<Request>(&bytes),
+                Err(ServeError::Protocol(_))
+            ));
+        }
+        // Valid id, then garbage after a valid message.
+        let mut bytes = encode_payload_v2(9, &Request::ListModels);
+        bytes.push(0xFF);
+        assert!(matches!(
+            decode_payload_v2::<Request>(&bytes),
+            Err(ServeError::Protocol(_))
+        ));
+        // A v1 payload is not a valid v2 payload (the id bytes eat the
+        // tag) — decoding must fail cleanly, never panic.
+        let v1 = encode_payload(&Request::ListModels);
+        assert!(decode_payload_v2::<Request>(&v1).is_err());
+    }
+
+    #[test]
+    fn negotiation_clamps_to_the_build_maximum() {
+        assert!(negotiate_version(0).is_err());
+        assert_eq!(negotiate_version(1).expect("v1"), PROTOCOL_V1);
+        assert_eq!(negotiate_version(2).expect("v2"), PROTOCOL_V2);
+        assert_eq!(
+            negotiate_version(u32::MAX).expect("future client"),
+            MAX_PROTOCOL_VERSION
+        );
     }
 
     #[test]

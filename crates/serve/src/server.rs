@@ -1,11 +1,21 @@
 //! A dependency-free (`std::net`) TCP inference server over the
 //! [`crate::protocol`] framing.
 //!
-//! One accept thread plus one thread per connection; every connection
-//! submits through the shared [`Runtime`], so concurrent clients'
-//! requests coalesce in the per-model micro-batchers. Per-connection
-//! limits (frame size, image size, connection count) are enforced
-//! before any allocation or engine work.
+//! Two connection cores share this module's lifecycle contracts,
+//! selected by [`ServerConfig::core`] / `DEEPCAM_SERVE_CORE`
+//! ([`crate::core_select`]):
+//!
+//! - **threads** (this file): one accept thread plus one blocking
+//!   thread per connection — portable, simple, capped by thread count.
+//! - **epoll** (`crate::event_loop`, Linux default): one event-loop
+//!   thread multiplexing every connection through readiness polling,
+//!   built for many more concurrent connections than threads.
+//!
+//! Either way every connection submits through the shared [`Runtime`],
+//! so concurrent clients' requests coalesce in the per-model
+//! micro-batchers and replies stay bit-identical between cores.
+//! Per-connection limits (frame size, image size, connection count)
+//! are enforced before any allocation or engine work.
 //!
 //! # Connection lifecycle
 //!
@@ -37,10 +47,12 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::clock::{Clock, SystemClock};
+use crate::core_select::{self, CoreSelect, ServerCore};
 use crate::error::{Result, ServeError};
 use crate::protocol::{
-    check_frame_len, classify, decode_payload, encode_payload, write_frame, ErrorKind, Request,
-    Response, WireModelInfo, WireServerStats, WireStats,
+    check_frame_len, classify, decode_payload, decode_payload_v2, encode_payload,
+    encode_payload_v2, negotiate_version, write_frame, ErrorKind, Request, Response, WireModelInfo,
+    WireServerStats, WireStats, CONNECTION_SCOPED_ID, PROTOCOL_V1, PROTOCOL_V2,
 };
 use crate::session::Runtime;
 use crate::stats::{ServerCounters, ServerStats};
@@ -78,6 +90,11 @@ pub struct ServerConfig {
     /// requests get to complete and write their replies before the
     /// hard close.
     pub drain_timeout: Duration,
+    /// Which connection core runs this server:
+    /// [`CoreSelect::Auto`] (the default) consults
+    /// `DEEPCAM_SERVE_CORE`, then the platform default (epoll on
+    /// Linux, threads elsewhere); an explicit selection wins outright.
+    pub core: CoreSelect,
 }
 
 impl Default for ServerConfig {
@@ -88,29 +105,36 @@ impl Default for ServerConfig {
             write_timeout: Some(Duration::from_secs(10)),
             idle_timeout: None,
             drain_timeout: Duration::from_secs(5),
+            core: CoreSelect::Auto,
         }
     }
 }
 
-struct ServerShared {
-    runtime: Arc<Runtime>,
-    cfg: ServerConfig,
-    clock: Arc<dyn Clock>,
-    shutdown: AtomicBool,
+/// State both connection cores share: the runtime, config, clock,
+/// lifecycle flags and robustness counters. The threads core reaches
+/// it from the accept/connection threads; the epoll core from its one
+/// event-loop thread (`crate::event_loop`).
+pub(crate) struct ServerShared {
+    pub(crate) runtime: Arc<Runtime>,
+    pub(crate) cfg: ServerConfig,
+    pub(crate) clock: Arc<dyn Clock>,
+    pub(crate) shutdown: AtomicBool,
     /// Latched by [`Server::shutdown`] before the drain wait: the
     /// accept gate refuses, and frames already buffered on live
     /// connections are answered with [`ErrorKind::Draining`].
-    draining: AtomicBool,
-    active: AtomicUsize,
+    pub(crate) draining: AtomicBool,
+    pub(crate) active: AtomicUsize,
     /// Requests currently between frame receipt and reply write. The
     /// drain wait in [`Server::shutdown`] blocks on this reaching 0.
-    busy: AtomicUsize,
+    pub(crate) busy: AtomicUsize,
     next_conn_id: AtomicUsize,
-    counters: ServerCounters,
+    pub(crate) counters: ServerCounters,
     /// Clones of live connection streams keyed by connection id, kept
-    /// so shutdown can unblock their reader threads. Each connection
-    /// removes its own entry on exit, so the map (and its file
-    /// descriptors) tracks live connections, not connection history.
+    /// so shutdown can unblock their reader threads (threads core
+    /// only; the epoll core owns its streams inside the loop). Each
+    /// connection removes its own entry on exit, so the map (and its
+    /// file descriptors) tracks live connections, not connection
+    /// history.
     conns: Mutex<std::collections::HashMap<usize, TcpStream>>,
 }
 
@@ -124,12 +148,27 @@ fn lock_conns(
     shared.conns.lock().unwrap_or_else(|p| p.into_inner())
 }
 
+/// The per-core runtime half of a [`Server`]: which threads exist and
+/// how phase 2 of shutdown unblocks them.
+enum CoreRuntime {
+    /// One accept thread plus one thread per connection.
+    Threads {
+        accept: Option<std::thread::JoinHandle<()>>,
+    },
+    /// One event-loop thread multiplexing every connection.
+    #[cfg(target_os = "linux")]
+    Epoll {
+        thread: Option<std::thread::JoinHandle<()>>,
+        ctl: Arc<crate::event_loop::LoopCtl>,
+    },
+}
+
 /// A running TCP inference server. Shuts down on drop (or explicitly
 /// via [`Server::shutdown`]).
 pub struct Server {
     addr: SocketAddr,
     shared: Arc<ServerShared>,
-    accept_thread: Option<std::thread::JoinHandle<()>>,
+    core: CoreRuntime,
 }
 
 impl Server {
@@ -165,6 +204,7 @@ impl Server {
         let addr = listener
             .local_addr()
             .map_err(|e| ServeError::Io(format!("local_addr: {e}")))?;
+        let resolved = core_select::resolve(cfg.core);
         let shared = Arc::new(ServerShared {
             runtime,
             cfg,
@@ -177,16 +217,34 @@ impl Server {
             counters: ServerCounters::default(),
             conns: Mutex::new(std::collections::HashMap::new()),
         });
-        let accept_shared = Arc::clone(&shared);
-        let accept_thread = std::thread::Builder::new()
-            .name("deepcam-serve-accept".into())
-            .spawn(move || accept_loop(&listener, &accept_shared))
-            .map_err(|e| ServeError::Io(format!("spawn accept thread: {e}")))?;
-        Ok(Server {
-            addr,
-            shared,
-            accept_thread: Some(accept_thread),
-        })
+        let core = match resolved {
+            ServerCore::Threads => {
+                let accept_shared = Arc::clone(&shared);
+                let accept = std::thread::Builder::new()
+                    .name("deepcam-serve-accept".into())
+                    .spawn(move || accept_loop(&listener, &accept_shared))
+                    .map_err(|e| ServeError::Io(format!("spawn accept thread: {e}")))?;
+                CoreRuntime::Threads {
+                    accept: Some(accept),
+                }
+            }
+            #[cfg(target_os = "linux")]
+            ServerCore::Epoll => {
+                let (thread, ctl) = crate::event_loop::spawn_event_loop(listener, &shared)?;
+                CoreRuntime::Epoll {
+                    thread: Some(thread),
+                    ctl,
+                }
+            }
+            // `core_select::resolve` only returns Epoll where it can run.
+            #[cfg(not(target_os = "linux"))]
+            ServerCore::Epoll => {
+                return Err(ServeError::Io(
+                    "epoll core resolved on a non-Linux host".to_string(),
+                ))
+            }
+        };
+        Ok(Server { addr, shared, core })
     }
 
     /// The bound address (with the resolved port).
@@ -204,6 +262,16 @@ impl Server {
         self.shared.counters.snapshot()
     }
 
+    /// Stable name of the connection core this server runs
+    /// (`"threads"` or `"epoll"`).
+    pub fn core_name(&self) -> &'static str {
+        match &self.core {
+            CoreRuntime::Threads { .. } => ServerCore::Threads.name(),
+            #[cfg(target_os = "linux")]
+            CoreRuntime::Epoll { .. } => ServerCore::Epoll.name(),
+        }
+    }
+
     /// Two-phase graceful drain. Phase 1: stop admitting work (the
     /// accept gate refuses with [`ErrorKind::Draining`], frames
     /// arriving on live connections are answered likewise) and wait up
@@ -216,6 +284,12 @@ impl Server {
             return;
         }
         self.shared.draining.store(true, Ordering::SeqCst);
+        #[cfg(target_os = "linux")]
+        if let CoreRuntime::Epoll { ctl, .. } = &self.core {
+            // Wake the loop so the accept gate starts refusing now,
+            // not at its next natural wakeup.
+            ctl.waker.signal();
+        }
         let start = self.shared.clock.now();
         while self.shared.busy.load(Ordering::SeqCst) > 0
             && self.shared.clock.now().saturating_duration_since(start)
@@ -224,14 +298,28 @@ impl Server {
             std::thread::sleep(Duration::from_millis(1));
         }
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Unblock connection readers first, then the accept loop (via a
-        // throwaway connect so `incoming()` yields once more).
-        for (_, conn) in lock_conns(&self.shared).drain() {
-            let _ = conn.shutdown(Shutdown::Both);
-        }
-        let _ = TcpStream::connect(self.addr);
-        if let Some(handle) = self.accept_thread.take() {
-            let _ = handle.join();
+        match &mut self.core {
+            CoreRuntime::Threads { accept } => {
+                // Unblock connection readers first, then the accept
+                // loop (via a throwaway connect so `incoming()` yields
+                // once more).
+                for (_, conn) in lock_conns(&self.shared).drain() {
+                    let _ = conn.shutdown(Shutdown::Both);
+                }
+                let _ = TcpStream::connect(self.addr);
+                if let Some(handle) = accept.take() {
+                    let _ = handle.join();
+                }
+            }
+            #[cfg(target_os = "linux")]
+            CoreRuntime::Epoll { thread, ctl } => {
+                // The loop observes the shutdown flag on wake, closes
+                // every connection itself and exits.
+                ctl.waker.signal();
+                if let Some(handle) = thread.take() {
+                    let _ = handle.join();
+                }
+            }
         }
     }
 }
@@ -463,15 +551,35 @@ fn read_one_frame(stream: &mut TcpStream, shared: &ServerShared) -> ConnRead {
     ConnRead::Frame(payload)
 }
 
-/// One connection's request/response loop.
+/// Frames `resp` for a connection speaking `version`: v2 payloads
+/// carry `req_id` (or [`CONNECTION_SCOPED_ID`] for errors that answer
+/// no particular request), v1 payloads the bare encoding. Shared by
+/// both connection cores.
+pub(crate) fn frame_response(version: u32, req_id: u64, resp: &Response) -> Vec<u8> {
+    if version >= PROTOCOL_V2 {
+        encode_payload_v2(req_id, resp)
+    } else {
+        encode_payload(resp)
+    }
+}
+
+/// One connection's request/response loop (threads core). Speaks both
+/// protocol versions: the first frame is sniffed for a
+/// [`Request::Hello`]; anything else locks the connection to v1. The
+/// threads core serves strictly one request at a time, so v2 clients
+/// pipelining here get their replies in order — out-of-order
+/// completion is the epoll core's (`crate::event_loop`) territory.
 fn serve_connection(mut stream: TcpStream, shared: &Arc<ServerShared>) {
     if stream.set_write_timeout(shared.cfg.write_timeout).is_err() {
         return;
     }
+    // Negotiated protocol version; `None` until the first frame.
+    let mut version: Option<u32> = None;
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             return;
         }
+        let wire_version = version.unwrap_or(PROTOCOL_V1);
         let payload = match read_one_frame(&mut stream, shared) {
             ConnRead::Frame(p) => p,
             // Clean close at a frame boundary, or an idle connection
@@ -484,7 +592,10 @@ fn serve_connection(mut stream: TcpStream, shared: &Arc<ServerShared>) {
                     kind: ErrorKind::Timeout,
                     message: "connection stalled mid-frame past read_timeout".into(),
                 };
-                let _ = write_frame(&mut stream, &encode_payload(&resp));
+                let _ = write_frame(
+                    &mut stream,
+                    &frame_response(wire_version, CONNECTION_SCOPED_ID, &resp),
+                );
                 let _ = stream.shutdown(Shutdown::Both);
                 return;
             }
@@ -495,7 +606,11 @@ fn serve_connection(mut stream: TcpStream, shared: &Arc<ServerShared>) {
                 let (kind, message) = classify(&e);
                 let _ = write_frame(
                     &mut stream,
-                    &encode_payload(&Response::Error { kind, message }),
+                    &frame_response(
+                        wire_version,
+                        CONNECTION_SCOPED_ID,
+                        &Response::Error { kind, message },
+                    ),
                 );
                 let _ = stream.shutdown(Shutdown::Both);
                 return;
@@ -508,25 +623,79 @@ fn serve_connection(mut stream: TcpStream, shared: &Arc<ServerShared>) {
         shared.busy.fetch_add(1, Ordering::SeqCst);
         if shared.draining.load(Ordering::SeqCst) {
             shared.busy.fetch_sub(1, Ordering::SeqCst);
+            // Echo the request id when the frame is well-formed v2, so
+            // a multiplexing client can attribute the refusal.
+            let req_id = if wire_version >= PROTOCOL_V2 {
+                decode_payload_v2::<Request>(&payload)
+                    .map(|(id, _)| id)
+                    .unwrap_or(CONNECTION_SCOPED_ID)
+            } else {
+                CONNECTION_SCOPED_ID
+            };
             let resp = Response::Error {
                 kind: ErrorKind::Draining,
                 message: "server is draining for shutdown".into(),
             };
-            let _ = write_frame(&mut stream, &encode_payload(&resp));
+            let _ = write_frame(&mut stream, &frame_response(wire_version, req_id, &resp));
             let _ = stream.shutdown(Shutdown::Both);
             return;
         }
-        // Frame boundaries are intact here, so a garbage *payload* is
-        // answered and the connection keeps serving.
-        let response = match decode_payload::<Request>(&payload) {
-            Ok(request) => handle_request(shared, request),
+        // Decode under the locked version. Frame boundaries are intact
+        // here, so a garbage *payload* is answered and the connection
+        // keeps serving.
+        let (req_id, decoded) = if wire_version >= PROTOCOL_V2 {
+            match decode_payload_v2::<Request>(&payload) {
+                Ok((id, req)) => (id, Ok(req)),
+                Err(e) => (CONNECTION_SCOPED_ID, Err(e)),
+            }
+        } else {
+            (CONNECTION_SCOPED_ID, decode_payload::<Request>(&payload))
+        };
+        let mut hangup_after_reply = false;
+        let response = match decoded {
+            Ok(Request::Hello { max_version }) if version.is_none() => {
+                match negotiate_version(max_version) {
+                    Ok(v) => {
+                        version = Some(v);
+                        Response::Hello { version: v }
+                    }
+                    // A version-0 Hello leaves the connection's version
+                    // ambiguous: answer once, hang up.
+                    Err(e) => {
+                        shared.counters.inc_protocol_errors();
+                        hangup_after_reply = true;
+                        let (kind, message) = classify(&e);
+                        Response::Error { kind, message }
+                    }
+                }
+            }
+            Ok(Request::Hello { .. }) => {
+                // Hello after the first frame: a violation, but frame
+                // boundaries are intact — answer and keep serving.
+                shared.counters.inc_protocol_errors();
+                let (kind, message) = classify(&ServeError::Protocol(
+                    "Hello is only valid as a connection's first frame".to_string(),
+                ));
+                Response::Error { kind, message }
+            }
+            Ok(request) => {
+                version.get_or_insert(PROTOCOL_V1);
+                handle_request(shared, request)
+            }
             Err(e) => {
+                version.get_or_insert(PROTOCOL_V1);
                 shared.counters.inc_protocol_errors();
                 let (kind, message) = classify(&e);
                 Response::Error { kind, message }
             }
         };
-        let wrote = write_frame(&mut stream, &encode_payload(&response)).is_ok();
+        // The handshake reply itself is always v1-framed: the
+        // negotiated version governs *subsequent* frames.
+        let framed = match &response {
+            Response::Hello { .. } => encode_payload(&response),
+            _ => frame_response(version.unwrap_or(PROTOCOL_V1), req_id, &response),
+        };
+        let wrote = write_frame(&mut stream, &framed).is_ok();
         let was_draining = shared.draining.load(Ordering::SeqCst);
         // Decrement *after* the reply write: the drain wait holds until
         // in-flight replies are on the wire, not merely computed.
@@ -538,14 +707,20 @@ fn serve_connection(mut stream: TcpStream, shared: &Arc<ServerShared>) {
             let _ = stream.shutdown(Shutdown::Both);
             return;
         }
+        if hangup_after_reply {
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
         if !wrote {
             return;
         }
     }
 }
 
-/// Executes one decoded request against the runtime.
-fn handle_request(shared: &ServerShared, request: Request) -> Response {
+/// Executes one decoded request against the runtime. Blocking for
+/// `Infer` (the threads core's shape); the epoll core submits `Infer`
+/// asynchronously itself and only routes its control requests here.
+pub(crate) fn handle_request(shared: &ServerShared, request: Request) -> Response {
     let outcome = match request {
         // The decode already enforced dims/data consistency and size
         // caps; the session re-validates against the model's expected
@@ -588,6 +763,11 @@ fn handle_request(shared: &ServerShared, request: Request) -> Response {
                 drained: s.drained,
             }))
         }
+        // Both cores intercept Hello before dispatching here; a stray
+        // one is a protocol violation, answered typed.
+        Request::Hello { .. } => Err(ServeError::Protocol(
+            "Hello is only valid as a connection's first frame".to_string(),
+        )),
     };
     outcome.unwrap_or_else(|e| {
         let (kind, message) = classify(&e);

@@ -7,6 +7,9 @@
 //! 1. [`Session::submit`] validates the image, applies backpressure
 //!    (bounded queue → typed [`ServeError::Overloaded`]) and enqueues it
 //!    with a reply channel, returning a [`Pending`] handle.
+//!    ([`Session::submit_sink`] is the same path with a caller-supplied
+//!    completion callback instead of a channel — the epoll server core
+//!    routes replies back to its event loop this way.)
 //! 2. The session's dispatcher thread coalesces queued requests into a
 //!    micro-batch: it dispatches as soon as `max_batch` same-shaped
 //!    requests are waiting, or when the oldest request has waited
@@ -24,7 +27,7 @@
 //! are still served before the dispatcher exits.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::mpsc::{Receiver, SyncSender, TryRecvError};
+use std::sync::mpsc::{Receiver, TryRecvError};
 use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::time::{Duration, Instant};
 
@@ -70,12 +73,18 @@ pub(crate) fn batch_ready(
     leading_same_shape >= cfg.max_batch.max(1) || oldest_age >= cfg.max_wait
 }
 
+/// One request's completion: invoked exactly once with its result.
+/// Runs on the dispatcher thread with no session locks held, so a sink
+/// may re-enter the session or take unrelated locks (the event loop's
+/// completion queue) without ordering hazards.
+type ReplySink = Box<dyn FnOnce(Result<Vec<f32>>) + Send>;
+
 struct QueuedRequest {
     /// Per-image dims (no batch axis), e.g. `[1, 28, 28]`.
     dims: Vec<usize>,
     data: Vec<f32>,
     enqueued: Instant,
-    reply: SyncSender<Result<Vec<f32>>>,
+    reply: ReplySink,
 }
 
 struct QueueState {
@@ -218,6 +227,29 @@ impl Session {
     /// [`ServeError::Overloaded`] when the bounded queue is full,
     /// [`ServeError::ShuttingDown`] after shutdown began.
     pub fn submit(&self, dims: &[usize], data: &[f32]) -> Result<Pending> {
+        let (tx, rx) = std::sync::mpsc::sync_channel(1);
+        self.submit_sink(dims, data, move |result| {
+            let _ = tx.send(result);
+        })?;
+        Ok(Pending { rx })
+    }
+
+    /// [`Session::submit`] with a caller-supplied completion instead of
+    /// a reply channel: `sink` is invoked exactly once, on the
+    /// dispatcher thread with no session locks held, when the request's
+    /// batch completes. On a submit *error* the sink is returned
+    /// undisturbed inside the `Err` path semantics — it is simply
+    /// dropped uncalled, and the caller reports the error itself.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Session::submit`].
+    pub fn submit_sink(
+        &self,
+        dims: &[usize],
+        data: &[f32],
+        sink: impl FnOnce(Result<Vec<f32>>) + Send + 'static,
+    ) -> Result<()> {
         // Checked product, mirroring the wire decoder: this is public
         // API, so hostile dims can arrive without passing protocol.rs.
         let mut elems = 1usize;
@@ -250,7 +282,6 @@ impl Session {
                 )));
             }
         }
-        let (tx, rx) = std::sync::mpsc::sync_channel(1);
         {
             let mut st = self.shared.state.lock().expect("session lock");
             if st.shutdown {
@@ -274,11 +305,11 @@ impl Session {
                 dims: dims.to_vec(),
                 data: data.to_vec(),
                 enqueued: self.clock.now(),
-                reply: tx,
+                reply: Box::new(sink),
             });
         }
         self.shared.changed.notify_all();
-        Ok(Pending { rx })
+        Ok(())
     }
 
     /// Blocking single-image inference: [`Session::submit`] +
@@ -419,31 +450,40 @@ fn run_batch(
         .map_err(|e| ServeError::Engine(e.into()))
         .and_then(|images| engine.infer_each(&images).map_err(ServeError::Engine));
     let now = clock.now();
-    let mut stats = shared.stats.lock().expect("stats lock");
-    stats.batches += 1;
-    stats.occupancy_sum += occupancy as u64;
-    stats.max_occupancy = stats.max_occupancy.max(occupancy);
-    match result {
-        Ok(logits) => {
-            let classes = logits.shape().dim(1);
-            for (row, req) in batch.iter().enumerate() {
-                let out = logits.data()[row * classes..(row + 1) * classes].to_vec();
-                stats.completed += 1;
-                stats
-                    .latency
-                    .record(now.saturating_duration_since(req.enqueued));
-                let _ = req.reply.send(Ok(out));
+    let mut replies: Vec<(ReplySink, Result<Vec<f32>>)> = Vec::with_capacity(occupancy);
+    {
+        let mut stats = shared.stats.lock().expect("stats lock");
+        stats.batches += 1;
+        stats.occupancy_sum += occupancy as u64;
+        stats.max_occupancy = stats.max_occupancy.max(occupancy);
+        match result {
+            Ok(logits) => {
+                let classes = logits.shape().dim(1);
+                for (row, req) in batch.into_iter().enumerate() {
+                    let out = logits.data()[row * classes..(row + 1) * classes].to_vec();
+                    stats.completed += 1;
+                    stats
+                        .latency
+                        .record(now.saturating_duration_since(req.enqueued));
+                    replies.push((req.reply, Ok(out)));
+                }
+            }
+            Err(e) => {
+                for req in batch {
+                    stats.failed += 1;
+                    stats
+                        .latency
+                        .record(now.saturating_duration_since(req.enqueued));
+                    replies.push((req.reply, Err(e.clone())));
+                }
             }
         }
-        Err(e) => {
-            for req in &batch {
-                stats.failed += 1;
-                stats
-                    .latency
-                    .record(now.saturating_duration_since(req.enqueued));
-                let _ = req.reply.send(Err(e.clone()));
-            }
-        }
+    }
+    // Completions run strictly after the stats lock drops: a sink is
+    // arbitrary caller code (the epoll core's routes a reply through
+    // its own completion queue) and must never nest inside our locks.
+    for (sink, result) in replies {
+        sink(result);
     }
 }
 
@@ -552,6 +592,23 @@ impl Runtime {
         self.session(model)?.submit(dims, data)
     }
 
+    /// Completion-callback submission against `model`
+    /// ([`Session::submit_sink`] through the registry).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Session::submit`] plus registry errors; on
+    /// `Err` the sink was never (and will never be) invoked.
+    pub fn submit_sink(
+        &self,
+        model: &str,
+        dims: &[usize],
+        data: &[f32],
+        sink: impl FnOnce(Result<Vec<f32>>) + Send + 'static,
+    ) -> Result<()> {
+        self.session(model)?.submit_sink(dims, data, sink)
+    }
+
     /// Serving counters for `model` (zeroed if its session has not been
     /// created yet).
     ///
@@ -607,12 +664,11 @@ mod tests {
 
     #[test]
     fn leading_same_shape_stops_at_shape_change() {
-        let (tx, _rx) = std::sync::mpsc::sync_channel(1);
         let mk = |dims: &[usize]| QueuedRequest {
             dims: dims.to_vec(),
             data: vec![0.0; dims.iter().product()],
             enqueued: Instant::now(),
-            reply: tx.clone(),
+            reply: Box::new(|_| {}),
         };
         let mut q = VecDeque::new();
         assert_eq!(leading_same_shape(&q, 8), 0);

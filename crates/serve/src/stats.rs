@@ -5,26 +5,64 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-/// A 64-bucket power-of-two latency histogram over microseconds.
+/// Buckets in a [`LatencyHistogram`]: 4 exact sub-microsecond values
+/// plus 4 linear sub-buckets for each of the 62 octaves `[2^m, 2^(m+1))`
+/// µs, `m ∈ [2, 63]`.
+const HIST_BUCKETS: usize = 4 + 62 * 4;
+
+/// A log-linear latency histogram over microseconds: power-of-two
+/// octaves, each split into 4 linear sub-buckets.
 ///
-/// Bucket `i` covers `[2^(i-1), 2^i)` µs (bucket 0 is `< 1 µs`), so the
-/// footprint is constant no matter how many requests are recorded and a
-/// quantile is never more than 2× off — plenty for serving dashboards.
-/// The last bucket is a catch-all for `≥ 2^62 µs` (including durations
-/// whose microsecond count saturates `u64`), so quantiles landing there
-/// report the saturated bound `u64::MAX` µs rather than a value below a
-/// recorded latency; the 2× guarantee applies to every bucket below it.
+/// Values `0..=3` µs get exact buckets; a value in octave
+/// `[2^m, 2^(m+1))` µs lands in the sub-bucket
+/// `(us >> (m-2)) & 3`, covering `[(4+s)·2^(m-2), (5+s)·2^(m-2))` µs.
+/// Every bucket's width is at most ¼ of its lower bound, so a reported
+/// quantile is never more than 25% above a recorded latency — tight
+/// enough that p50 and p99 stay distinguishable inside one octave
+/// (the plain power-of-two histogram this replaces reported them
+/// identically whenever both landed within a 2× band). Footprint stays
+/// constant (252 counters) no matter how many requests are recorded.
+///
+/// The top bucket is a catch-all for `≥ 7·2^61 µs` (including
+/// durations whose microsecond count saturates `u64`), so quantiles
+/// landing there report the saturated bound `u64::MAX` µs rather than
+/// a value below a recorded latency; the 25% guarantee applies to
+/// every bucket below it.
 #[derive(Debug, Clone)]
 pub struct LatencyHistogram {
-    counts: [u64; 64],
+    counts: [u64; HIST_BUCKETS],
     total: u64,
+}
+
+/// Bucket index for a latency of `us` microseconds.
+#[inline]
+fn bucket_index(us: u64) -> usize {
+    if us < 4 {
+        return us as usize;
+    }
+    // us >= 4 ⇒ at least 3 significant bits ⇒ m ∈ [2, 63].
+    let m = 63 - us.leading_zeros() as usize;
+    let sub = ((us >> (m - 2)) & 3) as usize;
+    4 + (m - 2) * 4 + sub
+}
+
+/// Upper bound of bucket `i` in microseconds (saturating: the top
+/// bucket's nominal bound is `2^64`, which clamps to `u64::MAX`).
+#[inline]
+fn bucket_upper_us(i: usize) -> u64 {
+    if i < 4 {
+        return i as u64 + 1;
+    }
+    let m = 2 + (i - 4) / 4;
+    let sub = ((i - 4) % 4) as u128;
+    u64::try_from((5 + sub) << (m - 2)).unwrap_or(u64::MAX)
 }
 
 impl LatencyHistogram {
     /// An empty histogram.
     pub fn new() -> Self {
         LatencyHistogram {
-            counts: [0; 64],
+            counts: [0; HIST_BUCKETS],
             total: 0,
         }
     }
@@ -32,11 +70,7 @@ impl LatencyHistogram {
     /// Records one request latency.
     pub fn record(&mut self, latency: Duration) {
         let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
-        let bucket = if us == 0 {
-            0
-        } else {
-            (64 - us.leading_zeros() as usize).min(63)
-        };
+        let bucket = bucket_index(us).min(HIST_BUCKETS - 1);
         self.counts[bucket] += 1;
         self.total += 1;
     }
@@ -57,31 +91,16 @@ impl LatencyHistogram {
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return bucket_upper_ms(i);
+                return bucket_upper_us(i) as f64 / 1000.0;
             }
         }
-        bucket_upper_ms(63)
+        bucket_upper_us(HIST_BUCKETS - 1) as f64 / 1000.0
     }
 }
 
 impl Default for LatencyHistogram {
     fn default() -> Self {
         LatencyHistogram::new()
-    }
-}
-
-/// Upper bound of bucket `i` in milliseconds. Bucket 63 is the
-/// catch-all `[2^62 µs, ∞)` — [`LatencyHistogram::record`] clamps both
-/// saturated `as_micros` conversions and `≥ 2^63 µs` samples into it —
-/// so its bound saturates at `u64::MAX` µs instead of `2^63` µs, which
-/// would sit *below* a recorded latency.
-#[inline]
-fn bucket_upper_ms(i: usize) -> f64 {
-    if i >= 63 {
-        u64::MAX as f64 / 1000.0
-    } else {
-        // Upper bound of bucket i in µs is 2^i (bucket 0: 1 µs).
-        (1u64 << i) as f64 / 1000.0
     }
 }
 
@@ -232,13 +251,48 @@ mod tests {
         let p50 = h.quantile_ms(0.50);
         let p99 = h.quantile_ms(0.99);
         let p100 = h.quantile_ms(1.0);
-        // p50 sits in the 100 µs bucket: upper bound 128 µs.
-        assert!((0.1..=0.128001).contains(&p50), "p50 {p50}");
+        // p50 sits in 100 µs's sub-bucket [96, 112) µs: bound 112 µs.
+        assert!((0.1..=0.112001).contains(&p50), "p50 {p50}");
         // p99 is still in the fast bucket (99 of 100 samples)…
-        assert!(p99 <= 0.128001, "p99 {p99}");
-        // …while the max lands in the 50 ms bucket (upper bound 65.536).
-        assert!((50.0..=65.536001).contains(&p100), "p100 {p100}");
+        assert!(p99 <= 0.112001, "p99 {p99}");
+        // …while the max lands in 50 ms's sub-bucket [49.152, 57.344).
+        assert!((50.0..=57.344001).contains(&p100), "p100 {p100}");
         assert!(p50 <= p99 && p99 <= p100);
+    }
+
+    #[test]
+    fn sub_buckets_distinguish_p50_from_p99_within_an_octave() {
+        // 9 ms and 15 ms share the [8.192, 16.384) ms octave — the old
+        // power-of-two histogram reported both quantiles as 16.384 ms.
+        let mut h = LatencyHistogram::new();
+        for _ in 0..90 {
+            h.record(Duration::from_millis(9));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_millis(15));
+        }
+        let p50 = h.quantile_ms(0.50);
+        let p99 = h.quantile_ms(0.99);
+        assert!(p50 < p99, "p50 {p50} vs p99 {p99}");
+        // Each bound stays within 25% of its recorded latency.
+        assert!((9.0..=11.25).contains(&p50), "p50 {p50}");
+        assert!((15.0..=18.75).contains(&p99), "p99 {p99}");
+    }
+
+    #[test]
+    fn every_bucket_bound_is_within_a_quarter_of_its_lower_edge() {
+        // Spot-check the log-linear mapping across the full range:
+        // record → quantile must give a bound in [us, 1.25 · us].
+        for shift in 2..63u32 {
+            for offset in [0u64, 1, 3] {
+                let us = (1u64 << shift) + (offset << shift.saturating_sub(2));
+                let mut h = LatencyHistogram::new();
+                h.record(Duration::from_micros(us));
+                let bound_us = h.quantile_ms(1.0) * 1000.0;
+                assert!(bound_us > us as f64, "{us}: bound {bound_us}");
+                assert!(bound_us <= us as f64 * 1.25 + 1.0, "{us}: bound {bound_us}");
+            }
+        }
     }
 
     #[test]
@@ -261,12 +315,18 @@ mod tests {
         let clamped_ms = u64::MAX as f64 / 1000.0;
         assert_eq!(h.quantile_ms(1.0), clamped_ms);
         assert!(h.quantile_ms(1.0) >= clamped_ms);
-        // A sample in bucket 63's nominal range [2^62, 2^63) µs shares
-        // the saturated bound — the 2× guarantee stops below the
-        // catch-all, by design.
+        // 2^62 µs resolves to a finite sub-bucket bound (5·2^60 µs)
+        // that still sits above the recorded latency.
         let mut h2 = LatencyHistogram::new();
         h2.record(Duration::from_micros(1 << 62));
-        assert_eq!(h2.quantile_ms(1.0), clamped_ms);
+        let bound_ms = h2.quantile_ms(1.0);
+        assert!(bound_ms > (1u64 << 62) as f64 / 1000.0, "{bound_ms}");
+        assert!(bound_ms < clamped_ms, "{bound_ms}");
+        // The nominal top-of-range value shares the saturated bound —
+        // the 25% guarantee stops below the catch-all, by design.
+        let mut h3 = LatencyHistogram::new();
+        h3.record(Duration::from_micros(u64::MAX));
+        assert_eq!(h3.quantile_ms(1.0), clamped_ms);
     }
 
     #[test]

@@ -234,6 +234,98 @@ fn half_frame_then_stall_is_reaped_with_a_typed_timeout() {
     server.shutdown();
 }
 
+/// The version handshake under hostile inputs: a zero offer is
+/// answered once with a typed error and a hang-up (the connection's
+/// version would be ambiguous), a truncated `Hello` payload is a typed
+/// error the connection survives, and a mid-stream `Hello` is refused
+/// while the connection keeps serving — none of it takes the server
+/// down.
+#[test]
+fn hostile_hellos_never_take_the_server_down() {
+    use deepcam_serve::protocol::{MAX_PROTOCOL_VERSION, PROTOCOL_V1};
+
+    let registry = Arc::new(ModelRegistry::new());
+    let runtime = Arc::new(Runtime::new(registry, SessionConfig::default()));
+    let mut server = Server::bind("127.0.0.1:0", runtime, ServerConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    // 1. Hello { max_version: 0 }: typed error, then hang-up.
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write_frame(&mut s, &encode_payload(&Request::Hello { max_version: 0 })).unwrap();
+        match read_frame(&mut s).unwrap() {
+            Frame::Payload(p) => match decode_payload::<Response>(&p).unwrap() {
+                Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::Protocol),
+                other => panic!("expected typed error, got {other:?}"),
+            },
+            Frame::Closed => panic!("version 0 must be answered before the hang-up"),
+        }
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        assert!(matches!(read_frame(&mut s), Ok(Frame::Closed) | Err(_)));
+    }
+
+    // 2. A truncated Hello payload (the tag byte alone): typed error,
+    //    frame boundaries intact, connection survives into real work.
+    {
+        let full = encode_payload(&Request::Hello {
+            max_version: MAX_PROTOCOL_VERSION,
+        });
+        for cut in 1..full.len() {
+            assert!(
+                decode_payload::<Request>(&full[..cut]).is_err(),
+                "cut {cut}"
+            );
+        }
+        let mut s = TcpStream::connect(addr).unwrap();
+        write_frame(&mut s, &full[..1]).unwrap();
+        match read_frame(&mut s).unwrap() {
+            Frame::Payload(p) => match decode_payload::<Response>(&p).unwrap() {
+                Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::Protocol),
+                other => panic!("expected typed error, got {other:?}"),
+            },
+            Frame::Closed => panic!("truncated Hello payload must not kill the connection"),
+        }
+        // An undecodable first frame locks v1; the connection serves on.
+        write_frame(&mut s, &encode_payload(&Request::ListModels)).unwrap();
+        match read_frame(&mut s).unwrap() {
+            Frame::Payload(p) => match decode_payload::<Response>(&p).unwrap() {
+                Response::Models(models) => assert!(models.is_empty()),
+                other => panic!("expected Models, got {other:?}"),
+            },
+            Frame::Closed => panic!("connection closed after the typed error"),
+        }
+    }
+
+    // 3. Hello after the first frame: a protocol violation answered
+    //    with a typed error, but frame boundaries are intact — the
+    //    connection keeps serving v1.
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write_frame(&mut s, &encode_payload(&Request::ListModels)).unwrap();
+        assert!(matches!(read_frame(&mut s).unwrap(), Frame::Payload(_)));
+        write_frame(
+            &mut s,
+            &encode_payload(&Request::Hello {
+                max_version: PROTOCOL_V1,
+            }),
+        )
+        .unwrap();
+        match read_frame(&mut s).unwrap() {
+            Frame::Payload(p) => match decode_payload::<Response>(&p).unwrap() {
+                Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::Protocol),
+                other => panic!("expected typed error, got {other:?}"),
+            },
+            Frame::Closed => panic!("mid-stream Hello must not kill the connection"),
+        }
+        write_frame(&mut s, &encode_payload(&Request::ListModels)).unwrap();
+        assert!(matches!(read_frame(&mut s).unwrap(), Frame::Payload(_)));
+    }
+
+    assert!(server.stats().protocol_errors >= 3);
+    assert_still_serves(addr);
+    server.shutdown();
+}
+
 /// A client that sends the length prefix and then disconnects before
 /// any payload byte: a mid-frame EOF the server closes quietly, and
 /// which must never take the server down.
