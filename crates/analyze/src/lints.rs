@@ -58,6 +58,12 @@ impl Config {
             determinism_files: vec![
                 "crates/core/src/engine.rs",
                 "crates/core/src/reference.rs",
+                // The pass pipeline rewrites compiled artifacts and
+                // searches mappings; both must be pure functions of the
+                // model and config (resumable, replayable, cacheable).
+                "crates/core/src/passes/mod.rs",
+                "crates/core/src/passes/fuse.rs",
+                "crates/core/src/passes/mapping.rs",
                 "crates/hash/src/packed.rs",
                 "crates/hash/src/bitvec.rs",
                 // The SIMD kernel files are A5-bound; the dispatch layer
@@ -132,6 +138,10 @@ impl Config {
                         ("crates/bench/src/experiments/fig10.rs", 1),
                         ("crates/bench/src/experiments/table2.rs", 1),
                         ("crates/bench/src/bin/tuner.rs", 1),
+                        // The compiler bench costs the uniform_max
+                        // baseline; its tuned bindings come from
+                        // `tune_joint`, which reuses the tuner's.
+                        ("crates/bench/src/bin/compiler.rs", 1),
                         // The open-loop sweep stands up a real server
                         // per (core, conns) cell.
                         ("crates/bench/src/bin/serve_throughput.rs", 1),

@@ -1,0 +1,407 @@
+//! The compiler pass-pipeline benchmark: joint mapping+width search vs
+//! the fixed 64-row chip, and fused vs unfused step programs, recorded
+//! in `BENCH_compiler.json`.
+//!
+//! Usage: `cargo run --release -p deepcam-bench --bin compiler
+//! [--out PATH] [--repeats R] [--force] [--smoke]`
+//!
+//! For each workload a scaled model is trained on its synthetic set,
+//! then [`deepcam_core::tune::tune_joint`] co-optimizes per-layer hash
+//! lengths (accuracy-constrained, on a tuning split) and the CAM array
+//! mapping (rows × dataflow per layer on a multi-array chip, scored by
+//! the `deepcam-cam` cost model). Three configurations are costed on the
+//! trained model's own `LayerIr`:
+//!
+//! * `uniform_max` widths on the fixed 64-row AS chip (the historical
+//!   baseline),
+//! * tuned widths on the fixed chip (width-only tuning), and
+//! * tuned widths under the searched mapping (the joint optimum).
+//!
+//! Separately, the fusion pass's wall-clock effect is measured as the
+//! median full-set evaluation time of the unfused vs fused engine.
+//! **Every reported config is gated bit-identical first**: the fused and
+//! fully-passed models must produce bitwise-equal logits to the no-pass
+//! pipeline on the entire test set before any timing is taken, and the
+//! run asserts the joint search strictly beats width-only tuning on
+//! modeled CAM search energy before writing anything.
+//!
+//! `--smoke` shrinks everything (tiny data, one epoch, temp output) so
+//! CI exercises the full search path on every push; wall-clock ordering
+//! is reported but not asserted there (sub-millisecond noise).
+
+use std::time::Instant;
+
+use deepcam_bench::guard::{self, median_millis};
+use deepcam_core::passes::{self, Pass};
+use deepcam_core::sched::CamScheduler;
+use deepcam_core::tune::{tune_joint, JointTuneReport, JointTunerConfig, TunerConfig};
+use deepcam_core::{
+    CompiledModel, Dataflow, DeepCamEngine, EngineConfig, HashPlan, LayerIr, PerfReport,
+};
+use deepcam_data::synth::{generate, SynthConfig};
+use deepcam_models::scaled::{scaled_lenet5, scaled_vgg11};
+use deepcam_models::train::{train, TrainConfig};
+use deepcam_models::Cnn;
+use deepcam_tensor::rng::seeded_rng;
+use deepcam_tensor::{Parallelism, Shape, Tensor};
+
+struct WorkloadResult {
+    workload: String,
+    dot_layers: usize,
+    plan: Vec<usize>,
+    arrays: usize,
+    mapping_rows: Vec<usize>,
+    mapping_dataflows: Vec<&'static str>,
+    cam_search_max_fixed: f64,
+    cam_search_tuned_fixed: f64,
+    cam_search_tuned_mapped: f64,
+    cycles_max_fixed: u64,
+    cycles_tuned_fixed: u64,
+    cycles_tuned_mapped: u64,
+    wall_ms_unfused: f64,
+    wall_ms_fused: f64,
+}
+
+fn subset(images: &Tensor, labels: &[usize], count: usize) -> (Tensor, Vec<usize>) {
+    let n = labels.len().min(count);
+    let sample: usize = images.shape().dims()[1..].iter().product();
+    let mut dims = vec![n];
+    dims.extend_from_slice(&images.shape().dims()[1..]);
+    (
+        Tensor::from_vec(images.data()[..n * sample].to_vec(), Shape::new(&dims))
+            .expect("subset volume consistent"),
+        labels[..n].to_vec(),
+    )
+}
+
+/// Full-set logits in evaluation-sized chunks (bounds im2col memory the
+/// same way `evaluate` does).
+fn logits_chunked(engine: &DeepCamEngine, images: &Tensor, batch: usize) -> Vec<f32> {
+    let n = images.shape().dim(0);
+    let sample: usize = images.shape().dims()[1..].iter().product();
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + batch).min(n);
+        let mut dims = vec![end - start];
+        dims.extend_from_slice(&images.shape().dims()[1..]);
+        let chunk = Tensor::from_vec(
+            images.data()[start * sample..end * sample].to_vec(),
+            Shape::new(&dims),
+        )
+        .expect("chunk volume consistent");
+        out.extend_from_slice(engine.infer(&chunk).expect("inference succeeds").data());
+        start = end;
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_workload(
+    name: &str,
+    mut model: Cnn,
+    data_cfg: &SynthConfig,
+    use_calibration: bool,
+    repeats: usize,
+    epochs: usize,
+) -> WorkloadResult {
+    println!("-- {name} --");
+    let (train_set, test_set) = generate(data_cfg);
+    let tc = TrainConfig {
+        epochs,
+        batch_size: 32,
+        lr: 0.03,
+        momentum: 0.9,
+        weight_decay: 1e-4,
+        seed: 7,
+    };
+    train(&mut model, train_set.images(), train_set.labels(), &tc).expect("training succeeds");
+    let (calib_x, _) = subset(train_set.images(), train_set.labels(), 32);
+    let calibration = use_calibration.then_some(&calib_x);
+
+    // Single-thread engines keep the wall-clock numbers comparable and
+    // the whole run deterministic.
+    let base = EngineConfig {
+        parallelism: Parallelism::Serial,
+        ..EngineConfig::default()
+    };
+    let joint: JointTuneReport = tune_joint(
+        &model,
+        test_set.images(),
+        test_set.labels(),
+        &base,
+        calibration,
+        &JointTunerConfig {
+            tuner: TunerConfig {
+                max_drop: 0.0,
+                batch_size: 16,
+                ..TunerConfig::default()
+            },
+            ..JointTunerConfig::default()
+        },
+    )
+    .expect("joint tuning succeeds");
+    let plan = joint.tune.binding.ks().to_vec();
+    println!(
+        "tuned plan {plan:?} (mean k {:.0}) in {} evaluations",
+        joint.tune.mean_hash_len, joint.tune.evaluations
+    );
+    let rows: Vec<usize> = joint.mapping.per_layer.iter().map(|lm| lm.rows).collect();
+    let dataflows: Vec<&'static str> = joint
+        .mapping
+        .per_layer
+        .iter()
+        .map(|lm| lm.dataflow.label())
+        .collect();
+    println!(
+        "searched mapping: arrays={}, rows {rows:?}, dataflows {dataflows:?}",
+        joint.mapping.arrays
+    );
+
+    // The uniform_max baseline on the fixed chip — the one extra costed
+    // configuration the joint report doesn't already carry.
+    let ir = LayerIr::from_cnn(&model).expect("scaled models declare their input");
+    let sched = CamScheduler::new(64, Dataflow::ActivationStationary).expect("64 rows supported");
+    let max_plan = HashPlan::uniform_max();
+    let perf_max: PerfReport = sched
+        .run_ir(
+            &ir,
+            &max_plan.bind(&ir).expect("plan fits"),
+            max_plan.label(),
+        )
+        .expect("sched runs");
+    println!(
+        "modeled CAM search energy: uniform_max/fixed64 {:.3e} J, tuned/fixed64 {:.3e} J, \
+         tuned/mapped {:.3e} J ({:.1}% below width-only tuning)",
+        perf_max.energy.cam_search,
+        joint.fixed.energy.cam_search,
+        joint.mapped.energy.cam_search,
+        100.0 * (1.0 - joint.mapped.energy.cam_search / joint.fixed.energy.cam_search)
+    );
+
+    // The headline claim this benchmark exists to check: co-optimizing
+    // mapping and widths strictly dominates width-only tuning on modeled
+    // CAM search energy.
+    assert!(
+        joint.mapped.energy.cam_search < joint.fixed.energy.cam_search,
+        "{name}: joint search does not beat the fixed 64-row mapping"
+    );
+
+    // Fusion: build the unfused and fused step programs from the *same*
+    // compiled artifact, calibrate identically, then gate bit-exactness
+    // on the full test set BEFORE timing anything.
+    let tuned_cfg = EngineConfig {
+        plan: joint.tune.plan.clone(),
+        ..base.clone()
+    };
+    let compiled = CompiledModel::compile(&model, tuned_cfg).expect("compiles");
+    let mut fused = compiled.clone();
+    let fuse_outcome = &passes::apply(&mut fused, &[Pass::FuseSteps]).expect("fusion applies")[0];
+    println!("fusion: {}", fuse_outcome.detail);
+    let mut passed = compiled.clone();
+    passes::apply(&mut passed, &passes::default_passes()).expect("passes apply");
+    let mut engines = [
+        DeepCamEngine::from_compiled(compiled).expect("unfused runtime"),
+        DeepCamEngine::from_compiled(fused).expect("fused runtime"),
+        DeepCamEngine::from_compiled(passed).expect("passed runtime"),
+    ];
+    if let Some(calib) = calibration {
+        for engine in &mut engines {
+            engine.calibrate_bn(calib).expect("calibration succeeds");
+        }
+    }
+    let reference = logits_chunked(&engines[0], test_set.images(), 16);
+    for (engine, label) in engines[1..].iter().zip(["fused", "fused+mapped"]) {
+        let got = logits_chunked(engine, test_set.images(), 16);
+        assert_eq!(
+            reference, got,
+            "{name}: {label} logits differ from the no-pass pipeline"
+        );
+    }
+    println!("bit-exactness gate passed: fused and passed logits identical on the full test set");
+
+    let time_eval = |engine: &DeepCamEngine| -> f64 {
+        let warm = engine
+            .evaluate(test_set.images(), test_set.labels(), 16)
+            .expect("evaluation succeeds");
+        std::hint::black_box(warm);
+        let runs: Vec<f64> = (0..repeats)
+            .map(|_| {
+                let start = Instant::now();
+                let acc = engine
+                    .evaluate(test_set.images(), test_set.labels(), 16)
+                    .expect("evaluation succeeds");
+                std::hint::black_box(acc);
+                start.elapsed().as_secs_f64() * 1e3
+            })
+            .collect();
+        median_millis(runs)
+    };
+    let wall_unfused = time_eval(&engines[0]);
+    let wall_fused = time_eval(&engines[1]);
+    println!(
+        "full-set eval: unfused {wall_unfused:.1} ms, fused {wall_fused:.1} ms ({:.3}x)",
+        wall_unfused / wall_fused
+    );
+
+    WorkloadResult {
+        workload: name.to_string(),
+        dot_layers: ir.len(),
+        plan,
+        arrays: joint.mapping.arrays,
+        mapping_rows: rows,
+        mapping_dataflows: dataflows,
+        cam_search_max_fixed: perf_max.energy.cam_search,
+        cam_search_tuned_fixed: joint.fixed.energy.cam_search,
+        cam_search_tuned_mapped: joint.mapped.energy.cam_search,
+        cycles_max_fixed: perf_max.total_cycles,
+        cycles_tuned_fixed: joint.fixed.total_cycles,
+        cycles_tuned_mapped: joint.mapped.total_cycles,
+        wall_ms_unfused: wall_unfused,
+        wall_ms_fused: wall_fused,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let arg = |name: &str| -> Option<usize> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|p| args.get(p + 1))
+            .and_then(|v| v.parse().ok())
+    };
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|p| args.get(p + 1).cloned())
+        .unwrap_or_else(|| {
+            if smoke {
+                // Smoke runs exercise the search path, not the record.
+                std::env::temp_dir()
+                    .join("BENCH_compiler_smoke.json")
+                    .to_string_lossy()
+                    .into_owned()
+            } else {
+                "BENCH_compiler.json".to_string()
+            }
+        });
+    let repeats = arg("--repeats").unwrap_or(if smoke { 1 } else { 5 }).max(1);
+    let force = args.iter().any(|a| a == "--force");
+    let (train_pc, test_pc, epochs) = if smoke {
+        (8, 8, 1)
+    } else {
+        (
+            arg("--train-per-class").unwrap_or(64),
+            arg("--test-per-class").unwrap_or(100),
+            arg("--epochs").unwrap_or(3),
+        )
+    };
+
+    let host_cores = guard::host_cores();
+    if !smoke && !guard::check_overwrite(&out_path, host_cores, force).proceed() {
+        return; // verdict printed; keeping the bigger-host JSON is success
+    }
+    println!("== Compiler pass pipeline: joint mapping+width search vs fixed 64-row chip ==");
+    println!(
+        "host cores: {host_cores}, repeats: {repeats}, train/test per class: \
+         {train_pc}/{test_pc}, epochs: {epochs}, smoke: {smoke}"
+    );
+
+    let mut results = Vec::new();
+    {
+        let mut rng = seeded_rng(100);
+        let data = SynthConfig::digits().with_samples(train_pc, test_pc);
+        results.push(run_workload(
+            "LeNet5 / SynthDigits",
+            scaled_lenet5(&mut rng, 10),
+            &data,
+            false, // no batch norm in LeNet5
+            repeats,
+            epochs,
+        ));
+    }
+    {
+        let mut rng = seeded_rng(101);
+        let data = SynthConfig::objects10().with_samples(train_pc, test_pc);
+        results.push(run_workload(
+            "VGG11 / SynthObjects10",
+            scaled_vgg11(&mut rng, 8, 10),
+            &data,
+            true, // BN-calibrate every engine identically
+            repeats,
+            epochs,
+        ));
+    }
+
+    // Fusion's acceptance gate: at least one workload must show a
+    // measured wall-clock win (full runs only — smoke timings are
+    // sub-millisecond noise).
+    let fusion_wins = results
+        .iter()
+        .filter(|r| r.wall_ms_fused < r.wall_ms_unfused)
+        .count();
+    if smoke {
+        println!("smoke mode: fusion wall-clock ordering not asserted ({fusion_wins}/2 faster)");
+    } else {
+        assert!(
+            fusion_wins >= 1,
+            "fusion pass shows no eval wall-clock improvement on any workload"
+        );
+    }
+
+    // Hand-rolled JSON (schema documented in ROADMAP.md); the vendored
+    // serde's binary codec serves artifacts, not reports.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(
+        "  \"experiment\": \"compiler pass pipeline: joint array-mapping + hash-width search \
+         vs the fixed 64-row AS chip on modeled CAM search energy/cycles, and fused vs \
+         unfused step programs on full-set evaluation wall-clock (all configs gated \
+         bit-identical to the no-pass pipeline first)\",\n",
+    );
+    json.push_str(&format!("  \"host_cores\": {host_cores},\n"));
+    json.push_str(&format!("  \"repeats\": {repeats},\n"));
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str("  \"workloads\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        let plan: Vec<String> = r.plan.iter().map(|k| k.to_string()).collect();
+        let rows: Vec<String> = r.mapping_rows.iter().map(|v| v.to_string()).collect();
+        let dfs: Vec<String> = r
+            .mapping_dataflows
+            .iter()
+            .map(|d| format!("\"{d}\""))
+            .collect();
+        json.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"dot_layers\": {}, \"plan\": [{}], \
+             \"mapping\": {{\"arrays\": {}, \"rows\": [{}], \"dataflows\": [{}]}}, \
+             \"cam_search_energy_j\": {{\"uniform_max_fixed64\": {:.6e}, \
+             \"tuned_fixed64\": {:.6e}, \"tuned_mapped\": {:.6e}, \
+             \"joint_vs_width_only_saving_pct\": {:.1}}}, \
+             \"total_cycles\": {{\"uniform_max_fixed64\": {}, \"tuned_fixed64\": {}, \
+             \"tuned_mapped\": {}}}, \
+             \"eval_wall_ms\": {{\"unfused\": {:.2}, \"fused\": {:.2}, \
+             \"speedup\": {:.3}}}, \"bit_identical\": true}}{comma}\n",
+            r.workload,
+            r.dot_layers,
+            plan.join(", "),
+            r.arrays,
+            rows.join(", "),
+            dfs.join(", "),
+            r.cam_search_max_fixed,
+            r.cam_search_tuned_fixed,
+            r.cam_search_tuned_mapped,
+            100.0 * (1.0 - r.cam_search_tuned_mapped / r.cam_search_tuned_fixed),
+            r.cycles_max_fixed,
+            r.cycles_tuned_fixed,
+            r.cycles_tuned_mapped,
+            r.wall_ms_unfused,
+            r.wall_ms_fused,
+            r.wall_ms_unfused / r.wall_ms_fused,
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_compiler.json");
+    println!("wrote {out_path}");
+}

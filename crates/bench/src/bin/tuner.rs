@@ -22,7 +22,7 @@ use std::time::Instant;
 
 use deepcam_bench::guard::{self, median_millis};
 use deepcam_core::sched::CamScheduler;
-use deepcam_core::tune::{tune, TunerConfig};
+use deepcam_core::tune::{holdout_within, tune, TunerConfig};
 use deepcam_core::{Dataflow, DeepCamEngine, EngineConfig, HashPlan, LayerIr};
 use deepcam_data::synth::{generate, SynthConfig};
 use deepcam_models::scaled::{scaled_lenet5, scaled_vgg11};
@@ -45,6 +45,7 @@ struct WorkloadResult {
     total_energy_tuned: f64,
     wall_ms_max: f64,
     wall_ms_tuned: f64,
+    holdout_within_budget: bool,
 }
 
 fn subset(images: &Tensor, labels: &[usize], count: usize) -> (Tensor, Vec<usize>) {
@@ -131,6 +132,18 @@ fn run_workload(
         "holdout accuracy: uniform_max {:.3}, tuned {:.3}",
         report.holdout_reference, report.holdout_tuned
     );
+    // The search only constrains the *tuning* split; check the held-out
+    // drop against the run's budget with the tuner's own acceptance rule
+    // and say so out loud when it ships a violation.
+    let holdout_within_budget =
+        holdout_within(max_drop, report.holdout_reference, report.holdout_tuned);
+    if !holdout_within_budget {
+        println!(
+            "WARNING: {name}: held-out accuracy drop {:.4} exceeds the {max_drop} budget \
+             (the plan was accepted on the tuning split only)",
+            report.holdout_reference - report.holdout_tuned
+        );
+    }
 
     // Modeled accelerator cost on the *trained model's own* lowered IR —
     // the same LayerIr the engine compiled (64-row AS, the Table II
@@ -199,7 +212,7 @@ fn run_workload(
         "{name}: tuned plan does not save CAM search energy"
     );
     assert!(
-        report.holdout_tuned + max_drop >= report.holdout_reference,
+        holdout_within_budget,
         "{name}: holdout accuracy drop exceeds {max_drop}"
     );
 
@@ -217,6 +230,7 @@ fn run_workload(
         total_energy_tuned: perf_tuned.total_energy_j,
         wall_ms_max: wall_max,
         wall_ms_tuned: wall_tuned,
+        holdout_within_budget,
     }
 }
 
@@ -305,7 +319,8 @@ fn main() {
         json.push_str(&format!(
             "    {{\"workload\": \"{}\", \"dot_layers\": {}, \"plan\": [{}], \
              \"mean_hash_len\": {:.1}, \"evaluations\": {}, \
-             \"accuracy\": {{\"uniform_max\": {:.4}, \"tuned\": {:.4}, \"drop\": {:.4}}}, \
+             \"accuracy\": {{\"uniform_max\": {:.4}, \"tuned\": {:.4}, \"drop\": {:.4}, \
+             \"holdout_within_budget\": {}}}, \
              \"cam_search_energy_j\": {{\"uniform_max\": {:.6e}, \"tuned\": {:.6e}, \
              \"saving_pct\": {:.1}}}, \
              \"total_energy_j\": {{\"uniform_max\": {:.6e}, \"tuned\": {:.6e}}}, \
@@ -319,6 +334,7 @@ fn main() {
             r.acc_max,
             r.acc_tuned,
             r.acc_max - r.acc_tuned,
+            r.holdout_within_budget,
             r.search_energy_max,
             r.search_energy_tuned,
             100.0 * (1.0 - r.search_energy_tuned / r.search_energy_max),

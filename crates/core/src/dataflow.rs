@@ -1,5 +1,6 @@
 //! The two dataflows evaluated in the paper (§IV-A, Fig. 9).
 
+use serde::bin::{BinCodec, BinError, BinResult, Reader, Writer};
 use serde::{Deserialize, Serialize};
 
 /// How a dot-product layer is mapped onto the CAM.
@@ -35,6 +36,23 @@ impl Dataflow {
     }
 }
 
+impl BinCodec for Dataflow {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            Dataflow::WeightStationary => 0,
+            Dataflow::ActivationStationary => 1,
+        });
+    }
+
+    fn decode(r: &mut Reader<'_>) -> BinResult<Self> {
+        match r.get_u8()? {
+            0 => Ok(Dataflow::WeightStationary),
+            1 => Ok(Dataflow::ActivationStationary),
+            other => Err(BinError::Invalid(format!("Dataflow tag {other}"))),
+        }
+    }
+}
+
 impl std::fmt::Display for Dataflow {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -60,6 +78,20 @@ mod tests {
             Dataflow::ActivationStationary.to_string(),
             "activation-stationary"
         );
+    }
+
+    #[test]
+    fn bin_codec_round_trips_and_rejects_bad_tags() {
+        for df in Dataflow::both() {
+            let mut w = Writer::new();
+            df.encode(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            assert_eq!(Dataflow::decode(&mut r).unwrap(), df);
+            r.finish().unwrap();
+        }
+        let mut r = Reader::new(&[9u8]);
+        assert!(Dataflow::decode(&mut r).is_err());
     }
 
     #[test]

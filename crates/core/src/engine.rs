@@ -31,7 +31,7 @@ use deepcam_hash::context::{Context, ContextSet};
 use deepcam_hash::geometric::{CosineMode, GeometricDot, NormMode};
 use deepcam_hash::{Minifloat8, ProjectionMatrix};
 use deepcam_models::Cnn;
-use deepcam_tensor::ops::conv::im2col_sharded;
+use deepcam_tensor::ops::conv::{im2col_sharded, Conv2dConfig};
 use deepcam_tensor::ops::norm::BN_EPS;
 use deepcam_tensor::ops::pool::{avg_pool2d, max_pool2d};
 use deepcam_tensor::pool::{split_ranges, Parallelism, ThreadPool};
@@ -42,7 +42,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::CoreError;
 use crate::hashplan::HashPlan;
-use crate::ir::{CompiledModel, CompiledStep, CompiledTile};
+use crate::ir::{BnParams, CompiledModel, CompiledStep, CompiledTile};
 use crate::Result;
 
 /// Functional engine configuration.
@@ -122,15 +122,23 @@ pub(crate) struct RuntimeTile {
     pub(crate) w_norms: Vec<f32>,
     /// `cos_lut[hd] = cosine.eval((π/k)·hd)` for `hd ∈ 0..=k`: the only
     /// k+1 values the angle/cosine pipeline can ever produce at this
-    /// layer width.
-    pub(crate) cos_lut: Vec<f32>,
+    /// layer width. Layers sharing a hash width share one allocation
+    /// (the LUT is a pure function of `(k, CosineMode)`, and the cosine
+    /// mode is fixed per engine) — less memory and better cache locality
+    /// when consecutive layers run at the same width.
+    pub(crate) cos_lut: std::sync::Arc<Vec<f32>>,
 }
 
 impl RuntimeTile {
     /// The single derivation both construction paths share — in-memory
     /// compile and artifact load build *identical* runtime state, which
-    /// is what makes save→load→infer bit-exact.
-    fn derive(tile: &CompiledTile, cfg: &EngineConfig) -> Self {
+    /// is what makes save→load→infer bit-exact. `luts` caches cosine
+    /// LUTs by hash width across the tiles of one engine build.
+    fn derive(
+        tile: &CompiledTile,
+        cfg: &EngineConfig,
+        luts: &mut std::collections::HashMap<usize, std::sync::Arc<Vec<f32>>>,
+    ) -> Self {
         let proj = ProjectionMatrix::generate(tile.n, tile.k, tile.seed).to_tensor();
         let w_norms = tile
             .norms
@@ -143,12 +151,19 @@ impl RuntimeTile {
                 NormMode::Fp32 => norm,
             })
             .collect();
-        let cos_lut = (0..=tile.k)
-            .map(|hd| {
-                cfg.cosine
-                    .eval(GeometricDot::angle_from_hamming(hd, tile.k))
+        let cos_lut = luts
+            .entry(tile.k)
+            .or_insert_with(|| {
+                std::sync::Arc::new(
+                    (0..=tile.k)
+                        .map(|hd| {
+                            cfg.cosine
+                                .eval(GeometricDot::angle_from_hamming(hd, tile.k))
+                        })
+                        .collect(),
+                )
             })
-            .collect();
+            .clone();
         RuntimeTile {
             proj,
             weights: std::sync::OnceLock::new(),
@@ -225,10 +240,11 @@ impl DeepCamEngine {
     /// inconsistent.
     pub fn from_compiled(compiled: CompiledModel) -> Result<Self> {
         compiled.validate()?;
+        let mut luts = std::collections::HashMap::new();
         let tiles = compiled
             .tiles()
             .into_iter()
-            .map(|t| RuntimeTile::derive(t, &compiled.config))
+            .map(|t| RuntimeTile::derive(t, &compiled.config, &mut luts))
             .collect();
         Ok(DeepCamEngine { compiled, tiles })
     }
@@ -683,48 +699,51 @@ fn run_step(
             cfg: conv_cfg,
             tile,
             bias,
-        } => {
-            let (n_batch, _c, h, w) = x
-                .shape()
-                .as_nchw()
-                .ok_or_else(|| CoreError::Unsupported("conv input must be NCHW".to_string()))?;
-            let (oh, ow) = conv_cfg.output_hw(h, w);
-            // Patch extraction shards over the same worker budget as
-            // the hashing below (bit-identical at any count).
-            let patches = im2col_sharded(x, conv_cfg, dot_workers)?; // [N*P, n]
-                                                                     // Every image contributes OH*OW patch rows, so the global
-                                                                     // patch-row offset of this chunk is img_offset * P.
-            let row_offset = img_offset * (oh * ow);
-            let rt = &tiles[tile.layer_idx];
-            let out2d = dot_rows(&patches, tile, rt, cfg, row_offset, dot_workers, path)?;
-            // Permute [N*P, M] -> [N, M, OH, OW] and add bias.
-            let p = oh * ow;
-            let m = tile.kernels();
-            let mut out = vec![0.0f32; n_batch * m * p];
-            for ni in 0..n_batch {
-                for pi in 0..p {
-                    let row = (ni * p + pi) * m;
-                    for (mi, &b) in bias.iter().enumerate() {
-                        out[(ni * m + mi) * p + pi] = out2d[row + mi] + b;
-                    }
-                }
-            }
-            Ok(Tensor::from_vec(out, Shape::new(&[n_batch, m, oh, ow]))?)
-        }
-        CompiledStep::Linear { tile, bias } => {
-            // One patch row per image: the row offset is img_offset.
-            let rt = &tiles[tile.layer_idx];
-            let out2d = dot_rows(x, tile, rt, cfg, img_offset, dot_workers, path)?;
-            let n_batch = x.shape().dim(0);
-            let m = tile.kernels();
-            let mut out = out2d;
-            for ni in 0..n_batch {
-                for (mi, &b) in bias.iter().enumerate() {
-                    out[ni * m + mi] += b;
-                }
-            }
-            Ok(Tensor::from_vec(out, Shape::new(&[n_batch, m]))?)
-        }
+        } => run_dot_fused(
+            Some(conv_cfg),
+            tile,
+            bias,
+            None,
+            false,
+            x,
+            cfg,
+            tiles,
+            img_offset,
+            dot_workers,
+            path,
+        ),
+        CompiledStep::Linear { tile, bias } => run_dot_fused(
+            None,
+            tile,
+            bias,
+            None,
+            false,
+            x,
+            cfg,
+            tiles,
+            img_offset,
+            dot_workers,
+            path,
+        ),
+        CompiledStep::Fused {
+            conv,
+            tile,
+            bias,
+            bn,
+            relu,
+        } => run_dot_fused(
+            conv.as_ref(),
+            tile,
+            bias,
+            bn.as_ref(),
+            *relu,
+            x,
+            cfg,
+            tiles,
+            img_offset,
+            dot_workers,
+            path,
+        ),
         CompiledStep::Bn {
             gamma,
             beta,
@@ -774,6 +793,154 @@ fn run_step(
     }
 }
 
+/// The shared dot-layer body behind the `Conv`, `Linear` and `Fused`
+/// step arms: CAM dot-products, then bias — and, when the fusion pass
+/// folded them in, batch-norm and ReLU — applied in the *same* single
+/// pass over the output activations.
+///
+/// Bit-exactness contract: with `bn = None, relu = false` this is the
+/// historical Conv/Linear arm verbatim (same expressions, same
+/// per-element order). With folded peripherals, each output element
+/// evaluates `bias → gamma·(v−mean)·inv + beta → max(v, 0)` — exactly
+/// the element-wise chain the unfused `Bn`/`Relu` steps apply in later
+/// passes, element order preserved — so fused logits equal unfused
+/// logits bitwise (`tests/passes_invariance.rs` pins this across the
+/// zoo).
+#[allow(clippy::too_many_arguments)]
+fn run_dot_fused(
+    conv: Option<&Conv2dConfig>,
+    tile: &CompiledTile,
+    bias: &[f32],
+    bn: Option<&BnParams>,
+    relu: bool,
+    x: &Tensor,
+    cfg: &EngineConfig,
+    tiles: &[RuntimeTile],
+    img_offset: usize,
+    dot_workers: usize,
+    path: DotPath,
+) -> Result<Tensor> {
+    match conv {
+        Some(conv_cfg) => {
+            let (n_batch, _c, h, w) = x
+                .shape()
+                .as_nchw()
+                .ok_or_else(|| CoreError::Unsupported("conv input must be NCHW".to_string()))?;
+            let (oh, ow) = conv_cfg.output_hw(h, w);
+            // Patch extraction shards over the same worker budget as
+            // the hashing below (bit-identical at any count).
+            let patches = im2col_sharded(x, conv_cfg, dot_workers)?; // [N*P, n]
+                                                                     // Every image contributes OH*OW patch rows, so the global
+                                                                     // patch-row offset of this chunk is img_offset * P.
+            let row_offset = img_offset * (oh * ow);
+            let rt = &tiles[tile.layer_idx];
+            let out2d = dot_rows(&patches, tile, rt, cfg, row_offset, dot_workers, path)?;
+            // `1/√(var+ε)` is hoisted per channel — the same value the
+            // standalone BN step computes once per (image, channel).
+            let inv: Option<Vec<f32>> =
+                bn.map(|p| p.var.iter().map(|&v| 1.0 / (v + BN_EPS).sqrt()).collect());
+            // Permute [N*P, M] -> [N, M, OH, OW], adding bias and any
+            // folded peripherals in the same pass.
+            let p = oh * ow;
+            let m = tile.kernels();
+            let mut out = vec![0.0f32; n_batch * m * p];
+            for ni in 0..n_batch {
+                for pi in 0..p {
+                    let row = (ni * p + pi) * m;
+                    for (mi, &b) in bias.iter().enumerate() {
+                        let mut v = out2d[row + mi] + b;
+                        if let (Some(p), Some(inv)) = (bn, inv.as_deref()) {
+                            v = p.gamma[mi] * (v - p.mean[mi]) * inv[mi] + p.beta[mi];
+                        }
+                        if relu {
+                            v = v.max(0.0);
+                        }
+                        out[(ni * m + mi) * p + pi] = v;
+                    }
+                }
+            }
+            Ok(Tensor::from_vec(out, Shape::new(&[n_batch, m, oh, ow]))?)
+        }
+        None => {
+            // One patch row per image: the row offset is img_offset.
+            // (Linear-sourced steps never fold BN — see the fusion pass.)
+            debug_assert!(bn.is_none(), "BN folds only into conv-sourced steps");
+            let rt = &tiles[tile.layer_idx];
+            let out2d = dot_rows(x, tile, rt, cfg, img_offset, dot_workers, path)?;
+            let n_batch = x.shape().dim(0);
+            let m = tile.kernels();
+            let mut out = out2d;
+            for ni in 0..n_batch {
+                for (mi, &b) in bias.iter().enumerate() {
+                    let v = &mut out[ni * m + mi];
+                    *v += b;
+                    if relu {
+                        *v = v.max(0.0);
+                    }
+                }
+            }
+            Ok(Tensor::from_vec(out, Shape::new(&[n_batch, m]))?)
+        }
+    }
+}
+
+/// Per-channel mean and biased variance of an NCHW tensor — the batch
+/// statistics BN calibration stores (identical arithmetic for the
+/// standalone and fused calibration arms).
+fn channel_stats(x: &Tensor) -> Result<(Vec<f32>, Vec<f32>)> {
+    let (n, c, h, w) = x
+        .shape()
+        .as_nchw()
+        .ok_or_else(|| CoreError::Unsupported("batch norm input must be NCHW".to_string()))?;
+    let count = (n * h * w).max(1) as f32;
+    let mut new_mean = vec![0.0f32; c];
+    let mut new_var = vec![0.0f32; c];
+    for ni in 0..n {
+        for (ci, m) in new_mean.iter_mut().enumerate() {
+            let base = (ni * c + ci) * h * w;
+            for &v in &x.data()[base..base + h * w] {
+                *m += v;
+            }
+        }
+    }
+    for m in &mut new_mean {
+        *m /= count;
+    }
+    for ni in 0..n {
+        for (ci, nv) in new_var.iter_mut().enumerate() {
+            let base = (ni * c + ci) * h * w;
+            for &v in &x.data()[base..base + h * w] {
+                let d = v - new_mean[ci];
+                *nv += d * d;
+            }
+        }
+    }
+    for v in &mut new_var {
+        *v /= count;
+    }
+    Ok((new_mean, new_var))
+}
+
+/// Applies batch-norm in place over an NCHW tensor — the standalone BN
+/// step's expression and element order, used by the fused calibration
+/// arm after it refreshed the statistics.
+fn apply_bn_nchw(x: &mut Tensor, p: &BnParams) -> Result<()> {
+    let (n, c, h, w) = x
+        .shape()
+        .as_nchw()
+        .ok_or_else(|| CoreError::Unsupported("batch norm input must be NCHW".to_string()))?;
+    for ni in 0..n {
+        for ci in 0..c {
+            let inv = 1.0 / (p.var[ci] + BN_EPS).sqrt();
+            let base = (ni * c + ci) * h * w;
+            for v in &mut x.data_mut()[base..base + h * w] {
+                *v = p.gamma[ci] * (*v - p.mean[ci]) * inv + p.beta[ci];
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Walks the pipeline forwarding `x`, replacing every batch-norm stage's
 /// statistics with the batch statistics of its *approximate-datapath*
 /// input.
@@ -788,38 +955,45 @@ fn calibrate_steps(
     for step in steps.iter_mut() {
         cur = match step {
             CompiledStep::Bn { mean, var, .. } => {
-                let (n, c, h, w) = cur.shape().as_nchw().ok_or_else(|| {
-                    CoreError::Unsupported("batch norm input must be NCHW".to_string())
-                })?;
-                let count = (n * h * w).max(1) as f32;
-                let mut new_mean = vec![0.0f32; c];
-                let mut new_var = vec![0.0f32; c];
-                for ni in 0..n {
-                    for (ci, m) in new_mean.iter_mut().enumerate() {
-                        let base = (ni * c + ci) * h * w;
-                        for &v in &cur.data()[base..base + h * w] {
-                            *m += v;
-                        }
-                    }
-                }
-                for m in &mut new_mean {
-                    *m /= count;
-                }
-                for ni in 0..n {
-                    for (ci, nv) in new_var.iter_mut().enumerate() {
-                        let base = (ni * c + ci) * h * w;
-                        for &v in &cur.data()[base..base + h * w] {
-                            let d = v - new_mean[ci];
-                            *nv += d * d;
-                        }
-                    }
-                }
-                for v in &mut new_var {
-                    *v /= count;
-                }
+                let (new_mean, new_var) = channel_stats(&cur)?;
                 *mean = new_mean;
                 *var = new_var;
                 run_step(step, &cur, cfg, tiles, 0, dot_workers, DotPath::Fast)?
+            }
+            CompiledStep::Fused {
+                conv,
+                tile,
+                bias,
+                bn,
+                relu,
+            } if bn.is_some() => {
+                // Run the dot layer with the folded peripherals
+                // suppressed: the pre-BN activations are what the
+                // statistics must be computed over (identically to the
+                // unfused Conv-then-Bn calibration walk).
+                let pre = run_dot_fused(
+                    conv.as_ref(),
+                    tile,
+                    bias,
+                    None,
+                    false,
+                    &cur,
+                    cfg,
+                    tiles,
+                    0,
+                    dot_workers,
+                    DotPath::Fast,
+                )?;
+                let (new_mean, new_var) = channel_stats(&pre)?;
+                let params = bn.as_mut().expect("guarded Some");
+                params.mean = new_mean;
+                params.var = new_var;
+                let mut out = pre;
+                apply_bn_nchw(&mut out, params)?;
+                if *relu {
+                    out = out.map(|v| v.max(0.0));
+                }
+                out
             }
             CompiledStep::Residual { body, shortcut } => {
                 let main = calibrate_steps(body, cur.clone(), cfg, tiles)?;
@@ -1190,6 +1364,105 @@ mod tests {
         )
         .unwrap();
         assert_eq!(calibrated.data(), reloaded.infer(&calib).unwrap().data());
+    }
+
+    #[test]
+    fn cosine_luts_are_shared_per_hash_length() {
+        // Satellite: one cosine-LUT allocation per distinct hash
+        // length. A uniform plan must yield a single shared Arc across
+        // every runtime tile; distinct lengths must not share.
+        let mut rng = seeded_rng(50);
+        let model = scaled_lenet5(&mut rng, 10);
+        let cfg = EngineConfig {
+            plan: HashPlan::Uniform(256),
+            ..EngineConfig::default()
+        };
+        let engine = DeepCamEngine::compile(&model, cfg).unwrap();
+        let first = &engine.tiles[0].cos_lut;
+        for rt in &engine.tiles[1..] {
+            assert!(std::sync::Arc::ptr_eq(first, &rt.cos_lut));
+        }
+        let cfg = EngineConfig {
+            plan: HashPlan::PerLayer(vec![256, 512, 256, 512, 256]),
+            ..EngineConfig::default()
+        };
+        let model2 = scaled_lenet5(&mut seeded_rng(50), 10);
+        let engine = DeepCamEngine::compile(&model2, cfg).unwrap();
+        assert!(std::sync::Arc::ptr_eq(
+            &engine.tiles[0].cos_lut,
+            &engine.tiles[2].cos_lut
+        ));
+        assert!(std::sync::Arc::ptr_eq(
+            &engine.tiles[1].cos_lut,
+            &engine.tiles[3].cos_lut
+        ));
+        assert!(!std::sync::Arc::ptr_eq(
+            &engine.tiles[0].cos_lut,
+            &engine.tiles[1].cos_lut
+        ));
+        // Sharing must not change the table contents.
+        assert_eq!(engine.tiles[1].cos_lut.len(), 512 + 1);
+    }
+
+    #[test]
+    fn fused_steps_are_bitwise_identical_to_unfused() {
+        // The fusion pass's whole contract: same logits, to the bit,
+        // with crossbar noise exercising the noisy datapath too.
+        let mut rng = seeded_rng(51);
+        let model = deepcam_models::scaled::scaled_vgg11(&mut rng, 4, 10);
+        let cfg = EngineConfig {
+            plan: HashPlan::Uniform(256),
+            crossbar_noise: 0.3,
+            ..EngineConfig::default()
+        };
+        let compiled = CompiledModel::compile(&model, cfg).unwrap();
+        let mut fused = compiled.clone();
+        let outcome = crate::passes::fuse::run(&mut fused);
+        assert!(outcome.changed);
+        let plain = DeepCamEngine::from_compiled(compiled).unwrap();
+        let fused = DeepCamEngine::from_compiled(fused).unwrap();
+        let mut rng2 = seeded_rng(52);
+        let x = deepcam_tensor::init::normal(&mut rng2, Shape::new(&[3, 3, 32, 32]), 0.0, 1.0);
+        assert_eq!(
+            plain.infer(&x).unwrap().data(),
+            fused.infer(&x).unwrap().data()
+        );
+        // And through the reference (non-SIMD) dot path.
+        assert_eq!(
+            plain.infer_reference(&x).unwrap().data(),
+            fused.infer_reference(&x).unwrap().data()
+        );
+    }
+
+    #[test]
+    fn fused_calibration_matches_unfused() {
+        // Calibrating a fused model must land on the same statistics —
+        // and hence the same logits — as calibrating before fusion.
+        let mut rng = seeded_rng(53);
+        let model = deepcam_models::scaled::scaled_vgg11(&mut rng, 4, 10);
+        let cfg = EngineConfig {
+            plan: HashPlan::Uniform(256),
+            ..EngineConfig::default()
+        };
+        let compiled = CompiledModel::compile(&model, cfg).unwrap();
+        let mut fused = compiled.clone();
+        crate::passes::fuse::run(&mut fused);
+        let mut plain = DeepCamEngine::from_compiled(compiled).unwrap();
+        let mut fused = DeepCamEngine::from_compiled(fused).unwrap();
+        let mut rng2 = seeded_rng(54);
+        let calib = deepcam_tensor::init::normal(&mut rng2, Shape::new(&[4, 3, 32, 32]), 0.0, 1.0);
+        plain.calibrate_bn(&calib).unwrap();
+        fused.calibrate_bn(&calib).unwrap();
+        let x = deepcam_tensor::init::normal(
+            &mut seeded_rng(55),
+            Shape::new(&[2, 3, 32, 32]),
+            0.0,
+            1.0,
+        );
+        assert_eq!(
+            plain.infer(&x).unwrap().data(),
+            fused.infer(&x).unwrap().data()
+        );
     }
 
     #[test]

@@ -41,6 +41,7 @@ use serde::{Deserialize, Serialize};
 use crate::engine::EngineConfig;
 use crate::error::CoreError;
 use crate::hashplan::PlanBinding;
+use crate::passes::mapping::ModelMapping;
 use crate::Result;
 
 /// Which dot-product form a lowered layer came from.
@@ -455,6 +456,42 @@ impl CompiledTile {
     }
 }
 
+/// Batch-norm parameters folded into a [`CompiledStep::Fused`] step.
+///
+/// Same fields as a standalone [`CompiledStep::Bn`]; the fused engine
+/// arm evaluates the identical per-element expression
+/// (`gamma·(v − mean)/√(var + ε) + beta`), so folding never changes a
+/// bit of the output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BnParams {
+    /// Scale.
+    pub gamma: Vec<f32>,
+    /// Shift.
+    pub beta: Vec<f32>,
+    /// Running (or calibrated) mean.
+    pub mean: Vec<f32>,
+    /// Running (or calibrated) variance.
+    pub var: Vec<f32>,
+}
+
+impl BinCodec for BnParams {
+    fn encode(&self, w: &mut Writer) {
+        self.gamma.encode(w);
+        self.beta.encode(w);
+        self.mean.encode(w);
+        self.var.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> BinResult<Self> {
+        Ok(BnParams {
+            gamma: BinCodec::decode(r)?,
+            beta: BinCodec::decode(r)?,
+            mean: BinCodec::decode(r)?,
+            var: BinCodec::decode(r)?,
+        })
+    }
+}
+
 /// One step of the compiled digital pipeline.
 ///
 /// Mirrors the model's block structure: dot-product steps carry their
@@ -504,6 +541,23 @@ pub enum CompiledStep {
         /// Projection branch; `None` = identity.
         shortcut: Option<Vec<CompiledStep>>,
     },
+    /// A dot layer with its trailing peripherals folded in — the fusion
+    /// pass output ([`crate::passes::fuse`]). The engine computes
+    /// dot-product reconstruction, bias, batch-norm and ReLU in a single
+    /// pass over the output activations, with per-element arithmetic
+    /// identical to running the unfused step sequence.
+    Fused {
+        /// im2col geometry for conv-sourced steps; `None` = linear.
+        conv: Option<Conv2dConfig>,
+        /// The layer's packed weight contexts.
+        tile: CompiledTile,
+        /// Per-kernel bias.
+        bias: Vec<f32>,
+        /// Folded batch-norm (conv-sourced steps only).
+        bn: Option<BnParams>,
+        /// Folded trailing ReLU.
+        relu: bool,
+    },
 }
 
 /// Maximum residual nesting accepted when decoding an artifact (real
@@ -547,6 +601,13 @@ impl CompiledStep {
                 };
                 Ok(CompiledStep::Residual { body, shortcut })
             }
+            8 => Ok(CompiledStep::Fused {
+                conv: BinCodec::decode(r)?,
+                tile: BinCodec::decode(r)?,
+                bias: BinCodec::decode(r)?,
+                bn: BinCodec::decode(r)?,
+                relu: r.get_bool()?,
+            }),
             other => Err(BinError::Invalid(format!("CompiledStep tag {other}"))),
         }
     }
@@ -608,6 +669,20 @@ impl BinCodec for CompiledStep {
                     }
                 }
             }
+            CompiledStep::Fused {
+                conv,
+                tile,
+                bias,
+                bn,
+                relu,
+            } => {
+                w.put_u8(8);
+                conv.encode(w);
+                tile.encode(w);
+                bias.encode(w);
+                bn.encode(w);
+                w.put_bool(*relu);
+            }
         }
     }
 
@@ -618,10 +693,19 @@ impl BinCodec for CompiledStep {
 
 /// Artifact file magic (`"DCAM"`).
 pub const ARTIFACT_MAGIC: [u8; 4] = *b"DCAM";
-/// Artifact format version. Bump on any encoding change; [`
-/// CompiledModel::from_bytes`] rejects mismatches instead of
-/// misinterpreting bytes.
-pub const ARTIFACT_VERSION: u32 = 1;
+/// Artifact format version written by [`CompiledModel::to_bytes`]. Bump
+/// on any encoding change; [`CompiledModel::from_bytes`] rejects
+/// unknown versions instead of misinterpreting bytes.
+///
+/// Version history:
+/// * **1** — config, IR, binding, steps.
+/// * **2** — adds the optional [`ModelMapping`] section after the steps
+///   and the fused step tag (pass-pipeline PR). Version-aware load keeps
+///   v1 artifacts readable; [`CompiledModel::to_bytes_v1`] writes the
+///   old layout for models no pass has touched.
+pub const ARTIFACT_VERSION: u32 = 2;
+/// Oldest artifact format version [`CompiledModel::from_bytes`] accepts.
+pub const ARTIFACT_MIN_VERSION: u32 = 1;
 
 /// A trained model compiled for CAM-based inference — the pipeline's
 /// final, serializable stage.
@@ -642,6 +726,11 @@ pub struct CompiledModel {
     pub binding: PlanBinding,
     /// The step pipeline (tiles + digital peripherals).
     pub(crate) steps: Vec<CompiledStep>,
+    /// Per-layer array-mapping decisions attached by the mapping pass
+    /// ([`crate::passes::mapping`]); `None` until that pass runs. Pure
+    /// scheduling metadata — the functional engine never reads it, so it
+    /// cannot affect logits.
+    pub mapping: Option<ModelMapping>,
 }
 
 impl CompiledModel {
@@ -664,6 +753,7 @@ impl CompiledModel {
             ir,
             binding,
             steps,
+            mapping: None,
         })
     }
 
@@ -682,9 +772,9 @@ impl CompiledModel {
         fn collect<'m>(steps: &'m [CompiledStep], out: &mut Vec<&'m CompiledTile>) {
             for step in steps {
                 match step {
-                    CompiledStep::Conv { tile, .. } | CompiledStep::Linear { tile, .. } => {
-                        out.push(tile)
-                    }
+                    CompiledStep::Conv { tile, .. }
+                    | CompiledStep::Linear { tile, .. }
+                    | CompiledStep::Fused { tile, .. } => out.push(tile),
                     CompiledStep::Residual { body, shortcut } => {
                         collect(body, out);
                         if let Some(sc) = shortcut {
@@ -705,7 +795,9 @@ impl CompiledModel {
         fn walk(steps: &mut [CompiledStep], f: &mut impl FnMut(&mut CompiledTile)) {
             for step in steps {
                 match step {
-                    CompiledStep::Conv { tile, .. } | CompiledStep::Linear { tile, .. } => f(tile),
+                    CompiledStep::Conv { tile, .. }
+                    | CompiledStep::Linear { tile, .. }
+                    | CompiledStep::Fused { tile, .. } => f(tile),
                     CompiledStep::Residual { body, shortcut } => {
                         walk(body, f);
                         if let Some(sc) = shortcut {
@@ -840,6 +932,60 @@ impl CompiledModel {
                             )));
                         }
                     }
+                    CompiledStep::Fused {
+                        conv,
+                        tile,
+                        bias,
+                        bn,
+                        ..
+                    } => {
+                        if bias.len() != tile.kernels() {
+                            return Err(CoreError::Artifact(format!(
+                                "fused step '{}' has {} bias entries for {} kernels",
+                                tile.name,
+                                bias.len(),
+                                tile.kernels()
+                            )));
+                        }
+                        if let Some(cfg) = conv {
+                            if cfg.out_channels != tile.kernels() || cfg.patch_len() != tile.n {
+                                return Err(CoreError::Artifact(format!(
+                                    "fused step '{}' geometry {}x{} disagrees with its tile {}x{}",
+                                    tile.name,
+                                    cfg.out_channels,
+                                    cfg.patch_len(),
+                                    tile.kernels(),
+                                    tile.n
+                                )));
+                            }
+                        }
+                        if let Some(p) = bn {
+                            // Fused BN is per-channel over an NCHW map;
+                            // only conv-sourced steps produce one.
+                            if conv.is_none() {
+                                return Err(CoreError::Artifact(format!(
+                                    "fused step '{}' folds batch-norm without conv geometry",
+                                    tile.name
+                                )));
+                            }
+                            let c = tile.kernels();
+                            if p.gamma.len() != c
+                                || p.beta.len() != c
+                                || p.mean.len() != c
+                                || p.var.len() != c
+                            {
+                                return Err(CoreError::Artifact(format!(
+                                    "fused step '{}' batch-norm statistics disagree with \
+                                     {c} kernels: gamma {}, beta {}, mean {}, var {}",
+                                    tile.name,
+                                    p.gamma.len(),
+                                    p.beta.len(),
+                                    p.mean.len(),
+                                    p.var.len()
+                                )));
+                            }
+                        }
+                    }
                     CompiledStep::Residual { body, shortcut } => {
                         check_steps(body)?;
                         if let Some(sc) = shortcut {
@@ -851,10 +997,14 @@ impl CompiledModel {
             }
             Ok(())
         }
-        check_steps(&self.steps)
+        check_steps(&self.steps)?;
+        if let Some(mapping) = &self.mapping {
+            mapping.check(dots)?;
+        }
+        Ok(())
     }
 
-    /// Serializes to the versioned binary artifact format.
+    /// Serializes to the current (v2) binary artifact format.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = Writer::new();
         w.put_raw(&ARTIFACT_MAGIC);
@@ -863,7 +1013,45 @@ impl CompiledModel {
         self.ir.encode(&mut w);
         self.binding.encode(&mut w);
         self.steps.encode(&mut w);
+        self.mapping.encode(&mut w);
         w.into_bytes()
+    }
+
+    /// Serializes to the legacy v1 artifact layout, for deployments that
+    /// still run a pre-pass-pipeline reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Artifact`] when the model carries state the
+    /// v1 format cannot express — a mapping, or any fused step.
+    pub fn to_bytes_v1(&self) -> Result<Vec<u8>> {
+        fn has_fused(steps: &[CompiledStep]) -> bool {
+            steps.iter().any(|s| match s {
+                CompiledStep::Fused { .. } => true,
+                CompiledStep::Residual { body, shortcut } => {
+                    has_fused(body) || shortcut.as_deref().is_some_and(has_fused)
+                }
+                _ => false,
+            })
+        }
+        if self.mapping.is_some() {
+            return Err(CoreError::Artifact(
+                "model carries an array mapping; the v1 format cannot express it".to_string(),
+            ));
+        }
+        if has_fused(&self.steps) {
+            return Err(CoreError::Artifact(
+                "model carries fused steps; the v1 format cannot express them".to_string(),
+            ));
+        }
+        let mut w = Writer::new();
+        w.put_raw(&ARTIFACT_MAGIC);
+        w.put_u32(1);
+        self.config.encode(&mut w);
+        self.ir.encode(&mut w);
+        self.binding.encode(&mut w);
+        self.steps.encode(&mut w);
+        Ok(w.into_bytes())
     }
 
     /// Deserializes and validates an artifact.
@@ -883,16 +1071,29 @@ impl CompiledModel {
             )));
         }
         let version = r.get_u32()?;
-        if version != ARTIFACT_VERSION {
+        if !(ARTIFACT_MIN_VERSION..=ARTIFACT_VERSION).contains(&version) {
             return Err(CoreError::Artifact(format!(
-                "artifact format version {version}, this build reads {ARTIFACT_VERSION}"
+                "artifact format version {version}, this build reads \
+                 {ARTIFACT_MIN_VERSION}..={ARTIFACT_VERSION}"
             )));
         }
+        let config = BinCodec::decode(&mut r)?;
+        let ir = BinCodec::decode(&mut r)?;
+        let binding = BinCodec::decode(&mut r)?;
+        let steps = CompiledStep::decode_vec(&mut r, 0)?;
+        // v1 artifacts predate the mapping section: decode to `None`, so
+        // every pre-change artifact keeps loading and serving unchanged.
+        let mapping = if version >= 2 {
+            BinCodec::decode(&mut r)?
+        } else {
+            None
+        };
         let model = CompiledModel {
-            config: BinCodec::decode(&mut r)?,
-            ir: BinCodec::decode(&mut r)?,
-            binding: BinCodec::decode(&mut r)?,
-            steps: CompiledStep::decode_vec(&mut r, 0)?,
+            config,
+            ir,
+            binding,
+            steps,
+            mapping,
         };
         r.finish()?;
         model.validate()?;
@@ -1247,6 +1448,60 @@ mod tests {
         let mut trailing = bytes.clone();
         trailing.push(0);
         assert!(CompiledModel::from_bytes(&trailing).is_err());
+    }
+
+    #[test]
+    fn v1_artifact_loads_with_no_mapping() {
+        let mut rng = seeded_rng(9);
+        let model = scaled_lenet5(&mut rng, 10);
+        let compiled = CompiledModel::compile(
+            &model,
+            EngineConfig {
+                plan: HashPlan::Uniform(512),
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        let v1 = compiled.to_bytes_v1().unwrap();
+        assert_eq!(&v1[4..8], &1u32.to_le_bytes());
+        let restored = CompiledModel::from_bytes(&v1).unwrap();
+        assert_eq!(compiled, restored);
+        assert!(restored.mapping.is_none());
+    }
+
+    #[test]
+    fn v1_writer_refuses_mapped_and_fused_models() {
+        use crate::passes::mapping::ModelMapping;
+        use crate::Dataflow;
+        let mut rng = seeded_rng(10);
+        let model = scaled_lenet5(&mut rng, 10);
+        let compiled = CompiledModel::compile(
+            &model,
+            EngineConfig {
+                plan: HashPlan::Uniform(256),
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+
+        let mut mapped = compiled.clone();
+        mapped.mapping = Some(ModelMapping::fixed(
+            64,
+            Dataflow::ActivationStationary,
+            mapped.dot_layers(),
+        ));
+        mapped.validate().unwrap();
+        assert!(matches!(
+            mapped.to_bytes_v1(),
+            Err(CoreError::Artifact(msg)) if msg.contains("mapping")
+        ));
+
+        let mut fused = compiled;
+        crate::passes::fuse::run(&mut fused);
+        assert!(matches!(
+            fused.to_bytes_v1(),
+            Err(CoreError::Artifact(msg)) if msg.contains("fused")
+        ));
     }
 
     #[test]

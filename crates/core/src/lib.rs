@@ -43,6 +43,7 @@ pub mod engine;
 pub mod error;
 pub mod hashplan;
 pub mod ir;
+pub mod passes;
 pub mod perf;
 pub mod postproc;
 pub mod profile;
@@ -60,9 +61,10 @@ pub use deepcam_hash::simd;
 pub use engine::{DeepCamEngine, EngineConfig};
 pub use error::CoreError;
 pub use hashplan::{HashPlan, PlanBinding};
-pub use ir::{CompiledModel, CompiledStep, CompiledTile, DotIr, DotKind, LayerIr};
+pub use ir::{BnParams, CompiledModel, CompiledStep, CompiledTile, DotIr, DotKind, LayerIr};
+pub use passes::{LayerMapping, MappingConfig, ModelMapping, Pass, PassOutcome};
 pub use perf::{EnergyBreakdown, LayerPerf, PerfReport};
-pub use tune::{TuneReport, TunerConfig};
+pub use tune::{JointTuneReport, JointTunerConfig, TuneReport, TunerConfig};
 
 /// Result alias used across the crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,304 @@
+//! The fusion pass: folds trailing peripheral steps into their producing
+//! dot layer.
+//!
+//! After compilation a conv layer typically reads its output activations
+//! three times: once to add bias, once for batch-norm, once for ReLU.
+//! This pass rewrites `Conv → Bn → Relu` (and `Linear → Relu`) runs into
+//! a single [`CompiledStep::Fused`] step whose engine arm applies the
+//! identical per-element expressions in one pass over the activations.
+//!
+//! Folding rules (applied left to right, recursing into residual
+//! branches):
+//!
+//! * `Bn` folds into an immediately preceding `Conv` (or a conv-sourced
+//!   `Fused` that carries no BN/ReLU yet) when the channel counts agree.
+//!   It never folds into a `Linear`: the engine's standalone BN step
+//!   rejects non-NCHW input, and fusion must not change behavior — not
+//!   even error behavior.
+//! * `Relu` folds into an immediately preceding `Conv`, `Linear`, or any
+//!   `Fused` step that has not folded one yet.
+//! * Everything else is copied through unchanged, so a `Bn` after a
+//!   `Fused` step that already folded its ReLU stays standalone
+//!   (reordering BN past ReLU would change values).
+
+use crate::ir::{BnParams, CompiledModel, CompiledStep};
+use crate::passes::PassOutcome;
+
+pub(crate) fn run(model: &mut CompiledModel) -> PassOutcome {
+    let mut folds = 0usize;
+    let steps = std::mem::take(&mut model.steps);
+    model.steps = fuse_steps(steps, &mut folds);
+    PassOutcome {
+        pass: "fuse-steps",
+        changed: folds > 0,
+        detail: format!("folded {folds} peripheral steps into dot layers"),
+    }
+}
+
+fn fuse_steps(steps: Vec<CompiledStep>, folds: &mut usize) -> Vec<CompiledStep> {
+    let mut out: Vec<CompiledStep> = Vec::with_capacity(steps.len());
+    for step in steps {
+        match step {
+            CompiledStep::Residual { body, shortcut } => out.push(CompiledStep::Residual {
+                body: fuse_steps(body, folds),
+                shortcut: shortcut.map(|sc| fuse_steps(sc, folds)),
+            }),
+            CompiledStep::Bn {
+                gamma,
+                beta,
+                mean,
+                var,
+            } => {
+                let fold = matches!(
+                    out.last(),
+                    Some(CompiledStep::Conv { tile, .. }) if tile.kernels() == gamma.len()
+                ) || matches!(
+                    out.last(),
+                    Some(CompiledStep::Fused {
+                        conv: Some(_),
+                        bn: None,
+                        relu: false,
+                        tile,
+                        ..
+                    }) if tile.kernels() == gamma.len()
+                );
+                if fold {
+                    let params = BnParams {
+                        gamma,
+                        beta,
+                        mean,
+                        var,
+                    };
+                    match out.pop().expect("fold guard matched the last step") {
+                        CompiledStep::Conv { cfg, tile, bias } => out.push(CompiledStep::Fused {
+                            conv: Some(cfg),
+                            tile,
+                            bias,
+                            bn: Some(params),
+                            relu: false,
+                        }),
+                        CompiledStep::Fused {
+                            conv, tile, bias, ..
+                        } => out.push(CompiledStep::Fused {
+                            conv,
+                            tile,
+                            bias,
+                            bn: Some(params),
+                            relu: false,
+                        }),
+                        _ => unreachable!("fold guard matched conv or fused"),
+                    }
+                    *folds += 1;
+                } else {
+                    out.push(CompiledStep::Bn {
+                        gamma,
+                        beta,
+                        mean,
+                        var,
+                    });
+                }
+            }
+            CompiledStep::Relu => match out.last_mut() {
+                Some(CompiledStep::Fused { relu, .. }) if !*relu => {
+                    *relu = true;
+                    *folds += 1;
+                }
+                Some(CompiledStep::Conv { .. }) => {
+                    let Some(CompiledStep::Conv { cfg, tile, bias }) = out.pop() else {
+                        unreachable!("just matched a conv step");
+                    };
+                    out.push(CompiledStep::Fused {
+                        conv: Some(cfg),
+                        tile,
+                        bias,
+                        bn: None,
+                        relu: true,
+                    });
+                    *folds += 1;
+                }
+                Some(CompiledStep::Linear { .. }) => {
+                    let Some(CompiledStep::Linear { tile, bias }) = out.pop() else {
+                        unreachable!("just matched a linear step");
+                    };
+                    out.push(CompiledStep::Fused {
+                        conv: None,
+                        tile,
+                        bias,
+                        bn: None,
+                        relu: true,
+                    });
+                    *folds += 1;
+                }
+                _ => out.push(CompiledStep::Relu),
+            },
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::hashplan::HashPlan;
+    use deepcam_models::scaled::{scaled_lenet5, scaled_resnet18, scaled_vgg11};
+    use deepcam_tensor::rng::seeded_rng;
+
+    fn compile(model: &deepcam_models::Cnn) -> CompiledModel {
+        CompiledModel::compile(
+            model,
+            EngineConfig {
+                plan: HashPlan::Uniform(256),
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn count_kinds(steps: &[CompiledStep]) -> (usize, usize, usize, usize) {
+        // (standalone bn, standalone relu, fused, dot-without-fusion)
+        fn walk(steps: &[CompiledStep], acc: &mut (usize, usize, usize, usize)) {
+            for s in steps {
+                match s {
+                    CompiledStep::Bn { .. } => acc.0 += 1,
+                    CompiledStep::Relu => acc.1 += 1,
+                    CompiledStep::Fused { .. } => acc.2 += 1,
+                    CompiledStep::Conv { .. } | CompiledStep::Linear { .. } => acc.3 += 1,
+                    CompiledStep::Residual { body, shortcut } => {
+                        walk(body, acc);
+                        if let Some(sc) = shortcut {
+                            walk(sc, acc);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut acc = (0, 0, 0, 0);
+        walk(steps, &mut acc);
+        acc
+    }
+
+    #[test]
+    fn vgg_conv_bn_relu_chains_collapse() {
+        let mut rng = seeded_rng(20);
+        let mut compiled = compile(&scaled_vgg11(&mut rng, 4, 10));
+        let outcome = run(&mut compiled);
+        assert!(outcome.changed);
+        let (bn, relu, fused, _) = count_kinds(&compiled.steps);
+        // Every conv has a trailing BN+ReLU; all of them fold. Only the
+        // bias-only logits linear stays bare.
+        assert_eq!(bn, 0, "no standalone BN should survive");
+        assert_eq!(relu, 0, "no standalone ReLU should survive");
+        assert!(fused > 0);
+        compiled.validate().unwrap();
+        // BN folded with its ReLU: conv-sourced fused steps carry both.
+        let has_bn_relu = compiled.steps.iter().any(|s| {
+            matches!(
+                s,
+                CompiledStep::Fused {
+                    bn: Some(_),
+                    relu: true,
+                    ..
+                }
+            )
+        });
+        assert!(has_bn_relu);
+    }
+
+    #[test]
+    fn lenet_fuses_relu_only_and_logits_stay_bare() {
+        let mut rng = seeded_rng(21);
+        let mut compiled = compile(&scaled_lenet5(&mut rng, 10));
+        run(&mut compiled);
+        let (bn, relu, fused, bare) = count_kinds(&compiled.steps);
+        assert_eq!(bn, 0);
+        assert_eq!(relu, 0);
+        // conv1, conv2, fc1, fc2 carry ReLUs; fc3 (logits) does not.
+        assert_eq!(fused, 4);
+        assert_eq!(bare, 1);
+        // The logits layer must not gain an activation.
+        assert!(matches!(
+            compiled.steps.last(),
+            Some(CompiledStep::Linear { .. })
+        ));
+        compiled.validate().unwrap();
+    }
+
+    #[test]
+    fn residual_branches_fuse_recursively() {
+        let mut rng = seeded_rng(22);
+        let mut compiled = compile(&scaled_resnet18(&mut rng, 4, 10));
+        let outcome = run(&mut compiled);
+        assert!(outcome.changed);
+        compiled.validate().unwrap();
+        let fused_inside_residual = compiled.steps.iter().any(|s| {
+            if let CompiledStep::Residual { body, .. } = s {
+                body.iter().any(|b| matches!(b, CompiledStep::Fused { .. }))
+            } else {
+                false
+            }
+        });
+        assert!(fused_inside_residual);
+        // The stem's conv-bn-relu collapses into one step carrying both.
+        assert!(matches!(
+            compiled.steps.first(),
+            Some(CompiledStep::Fused {
+                bn: Some(_),
+                relu: true,
+                ..
+            })
+        ));
+        // A residual body ends conv-bn (no trailing ReLU — the post-add
+        // activation lives in the Residual step), so its last fused step
+        // must carry BN but no ReLU.
+        let body_tail_bn_only = compiled.steps.iter().any(|s| {
+            if let CompiledStep::Residual { body, .. } = s {
+                matches!(
+                    body.last(),
+                    Some(CompiledStep::Fused {
+                        bn: Some(_),
+                        relu: false,
+                        ..
+                    })
+                )
+            } else {
+                false
+            }
+        });
+        assert!(body_tail_bn_only);
+    }
+
+    #[test]
+    fn fusion_is_idempotent() {
+        let mut rng = seeded_rng(23);
+        let mut compiled = compile(&scaled_vgg11(&mut rng, 4, 10));
+        run(&mut compiled);
+        let once = compiled.clone();
+        let outcome = run(&mut compiled);
+        assert!(!outcome.changed);
+        assert_eq!(once, compiled);
+    }
+
+    #[test]
+    fn bn_after_linear_is_never_fused() {
+        // The engine's standalone BN step rejects flat input; fusing BN
+        // into a linear layer would turn that error into silent output.
+        use deepcam_models::{Block, Cnn};
+        use deepcam_tensor::layer::{BatchNorm2d, Linear};
+        let mut rng = seeded_rng(24);
+        let model = Cnn::new(
+            "lin-bn",
+            vec![
+                Block::Linear(Linear::new(&mut rng, 8, 4)),
+                Block::Bn(BatchNorm2d::new(4)),
+            ],
+            4,
+        );
+        let mut compiled = compile(&model);
+        let outcome = run(&mut compiled);
+        assert!(!outcome.changed);
+        assert!(matches!(compiled.steps[1], CompiledStep::Bn { .. }));
+    }
+}

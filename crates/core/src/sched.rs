@@ -25,6 +25,7 @@ use crate::dataflow::Dataflow;
 use crate::error::CoreError;
 use crate::hashplan::{HashPlan, PlanBinding};
 use crate::ir::LayerIr;
+use crate::passes::mapping::ModelMapping;
 use crate::perf::{EnergyBreakdown, LayerPerf, PerfReport};
 use crate::postproc::PostProcCostModel;
 use crate::Result;
@@ -101,40 +102,94 @@ impl CamScheduler {
     /// `is_first` marks the model's first dot layer, whose input contexts
     /// are pre-processed in software.
     ///
+    /// Delegates to [`CamScheduler::layer_perf_mapped`] at the
+    /// scheduler's own geometry on a single array — bitwise-identical to
+    /// the pre-pass-pipeline accounting.
+    ///
     /// # Errors
     ///
     /// Returns [`CoreError::Cam`] for an unsupported hash length.
     pub fn layer_perf(&self, layer: &DotLayer, k: usize, is_first: bool) -> Result<LayerPerf> {
-        let cfg = CamConfig::new(self.rows, k)?;
-        let (stored, streamed) = match self.dataflow {
+        self.layer_perf_mapped(layer, k, is_first, self.rows, self.dataflow, 1)
+    }
+
+    /// Performance of one dot-product layer under an explicit mapping:
+    /// `rows × k` arrays, `arrays` of them operating in parallel, fed by
+    /// the given `dataflow`. The mapping-pass search
+    /// ([`crate::passes::mapping`]) scores every candidate through this
+    /// entry point.
+    ///
+    /// Energy is mapping-shaped but array-count-independent (the same
+    /// tiles are written and searched whether they run serially or
+    /// side by side); cycles shrink with `arrays` because up to `arrays`
+    /// tiles are searched per wave, with writes overlapped across the
+    /// wave (the slowest write bounds it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Cam`] for an unsupported row count, hash
+    /// length, or a zero array count.
+    pub fn layer_perf_mapped(
+        &self,
+        layer: &DotLayer,
+        k: usize,
+        is_first: bool,
+        rows: usize,
+        dataflow: Dataflow,
+        arrays: usize,
+    ) -> Result<LayerPerf> {
+        if arrays == 0 {
+            return Err(CoreError::Cam(deepcam_cam::CamError::InvalidConfig(
+                "array count must be at least 1".to_string(),
+            )));
+        }
+        if !SUPPORTED_ROW_SIZES.contains(&rows) {
+            return Err(CoreError::Cam(deepcam_cam::CamError::InvalidConfig(
+                format!("row count {rows} not in {SUPPORTED_ROW_SIZES:?}"),
+            )));
+        }
+        let cfg = CamConfig::new(rows, k)?;
+        let (stored, streamed) = match dataflow {
             Dataflow::WeightStationary => (layer.m, layer.p),
             Dataflow::ActivationStationary => (layer.p, layer.m),
         };
-        let tiles = stored.div_ceil(self.rows).max(1);
+        let tiles = stored.div_ceil(rows).max(1);
         let mut searches = 0u64;
         let mut write_cycles = 0u64;
         let mut search_cycles = 0u64;
         let mut e_search = 0.0f64;
         let mut e_write = 0.0f64;
         let mut occupied = 0usize;
-        let charge_writes = match self.dataflow {
+        let charge_writes = match dataflow {
             Dataflow::WeightStationary => self.charge_weight_writes,
             Dataflow::ActivationStationary => true,
         };
-        for t in 0..tiles {
-            let rows_used = (stored - t * self.rows).min(self.rows);
-            occupied += rows_used;
-            if charge_writes {
-                let wc = self.cam_cost.write_cost(&cfg, rows_used);
-                write_cycles += wc.cycles;
-                e_write += wc.energy_j;
+        let mut t = 0usize;
+        while t < tiles {
+            let wave = (tiles - t).min(arrays);
+            let mut wave_write_cycles = 0u64;
+            for i in 0..wave {
+                let rows_used = (stored - (t + i) * rows).min(rows);
+                occupied += rows_used;
+                if charge_writes {
+                    let wc = self.cam_cost.write_cost(&cfg, rows_used);
+                    wave_write_cycles = wave_write_cycles.max(wc.cycles);
+                    e_write += wc.energy_j;
+                }
+                let sc = self.cam_cost.search_cost_with_rows(&cfg, rows_used);
+                searches += streamed as u64;
+                e_search += streamed as f64 * sc.energy_j;
+                // Arrays of the wave search in lock-step on the same
+                // streamed keys, so one tile's search cycles bound the
+                // wave.
+                if i == 0 {
+                    search_cycles += streamed as u64 * sc.cycles;
+                }
             }
-            let sc = self.cam_cost.search_cost_with_rows(&cfg, rows_used);
-            searches += streamed as u64;
-            search_cycles += streamed as u64 * sc.cycles;
-            e_search += streamed as f64 * sc.energy_j;
+            write_cycles += wave_write_cycles;
+            t += wave;
         }
-        let utilization = occupied as f64 / (tiles * self.rows) as f64;
+        let utilization = occupied as f64 / (tiles * rows) as f64;
 
         // Online context generation for this layer's input activations
         // (software pre-processing covers the first layer).
@@ -236,6 +291,72 @@ impl CamScheduler {
             "DeepCAM-{} rows={} {}",
             self.dataflow.label(),
             self.rows,
+            plan_label.as_ref()
+        );
+        Ok(PerfReport::from_layers(config, ir.workload.clone(), layers))
+    }
+
+    /// Runs a lowered model under a validated binding **and** a per-layer
+    /// array mapping (the mapping pass's output): each dot layer is
+    /// costed at its own tile geometry/dataflow on the mapping's
+    /// multi-array chip instead of the scheduler's fixed `rows` ×
+    /// `dataflow`.
+    ///
+    /// # Errors
+    ///
+    /// All [`CamScheduler::run_ir`] conditions, plus
+    /// [`CoreError::InvalidPlan`] when the mapping does not cover the IR.
+    pub fn run_ir_mapped(
+        &self,
+        ir: &LayerIr,
+        binding: &PlanBinding,
+        mapping: &ModelMapping,
+        plan_label: impl AsRef<str>,
+    ) -> Result<PerfReport> {
+        if binding.len() != ir.dots.len() {
+            return Err(CoreError::InvalidPlan(format!(
+                "binding covers {} layers but IR '{}' has {}",
+                binding.len(),
+                ir.model_name,
+                ir.dots.len()
+            )));
+        }
+        if mapping.per_layer.len() != ir.dots.len() {
+            return Err(CoreError::InvalidPlan(format!(
+                "mapping covers {} layers but IR '{}' has {}",
+                mapping.per_layer.len(),
+                ir.model_name,
+                ir.dots.len()
+            )));
+        }
+        if !ir.has_static_shapes() && !ir.is_empty() {
+            return Err(CoreError::Unsupported(format!(
+                "IR '{}' lacks static shapes (lower the model with a declared input)",
+                ir.model_name
+            )));
+        }
+        let mut layers: Vec<LayerPerf> = Vec::with_capacity(ir.dots.len());
+        for dot in &ir.dots {
+            let k = binding.k_for(dot.index);
+            let lm = mapping.per_layer[dot.index];
+            let mut perf = self.layer_perf_mapped(
+                &dot.shape,
+                k,
+                dot.index == 0,
+                lm.rows,
+                lm.dataflow,
+                mapping.arrays,
+            )?;
+            for peripheral in &dot.peripherals {
+                let cost = self.postproc.peripheral_cost(peripheral);
+                perf.cycles += cost.cycles;
+                perf.energy.postproc += cost.energy_j;
+            }
+            layers.push(perf);
+        }
+        let config = format!(
+            "DeepCAM-mapped arrays={} {}",
+            mapping.arrays,
             plan_label.as_ref()
         );
         Ok(PerfReport::from_layers(config, ir.workload.clone(), layers))
@@ -346,6 +467,102 @@ mod tests {
         let a = pipe.run(&spec, &HashPlan::Uniform(512)).unwrap();
         let b = seq.run(&spec, &HashPlan::Uniform(512)).unwrap();
         assert!(b.total_cycles >= a.total_cycles);
+    }
+
+    #[test]
+    fn mapped_at_own_geometry_single_array_is_identical() {
+        // The layer_perf → layer_perf_mapped delegation must not change a
+        // bit of any existing report: one array at the scheduler's own
+        // rows/dataflow is the old accounting.
+        let spec = zoo::vgg11();
+        let ir = LayerIr::from_spec(&spec);
+        let plan = HashPlan::variable_for_dims(&ir.patch_lens());
+        let binding = plan.bind(&ir).unwrap();
+        for df in Dataflow::both() {
+            let s = CamScheduler::new(64, df).unwrap();
+            let fixed = s.run_ir(&ir, &binding, plan.label()).unwrap();
+            let mapping = ModelMapping::fixed(64, df, ir.len());
+            let mapped = s
+                .run_ir_mapped(&ir, &binding, &mapping, plan.label())
+                .unwrap();
+            assert_eq!(fixed.layers.len(), mapped.layers.len());
+            for (a, b) in fixed.layers.iter().zip(mapped.layers.iter()) {
+                assert_eq!(a.cycles, b.cycles, "{}", a.name);
+                assert_eq!(a.searches, b.searches, "{}", a.name);
+                assert_eq!(a.energy.cam_search.to_bits(), b.energy.cam_search.to_bits());
+                assert_eq!(a.energy.cam_write.to_bits(), b.energy.cam_write.to_bits());
+                assert_eq!(a.utilization.to_bits(), b.utilization.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn more_arrays_cut_cycles_not_energy() {
+        let layer = DotLayer {
+            name: "wide".into(),
+            p: 4096,
+            m: 128,
+            n: 576,
+            input_elems: 65536,
+        };
+        let s = CamScheduler::new(64, Dataflow::ActivationStationary).unwrap();
+        let one = s
+            .layer_perf_mapped(&layer, 512, true, 64, Dataflow::ActivationStationary, 1)
+            .unwrap();
+        let eight = s
+            .layer_perf_mapped(&layer, 512, true, 64, Dataflow::ActivationStationary, 8)
+            .unwrap();
+        assert!(
+            eight.cycles < one.cycles,
+            "{} vs {}",
+            eight.cycles,
+            one.cycles
+        );
+        assert_eq!(
+            one.energy.cam_search.to_bits(),
+            eight.energy.cam_search.to_bits()
+        );
+        assert_eq!(
+            one.energy.cam_write.to_bits(),
+            eight.energy.cam_write.to_bits()
+        );
+        assert_eq!(one.searches, eight.searches);
+    }
+
+    #[test]
+    fn mapped_run_validates_coverage_and_geometry() {
+        let spec = zoo::lenet5();
+        let ir = LayerIr::from_spec(&spec);
+        let plan = HashPlan::Uniform(256);
+        let binding = plan.bind(&ir).unwrap();
+        let s = CamScheduler::new(64, Dataflow::ActivationStationary).unwrap();
+
+        let short = ModelMapping::fixed(64, Dataflow::ActivationStationary, ir.len() - 1);
+        assert!(matches!(
+            s.run_ir_mapped(&ir, &binding, &short, plan.label()),
+            Err(CoreError::InvalidPlan(_))
+        ));
+
+        assert!(s
+            .layer_perf_mapped(
+                &lenet_conv1(),
+                256,
+                true,
+                100, // unsupported row count
+                Dataflow::ActivationStationary,
+                1
+            )
+            .is_err());
+        assert!(s
+            .layer_perf_mapped(
+                &lenet_conv1(),
+                256,
+                true,
+                64,
+                Dataflow::ActivationStationary,
+                0 // zero arrays
+            )
+            .is_err());
     }
 
     #[test]

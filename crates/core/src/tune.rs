@@ -33,7 +33,11 @@ use serde::{Deserialize, Serialize};
 use crate::engine::{DeepCamEngine, EngineConfig};
 use crate::error::CoreError;
 use crate::hashplan::{HashPlan, PlanBinding};
-use crate::ir::{dot_layer_weights, CompiledModel, CompiledTile};
+use crate::ir::{dot_layer_weights, CompiledModel, CompiledTile, LayerIr};
+use crate::passes::mapping::{search_mapping, MappingConfig, ModelMapping};
+use crate::perf::PerfReport;
+use crate::sched::CamScheduler;
+use crate::Dataflow;
 use crate::Result;
 
 /// How the per-layer widths are searched.
@@ -93,6 +97,18 @@ pub struct TuneReport {
     pub evaluations: usize,
     /// Mean tuned hash length (the energy headline's driver).
     pub mean_hash_len: f64,
+    /// Whether the *held-out* accuracy drop also stayed within
+    /// [`TunerConfig::max_drop`]. The search only constrains the tuning
+    /// split; a `false` here means the tuned plan generalized worse than
+    /// the budget and callers should surface a warning.
+    pub holdout_within_budget: bool,
+}
+
+/// The tuner's acceptance rule, applied to a (reference, tuned) accuracy
+/// pair: `tuned` may trail `reference` by at most `max_drop` (absolute).
+/// Exposed so report consumers apply the *same* rule the search used.
+pub fn holdout_within(max_drop: f32, reference: f32, tuned: f32) -> bool {
+    tuned + max_drop >= reference
 }
 
 /// Candidate-engine factory: one compiled base plus a per-(layer, width)
@@ -309,6 +325,69 @@ pub fn tune(
         holdout_tuned,
         evaluations: searcher.evaluations,
         mean_hash_len,
+        holdout_within_budget: holdout_within(cfg.max_drop, holdout_reference, holdout_tuned),
+    })
+}
+
+/// Configuration for [`tune_joint`]: the hash-length tuner plus the
+/// array-mapping search it co-optimizes with.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct JointTunerConfig {
+    /// Hash-length search configuration.
+    pub tuner: TunerConfig,
+    /// Array-mapping search space.
+    pub mapping: MappingConfig,
+}
+
+/// What the joint search found: the tuned plan, the mapping searched
+/// *under that plan's widths*, and the modeled cost of the tuned plan on
+/// the fixed 64-row chip versus the searched mapping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JointTuneReport {
+    /// The hash-length tuner's report (accuracy-constrained widths).
+    pub tune: TuneReport,
+    /// Per-layer array mapping searched under the tuned widths.
+    pub mapping: ModelMapping,
+    /// Tuned plan costed on the fixed 64-row activation-stationary chip
+    /// (the pre-mapping scheduler baseline).
+    pub fixed: PerfReport,
+    /// Tuned plan costed under `mapping` — the joint optimum. Its CAM
+    /// search energy never exceeds `fixed`'s (the fixed geometry is in
+    /// the search space).
+    pub mapped: PerfReport,
+}
+
+/// Co-optimizes per-layer hash lengths **and** the CAM array mapping:
+/// runs the accuracy-constrained width search ([`tune`]), then searches
+/// the mapping space *at the tuned widths* — so tile geometry is chosen
+/// for the hash lengths actually deployed, not the all-1024 reference.
+///
+/// # Errors
+///
+/// Everything [`tune`] returns, plus mapping-search errors
+/// ([`CoreError::InvalidPlan`] on an empty candidate space).
+pub fn tune_joint(
+    model: &Cnn,
+    images: &Tensor,
+    labels: &[usize],
+    base: &EngineConfig,
+    calibration: Option<&Tensor>,
+    cfg: &JointTunerConfig,
+) -> Result<JointTuneReport> {
+    let report = tune(model, images, labels, base, calibration, &cfg.tuner)?;
+    let ir = LayerIr::from_cnn(model)?;
+    // The scheduler here is the historical fixed-geometry baseline; the
+    // mapping search borrows its cost model and overrides the geometry
+    // per candidate.
+    let sched = CamScheduler::new(64, Dataflow::ActivationStationary)?;
+    let fixed = sched.run_ir(&ir, &report.binding, report.plan.label())?;
+    let mapping = search_mapping(&sched, &ir, &report.binding, &cfg.mapping)?;
+    let mapped = sched.run_ir_mapped(&ir, &report.binding, &mapping, report.plan.label())?;
+    Ok(JointTuneReport {
+        tune: report,
+        mapping,
+        fixed,
+        mapped,
     })
 }
 
@@ -535,6 +614,76 @@ mod tests {
             tune(&model, &x, &y, &EngineConfig::default(), None, &bad),
             Err(CoreError::InvalidInput(_))
         ));
+    }
+
+    #[test]
+    fn holdout_budget_rule_matches_search_acceptance() {
+        // Same rule as the search's `acceptable` closure, including the
+        // boundary: a drop of exactly max_drop is within budget.
+        assert!(holdout_within(0.01, 0.90, 0.90));
+        assert!(holdout_within(0.01, 0.90, 0.89));
+        assert!(!holdout_within(0.01, 0.90, 0.888));
+        // A held-out *gain* is always within budget.
+        assert!(holdout_within(0.0, 0.90, 0.95));
+        assert!(holdout_within(1.0, 1.0, 0.0));
+    }
+
+    #[test]
+    fn report_flags_holdout_violations() {
+        let model = trained_lenet();
+        let (x, y) = toy_images(24);
+        // Generous budget: whatever the holdout split does, it's within
+        // a 1.0 drop.
+        let report = tune(
+            &model,
+            &x,
+            &y,
+            &EngineConfig::default(),
+            None,
+            &TunerConfig {
+                max_drop: 1.0,
+                batch_size: 8,
+                ..TunerConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(report.holdout_within_budget);
+        // The flag must agree with the exposed rule on the report's own
+        // numbers, whatever they are.
+        assert_eq!(
+            report.holdout_within_budget,
+            holdout_within(1.0, report.holdout_reference, report.holdout_tuned)
+        );
+    }
+
+    #[test]
+    fn joint_tuning_never_loses_to_the_fixed_chip() {
+        let model = trained_lenet();
+        let (x, y) = toy_images(20);
+        let cfg = JointTunerConfig {
+            tuner: TunerConfig {
+                max_drop: 0.1,
+                batch_size: 8,
+                ..TunerConfig::default()
+            },
+            ..JointTunerConfig::default()
+        };
+        let joint = tune_joint(&model, &x, &y, &EngineConfig::default(), None, &cfg).unwrap();
+        assert_eq!(joint.mapping.per_layer.len(), 5);
+        // The fixed 64-row AS geometry is in the search space, so the
+        // searched mapping can never cost more CAM search energy.
+        assert!(
+            joint.mapped.energy.cam_search <= joint.fixed.energy.cam_search,
+            "mapped {} > fixed {}",
+            joint.mapped.energy.cam_search,
+            joint.fixed.energy.cam_search
+        );
+        // Both reports cost the *tuned* plan, not the reference.
+        assert_eq!(joint.fixed.layers.len(), 5);
+        assert_eq!(joint.mapped.layers.len(), 5);
+        // Deterministic end to end.
+        let again = tune_joint(&model, &x, &y, &EngineConfig::default(), None, &cfg).unwrap();
+        assert_eq!(joint, again);
     }
 
     #[test]

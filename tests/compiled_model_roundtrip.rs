@@ -143,6 +143,91 @@ fn load_of_missing_or_garbage_file_is_a_typed_error() {
     std::fs::remove_file(&garbage).ok();
 }
 
+#[test]
+fn passed_models_roundtrip_with_mapping_and_fused_steps() {
+    // The pass pipeline's output — fused steps plus an array mapping —
+    // must survive the v2 artifact bit-exactly.
+    use deepcam::accel::passes;
+    let mut rng = seeded_rng(6);
+    let model = scaled_vgg11(&mut rng, 4, 10);
+    let cfg = EngineConfig {
+        plan: HashPlan::Uniform(256),
+        crossbar_noise: 0.25,
+        ..EngineConfig::default()
+    };
+    let mut compiled = CompiledModel::compile(&model, cfg).expect("compiles");
+    let outcomes = passes::apply(&mut compiled, &passes::default_passes()).expect("passes");
+    assert!(outcomes.iter().all(|o| o.changed));
+    assert!(compiled.mapping.is_some());
+
+    let decoded = CompiledModel::from_bytes(&compiled.to_bytes()).expect("decodes");
+    assert_eq!(compiled, decoded, "mapping or fused steps lost in transit");
+    assert_eq!(compiled.mapping, decoded.mapping);
+
+    let x = batch_for(&model, 3, 17);
+    let direct = DeepCamEngine::from_compiled(compiled).expect("runtime");
+    let served = DeepCamEngine::from_compiled(decoded).expect("reloaded runtime");
+    assert_eq!(
+        direct.infer(&x).unwrap().data(),
+        served.infer(&x).unwrap().data()
+    );
+}
+
+#[test]
+fn v1_artifacts_still_load() {
+    // Pre-mapping artifacts (version 1) must keep loading: the v1
+    // writer emits the exact historical layout, and the version-aware
+    // reader fills the new fields with their pre-change defaults.
+    let mut rng = seeded_rng(7);
+    let model = scaled_lenet5(&mut rng, 10);
+    let cfg = EngineConfig {
+        plan: HashPlan::Uniform(512),
+        ..EngineConfig::default()
+    };
+    let compiled = CompiledModel::compile(&model, cfg).expect("compiles");
+    let v1 = compiled
+        .to_bytes_v1()
+        .expect("unmapped models export as v1");
+    assert_eq!(
+        &v1[4..8],
+        &1u32.to_le_bytes(),
+        "v1 writer must stamp version 1"
+    );
+    let loaded = CompiledModel::from_bytes(&v1).expect("v1 loads");
+    assert_eq!(loaded.mapping, None);
+    assert_eq!(compiled, loaded);
+    let x = batch_for(&model, 2, 23);
+    assert_eq!(
+        DeepCamEngine::from_compiled(compiled)
+            .unwrap()
+            .infer(&x)
+            .unwrap()
+            .data(),
+        DeepCamEngine::from_compiled(loaded)
+            .unwrap()
+            .infer(&x)
+            .unwrap()
+            .data()
+    );
+}
+
+#[test]
+fn v1_writer_refuses_what_v1_cannot_express() {
+    use deepcam::accel::passes;
+    let mut rng = seeded_rng(8);
+    let model = scaled_lenet5(&mut rng, 10);
+    let cfg = EngineConfig {
+        plan: HashPlan::Uniform(256),
+        ..EngineConfig::default()
+    };
+    let mut compiled = CompiledModel::compile(&model, cfg).expect("compiles");
+    passes::apply(&mut compiled, &passes::default_passes()).expect("passes");
+    assert!(matches!(
+        compiled.to_bytes_v1(),
+        Err(CoreError::Artifact(_))
+    ));
+}
+
 fn plan_strategy(layers: usize) -> impl Strategy<Value = Vec<usize>> {
     proptest::collection::vec(
         prop_oneof![Just(256usize), Just(512), Just(768), Just(1024)],
